@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks: bundling accumulators — the carry-save
+//! bit-sliced popcount (software mirror of the Fig. 5 hardware) vs the
+//! naive dense accumulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uhd_core::accumulator::{BitSliceAccumulator, DenseAccumulator};
+use uhd_core::hypervector::words_for_dim;
+use uhd_lowdisc::rng::Xoshiro256StarStar;
+
+fn masks(dim: u32, count: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = Xoshiro256StarStar::seeded(seed);
+    let wc = words_for_dim(dim);
+    (0..count)
+        .map(|_| {
+            let mut m: Vec<u64> = (0..wc).map(|_| rng.next_u64()).collect();
+            let rem = dim % 64;
+            if rem != 0 {
+                *m.last_mut().unwrap() &= (1u64 << rem) - 1;
+            }
+            m
+        })
+        .collect()
+}
+
+fn bench_accumulators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bundle_784_masks");
+    group.sample_size(20);
+    for d in [1024u32, 8192] {
+        let ms = masks(d, 784, 3);
+        group.bench_with_input(BenchmarkId::new("bit_slice", d), &d, |b, &d| {
+            b.iter(|| {
+                let mut acc = BitSliceAccumulator::new(d);
+                for m in &ms {
+                    acc.add_mask(black_box(m));
+                }
+                black_box(acc.total())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("dense", d), &d, |b, &d| {
+            b.iter(|| {
+                let mut acc = DenseAccumulator::new(d);
+                for m in &ms {
+                    acc.add_mask(black_box(m));
+                }
+                black_box(acc.total())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_binarize(c: &mut Criterion) {
+    let d = 8192u32;
+    let ms = masks(d, 784, 4);
+    let mut acc = BitSliceAccumulator::new(d);
+    for m in &ms {
+        acc.add_mask(m);
+    }
+    c.bench_function("binarize_d8192", |b| {
+        b.iter(|| black_box(acc.binarize()));
+    });
+}
+
+criterion_group!(benches, bench_accumulators, bench_binarize);
+criterion_main!(benches);

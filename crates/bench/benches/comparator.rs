@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks: the Fig. 4 unary comparator — gate-level
+//! simulation vs behavioural word path vs scalar path, plus the
+//! conventional counter+comparator generator it replaces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uhd_bitstream::comparator::{scalar_geq, unary_geq};
+use uhd_bitstream::generator::CounterComparatorGenerator;
+use uhd_bitstream::unary::UnaryBitstream;
+use uhd_bitstream::ust::UnaryStreamTable;
+use uhd_hw::cell_library::CellLibrary;
+use uhd_hw::circuits::unary_comparator;
+
+fn bench_comparator_paths(c: &mut Criterion) {
+    let n = 16u32;
+    let a = UnaryBitstream::encode(11, n).unwrap();
+    let b = UnaryBitstream::encode(5, n).unwrap();
+    let mut group = c.benchmark_group("unary_compare");
+    group.bench_function("word_path", |bencher| {
+        bencher.iter(|| unary_geq(black_box(&a), black_box(&b)).unwrap());
+    });
+    group.bench_function("scalar_path", |bencher| {
+        bencher.iter(|| scalar_geq(black_box(11), black_box(5)));
+    });
+    let mut circuit = unary_comparator(16, CellLibrary::nangate45_like());
+    let input: Vec<bool> = a.iter_bits().chain(b.iter_bits()).collect();
+    group.bench_function("gate_level_sim", |bencher| {
+        bencher.iter(|| circuit.step(black_box(&input)));
+    });
+    group.finish();
+}
+
+fn bench_stream_sourcing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_sourcing");
+    let ust = UnaryStreamTable::new(16, 16).unwrap();
+    group.bench_function("ust_fetch", |b| {
+        b.iter(|| black_box(ust.fetch(black_box(11)).unwrap()));
+    });
+    let mut generator = CounterComparatorGenerator::new(4);
+    group.bench_function("counter_comparator_generate", |b| {
+        b.iter(|| black_box(generator.generate(black_box(11)).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_comparator_paths, bench_stream_sourcing);
+criterion_main!(benches);

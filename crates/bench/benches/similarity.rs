@@ -1,0 +1,32 @@
+//! Criterion micro-benchmarks: similarity kernels (packed-bit cosine,
+//! Hamming, integer cosine) at the paper's dimensions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uhd_core::hypervector::Hypervector;
+use uhd_core::similarity::{cosine, cosine_int, hamming_similarity};
+use uhd_lowdisc::rng::Xoshiro256StarStar;
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity");
+    for d in [1024u32, 8192] {
+        let mut rng = Xoshiro256StarStar::seeded(1);
+        let a = Hypervector::random(d, &mut rng);
+        let b = Hypervector::random(d, &mut rng);
+        group.bench_with_input(BenchmarkId::new("cosine_packed", d), &d, |bench, _| {
+            bench.iter(|| cosine(black_box(&a), black_box(&b)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("hamming", d), &d, |bench, _| {
+            bench.iter(|| hamming_similarity(black_box(&a), black_box(&b)).unwrap());
+        });
+        let ai: Vec<i64> = (0..d).map(|i| if a.bit(i) { 1 } else { -1 }).collect();
+        let bi: Vec<i64> = (0..d).map(|i| if b.bit(i) { 1 } else { -1 }).collect();
+        group.bench_with_input(BenchmarkId::new("cosine_int", d), &d, |bench, _| {
+            bench.iter(|| cosine_int(black_box(&ai), black_box(&bi)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks: low-discrepancy sequence generation
+//! throughput (Sobol vs Halton vs R2 vs the pseudo-random generator the
+//! baseline uses).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uhd_lowdisc::halton::HaltonDimension;
+use uhd_lowdisc::lfsr::Lfsr;
+use uhd_lowdisc::r2::R2Dimension;
+use uhd_lowdisc::rng::{UniformSource, Xoshiro256StarStar};
+use uhd_lowdisc::sobol::SobolDimension;
+
+fn bench_sequences(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequence_1k_values");
+    group.bench_function("sobol_dim7", |b| {
+        let mut d = SobolDimension::new(7).unwrap();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1024 {
+                acc += d.next_value();
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("halton_dim7", |b| {
+        let mut d = HaltonDimension::new(7).unwrap();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1024 {
+                acc += d.next_unit();
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("r2_dim7", |b| {
+        let mut d = R2Dimension::new(7);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1024 {
+                acc += d.next_unit();
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("xoshiro", |b| {
+        let mut rng = Xoshiro256StarStar::seeded(7);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1024 {
+                acc += rng.next_unit();
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("lfsr16", |b| {
+        let mut lfsr = Lfsr::new(16, 0xACE1).unwrap();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1024 {
+                acc += lfsr.next_unit();
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn bench_sobol_construction(c: &mut Criterion) {
+    c.bench_function("sobol_direction_vectors_dim784", |b| {
+        b.iter(|| black_box(SobolDimension::new(black_box(784)).unwrap()));
+    });
+}
+
+criterion_group!(benches, bench_sequences, bench_sobol_construction);
+criterion_main!(benches);

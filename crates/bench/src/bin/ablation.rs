@@ -1,0 +1,68 @@
+//! Ablation studies over the design choices DESIGN.md calls out:
+//! low-discrepancy family, Sobol de-phasing, quantization level ξ,
+//! level-hypervector scheme, and binding elimination.
+//!
+//! Run: `cargo run --release -p uhd-bench --bin ablation`
+
+use uhd_bench::{accuracy, ExperimentConfig, Workbench};
+use uhd_core::encoder::baseline::{BaselineConfig, BaselineEncoder};
+use uhd_core::encoder::level::LevelScheme;
+use uhd_core::encoder::uhd::{LdFamily, UhdConfig, UhdEncoder};
+use uhd_datasets::synth::SyntheticKind;
+use uhd_lowdisc::rng::Xoshiro256StarStar;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let bench = Workbench::new(SyntheticKind::Mnist, &cfg);
+    let d = 1024;
+    let px = bench.train.pixels();
+
+    println!("Ablation studies (synthetic MNIST, D = {d}, {} train / {} test)", cfg.train_n, cfg.test_n);
+
+    println!("\n1. Low-discrepancy family (uHD pipeline, xi = 16):");
+    let families = [
+        ("sobol (paper, de-phased)", LdFamily::sobol()),
+        ("sobol (index-aligned)", LdFamily::sobol_aligned()),
+        ("halton", LdFamily::Halton),
+        ("r2", LdFamily::R2),
+        ("pseudo-random control", LdFamily::Pseudo { seed: 9 }),
+    ];
+    for (name, family) in families {
+        let enc = UhdEncoder::new(UhdConfig { dim: d, pixels: px, levels: 16, family })
+            .expect("encoder");
+        println!("   {name:28} {:6.2}%", accuracy(&enc, &bench, &cfg) * 100.0);
+    }
+
+    println!("\n2. Quantization level xi (Sobol uHD):");
+    for levels in [4u32, 8, 16, 32, 64] {
+        let enc =
+            UhdEncoder::new(UhdConfig { dim: d, pixels: px, levels, family: LdFamily::sobol() })
+                .expect("encoder");
+        println!("   xi = {levels:<3}  {:6.2}%", accuracy(&enc, &bench, &cfg) * 100.0);
+    }
+
+    println!("\n3. Baseline level-hypervector scheme (P (x) L pipeline):");
+    for (name, scheme, levels) in [
+        ("threshold-draw, 256 levels (paper)", LevelScheme::ThresholdDraw, 256u32),
+        ("threshold-draw, 16 levels", LevelScheme::ThresholdDraw, 16),
+        ("cumulative-flip, 16 levels", LevelScheme::CumulativeFlip, 16),
+        ("cumulative-flip, 256 levels", LevelScheme::CumulativeFlip, 256),
+    ] {
+        let mut rng = Xoshiro256StarStar::seeded(5);
+        let enc = BaselineEncoder::new(
+            BaselineConfig { dim: d, pixels: px, levels, scheme },
+            &mut rng,
+        )
+        .expect("encoder");
+        println!("   {name:36} {:6.2}%", accuracy(&enc, &bench, &cfg) * 100.0);
+    }
+
+    println!("\n4. Binding elimination (operation counts per image):");
+    let uhd = UhdEncoder::new(UhdConfig::new(d, px)).expect("encoder");
+    let mut rng = Xoshiro256StarStar::seeded(5);
+    let base = BaselineEncoder::new(BaselineConfig::paper(d, px), &mut rng).expect("encoder");
+    use uhd_core::ImageEncoder;
+    let (pu, pb) = (uhd.profile(), base.profile());
+    println!("   uHD:      {} comparisons, {} bind ops, {} rng draws/iter", pu.comparisons_per_image, pu.bind_bitops_per_image, pu.rng_draws_per_iteration);
+    println!("   baseline: {} comparisons, {} bind ops, {} rng draws/iter", pb.comparisons_per_image, pb.bind_bitops_per_image, pb.rng_draws_per_iteration);
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Fig. 6**: (a) the baseline's accuracy fluctuation
+//! across random hypervector re-generations, (b) prior-art accuracy
+//! points, and (c) uHD's deterministic accuracies at
+//! D ∈ {1K, 2K, 8K, 10K}.
+//!
+//! Run: `cargo run --release -p uhd-bench --bin fig6`
+
+use uhd_bench::{
+    accuracy, baseline_encoder, uhd_encoder, ExperimentConfig, Workbench, FIG6B_PRIOR_ART,
+};
+use uhd_datasets::synth::SyntheticKind;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let bench = Workbench::new(SyntheticKind::Mnist, &cfg);
+    let d = 1024;
+
+    println!("Fig. 6(a) — baseline accuracy per iteration (D = {d}), CSV:");
+    println!("iteration,accuracy_percent");
+    let mut accs = Vec::new();
+    for i in 0..cfg.iterations {
+        let enc = baseline_encoder(d, bench.train.pixels(), 2000 + i as u64);
+        let a = accuracy(&enc, &bench, &cfg) * 100.0;
+        println!("{},{a:.2}", i + 1);
+        accs.push(a);
+    }
+    let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+    let var = accs.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / accs.len() as f64;
+    println!("# mean {mean:.2}%, std {:.2} pp — the fluctuation the paper highlights", var.sqrt());
+
+    println!("\nFig. 6(b) — prior-art MNIST points (published):");
+    for (name, acc, d, retrain) in FIG6B_PRIOR_ART {
+        println!("  {name}: {acc:.2}% at D={d} ({})", if retrain { "w/ retrain" } else { "w/o retrain" });
+    }
+
+    println!("\nFig. 6(c) — uHD single-pass accuracy (no retraining, no NN assistance):");
+    println!("D,accuracy_percent");
+    for d in [1024u32, 2048, 8192, 10_240] {
+        let a = accuracy(&uhd_encoder(d, bench.train.pixels()), &bench, &cfg) * 100.0;
+        println!("{d},{a:.2}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Regenerates **Table I**: embedded-platform (ARM1176) runtime, dynamic
+//! memory and code size per image for the baseline HDC and uHD at
+//! D ∈ {1K, 8K}, plus actual wall-clock measurements of this machine's
+//! Rust encoders for the same workload shape.
+//!
+//! Run: `cargo run --release -p uhd-bench --bin table1`
+
+use uhd_bench::{uhd_encoder, ExperimentConfig, Workbench};
+use uhd_core::model::HdcModel;
+use uhd_datasets::synth::SyntheticKind;
+use uhd_hw::embedded::{table1, ArmPlatform, WorkloadProfile, PAPER_TABLE1};
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let platform = ArmPlatform::arm1176();
+    let h = 28 * 28;
+
+    println!("Table I — performance on the modelled ARM1176 platform (per image)");
+    println!("{:>6} {:>10} {:>14} {:>14} {:>10}", "D", "design", "runtime (s)", "dyn mem (KB)", "code (KB)");
+    let rows = table1(&[1024, 8192], h as u64, &platform);
+    for row in &rows {
+        println!(
+            "{:>6} {:>10} {:>14.3} {:>14.0} {:>10.1}",
+            row.d, row.design, row.runtime_s, row.dyn_mem_kb, row.code_kb
+        );
+    }
+    println!("\npaper reference:");
+    for (d, design, rt, mem) in PAPER_TABLE1 {
+        println!("{d:>6} {design:>10} {rt:>14.3} {mem:>14.0}");
+    }
+
+    // Modelled speed-ups vs the paper's.
+    for d in [1024u64, 8192] {
+        let base = platform.runtime_s(&WorkloadProfile::baseline(h as u64, d, 256));
+        let uhd = platform.runtime_s(&WorkloadProfile::uhd(h as u64, d));
+        let paper = if d == 1024 { 43.8 } else { 102.3 };
+        println!("speed-up at D={d}: modelled {:.1}x (paper {paper}x)", base / uhd);
+    }
+
+    // Ground the model: wall-clock of the actual Rust encoder on this
+    // machine (single thread, per image).
+    let bench = Workbench::new(SyntheticKind::Mnist, &cfg);
+    for d in [1024u32, 8192] {
+        let enc = uhd_encoder(d, bench.train.pixels());
+        let data = bench.train_data();
+        let model = HdcModel::train(&enc, data, bench.train.classes()).expect("train");
+        let t0 = std::time::Instant::now();
+        let n = bench.test.len().min(200);
+        for img in bench.test.images().iter().take(n) {
+            let _ = model.classify(&enc, img).expect("classify");
+        }
+        let per_image = t0.elapsed().as_secs_f64() / n as f64;
+        println!("this machine, uHD D={d}: {per_image:.6} s/image (Rust, 1 thread)");
+    }
+}

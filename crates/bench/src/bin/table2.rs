@@ -1,0 +1,63 @@
+//! Regenerates **Table II**: energy and area×delay of hypervector
+//! generation for uHD and the baseline, per hypervector and per image,
+//! at D ∈ {1K, 2K, 8K}.
+//!
+//! Run: `cargo run --release -p uhd-bench --bin table2`
+
+use uhd_bench::TABLE_DIMENSIONS;
+use uhd_hw::cell_library::CellLibrary;
+use uhd_hw::report::{table2, PAPER_IMAGE_FEATURES, PAPER_TABLE2};
+
+fn main() {
+    let library = CellLibrary::nangate45_like();
+    let rows = table2(&TABLE_DIMENSIONS, PAPER_IMAGE_FEATURES, &library);
+
+    println!("Table II — energy and area×delay of hypervector generation");
+    println!("(per-image rows use the paper's H = {PAPER_IMAGE_FEATURES} features)");
+    println!(
+        "{:>6} {:>16} {:>16} {:>16} {:>16} {:>14} {:>14}",
+        "D",
+        "uHD pJ/HV",
+        "base pJ/HV",
+        "uHD pJ/img",
+        "base pJ/img",
+        "uHD m²·s",
+        "base m²·s"
+    );
+    for r in &rows {
+        println!(
+            "{:>6} {:>16.2} {:>16.2} {:>16.2} {:>16.2} {:>14.3e} {:>14.3e}",
+            r.d,
+            r.uhd_per_hv_pj,
+            r.baseline_per_hv_pj,
+            r.uhd_per_image_pj,
+            r.baseline_per_image_pj,
+            r.uhd_area_delay,
+            r.baseline_area_delay
+        );
+    }
+
+    println!("\npaper reference:");
+    for r in PAPER_TABLE2 {
+        println!(
+            "{:>6} {:>16.2} {:>16.2} {:>16.2} {:>16.2} {:>14.3e} {:>14.3e}",
+            r.d,
+            r.uhd_per_hv_pj,
+            r.baseline_per_hv_pj,
+            r.uhd_per_image_pj,
+            r.baseline_per_image_pj,
+            r.uhd_area_delay,
+            r.baseline_area_delay
+        );
+    }
+
+    println!("\nenergy ratios (baseline / uHD):");
+    for (r, p) in rows.iter().zip(PAPER_TABLE2.iter()) {
+        println!(
+            "  D={:>5}: modelled {:>7.1}x   paper {:>7.1}x",
+            r.d,
+            r.baseline_per_hv_pj / r.uhd_per_hv_pj,
+            p.baseline_per_hv_pj / p.uhd_per_hv_pj
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Regenerates **Table IV**: MNIST accuracy of the baseline HDC
+//! (averaged over i hypervector re-generations) versus uHD (single
+//! deterministic iteration) at D ∈ {1K, 2K, 8K}.
+//!
+//! Run: `cargo run --release -p uhd-bench --bin table4`
+//! Scale with `UHD_TRAIN_N`, `UHD_TEST_N`, `UHD_ITERS`.
+
+use uhd_bench::{
+    accuracy, baseline_encoder, uhd_encoder, ExperimentConfig, Workbench, PAPER_TABLE4,
+    TABLE_DIMENSIONS,
+};
+use uhd_datasets::synth::SyntheticKind;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let bench = Workbench::new(SyntheticKind::Mnist, &cfg);
+    println!(
+        "Table IV — synthetic-MNIST accuracy (%) of baseline HDC (averaged over i) vs uHD (i=1)"
+    );
+    println!(
+        "dataset: {} train / {} test, iterations: {}",
+        cfg.train_n, cfg.test_n, cfg.iterations
+    );
+
+    let checkpoints: Vec<usize> =
+        [1usize, 5, 20, 50, 75, 100].iter().copied().filter(|&i| i <= cfg.iterations).collect();
+    let header: Vec<String> = checkpoints.iter().map(|i| format!("i=1..{i}")).collect();
+    println!("{:>6} {} {:>8}", "D", header.iter().map(|h| format!("{h:>9}")).collect::<String>(), "uHD i=1");
+
+    for &d in &TABLE_DIMENSIONS {
+        // Baseline: re-roll P/L tables per iteration, record accuracy.
+        let mut accs = Vec::with_capacity(cfg.iterations);
+        for i in 0..cfg.iterations {
+            let enc = baseline_encoder(d, bench.train.pixels(), 1000 + i as u64);
+            accs.push(accuracy(&enc, &bench, &cfg) * 100.0);
+        }
+        let avg_to = |k: usize| accs[..k].iter().sum::<f64>() / k as f64;
+        let uhd = accuracy(&uhd_encoder(d, bench.train.pixels()), &bench, &cfg) * 100.0;
+        let cols: String =
+            checkpoints.iter().map(|&k| format!("{:>9.2}", avg_to(k))).collect();
+        println!("{d:>6} {cols} {uhd:>8.2}");
+    }
+
+    println!("\npaper reference (real MNIST, 60k train):");
+    println!("{:>6} {:>9} {:>8}", "D", "base i=1", "uHD i=1");
+    for (d, base, ours) in PAPER_TABLE4 {
+        println!("{d:>6} {base:>9.2} {ours:>8.2}");
+    }
+}

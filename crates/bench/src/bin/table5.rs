@@ -1,0 +1,43 @@
+//! Regenerates **Table V**: accuracy of uHD vs the baseline HDC on the
+//! five additional image datasets (synthetic analogues) at
+//! D ∈ {1K, 2K, 8K}.
+//!
+//! Run: `cargo run --release -p uhd-bench --bin table5`
+
+use uhd_bench::{
+    accuracy, baseline_encoder, uhd_encoder, ExperimentConfig, Workbench, PAPER_TABLE5,
+    TABLE_DIMENSIONS,
+};
+use uhd_datasets::synth::SyntheticKind;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let kinds = [
+        SyntheticKind::Cifar10,
+        SyntheticKind::BloodMnist,
+        SyntheticKind::BreastMnist,
+        SyntheticKind::FashionMnist,
+        SyntheticKind::Svhn,
+    ];
+
+    println!("Table V — accuracy (%) of uHD (ours) vs baseline HDC on synthetic analogues");
+    println!("{:>24} {:>16} {:>16} {:>16}", "dataset", "D=1K ours/base", "D=2K ours/base", "D=8K ours/base");
+    for kind in kinds {
+        let bench = Workbench::new(kind, &cfg);
+        let mut cells = Vec::new();
+        for &d in &TABLE_DIMENSIONS {
+            let ours = accuracy(&uhd_encoder(d, bench.train.pixels()), &bench, &cfg) * 100.0;
+            let base =
+                accuracy(&baseline_encoder(d, bench.train.pixels(), 77), &bench, &cfg) * 100.0;
+            cells.push(format!("{ours:>7.2}/{base:<7.2}"));
+        }
+        println!("{:>24} {} {} {}", kind.name(), cells[0], cells[1], cells[2]);
+    }
+
+    println!("\npaper reference (real datasets):");
+    for (name, rows) in PAPER_TABLE5 {
+        let cells: Vec<String> =
+            rows.iter().map(|(o, b)| format!("{o:>7.2}/{b:<7.2}")).collect();
+        println!("{:>24} {} {} {}", name, cells[0], cells[1], cells[2]);
+    }
+}

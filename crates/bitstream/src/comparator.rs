@@ -1,0 +1,187 @@
+//! The proposed unary bit-stream comparator (paper Fig. 4).
+//!
+//! Two equal-length unary streams are compared to produce one hypervector
+//! bit: output logic-1 iff the first operand (data) is greater than or
+//! equal to the second (the Sobol scalar). The circuit is three stages of
+//! plain combinational logic — no binary magnitude comparator:
+//!
+//! 1. bitwise AND of the operands → the *minimum* stream;
+//! 2. bitwise OR of the minimum with the *inverted* second operand;
+//! 3. N-input AND reduction: all-1s ⇔ the minimum equals the second
+//!    operand ⇔ `data ≥ sobol`.
+//!
+//! [`unary_geq`] walks those exact gates; [`scalar_geq`] is the one-cycle
+//! software equivalent. Their equivalence is a tested invariant and the
+//! gate-level energy accounting lives in `uhd-hw`.
+
+use crate::error::BitstreamError;
+use crate::unary::UnaryBitstream;
+
+/// Gate-faithful evaluation of the Fig. 4 comparator: `data ≥ sobol`.
+///
+/// # Errors
+///
+/// [`BitstreamError::LengthMismatch`] if stream lengths differ.
+///
+/// # Example
+///
+/// ```
+/// use uhd_bitstream::unary::UnaryBitstream;
+/// use uhd_bitstream::comparator::unary_geq;
+/// let two = UnaryBitstream::encode(2, 7)?;
+/// let five = UnaryBitstream::encode(5, 7)?;
+/// assert!(!unary_geq(&two, &five)?);  // the worked example in Fig. 4
+/// assert!(unary_geq(&five, &two)?);
+/// assert!(unary_geq(&five, &five)?);  // >= includes equality
+/// # Ok::<(), uhd_bitstream::BitstreamError>(())
+/// ```
+pub fn unary_geq(data: &UnaryBitstream, sobol: &UnaryBitstream) -> Result<bool, BitstreamError> {
+    if data.len() != sobol.len() {
+        return Err(BitstreamError::LengthMismatch {
+            left: u64::from(data.len()),
+            right: u64::from(sobol.len()),
+        });
+    }
+    // Stage 1: AND -> minimum of the inputs.
+    let minimum: Vec<u64> =
+        data.words().iter().zip(sobol.words()).map(|(a, b)| a & b).collect();
+    // Stage 2: OR with the inverted sobol stream.
+    let sobol_inv = sobol.invert_words();
+    let ored: Vec<u64> = minimum.iter().zip(sobol_inv.iter()).map(|(m, s)| m | s).collect();
+    // Stage 3: N-input AND — logic-1 iff every in-range bit is 1.
+    let full_words = (data.len() / 64) as usize;
+    for (i, w) in ored.iter().enumerate() {
+        let expect = if i < full_words {
+            u64::MAX
+        } else {
+            let rem = data.len() % 64;
+            if rem == 0 { u64::MAX } else { (1u64 << rem) - 1 }
+        };
+        if *w != expect {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// One-cycle scalar equivalent of [`unary_geq`] used on hot paths.
+#[inline]
+#[must_use]
+pub fn scalar_geq(data_value: u32, sobol_value: u32) -> bool {
+    data_value >= sobol_value
+}
+
+/// A reusable comparator that counts how many comparisons it has served;
+/// the count feeds the energy model in `uhd-hw`.
+#[derive(Debug, Clone, Default)]
+pub struct UnaryComparator {
+    comparisons: u64,
+}
+
+impl UnaryComparator {
+    /// Create a comparator with a zeroed activity counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compare through the gate-faithful path.
+    ///
+    /// # Errors
+    ///
+    /// [`BitstreamError::LengthMismatch`] if stream lengths differ.
+    pub fn geq(
+        &mut self,
+        data: &UnaryBitstream,
+        sobol: &UnaryBitstream,
+    ) -> Result<bool, BitstreamError> {
+        self.comparisons += 1;
+        unary_geq(data, sobol)
+    }
+
+    /// Number of comparisons served since construction.
+    #[must_use]
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exhaustive_equivalence_small_lengths() {
+        for n in 1u32..=9 {
+            for a in 0..=n {
+                for b in 0..=n {
+                    let sa = UnaryBitstream::encode(a, n).unwrap();
+                    let sb = UnaryBitstream::encode(b, n).unwrap();
+                    assert_eq!(
+                        unary_geq(&sa, &sb).unwrap(),
+                        scalar_geq(a, b),
+                        "n={n} a={a} b={b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        let data = UnaryBitstream::encode(2, 7).unwrap();
+        let sobol = UnaryBitstream::encode(5, 7).unwrap();
+        assert!(!unary_geq(&data, &sobol).unwrap());
+    }
+
+    #[test]
+    fn comparator_counts_activity() {
+        let mut cmp = UnaryComparator::new();
+        let a = UnaryBitstream::encode(3, 16).unwrap();
+        let b = UnaryBitstream::encode(9, 16).unwrap();
+        for _ in 0..5 {
+            let _ = cmp.geq(&a, &b).unwrap();
+        }
+        assert_eq!(cmp.comparisons(), 5);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let a = UnaryBitstream::encode(1, 8).unwrap();
+        let b = UnaryBitstream::encode(1, 16).unwrap();
+        assert!(matches!(unary_geq(&a, &b), Err(BitstreamError::LengthMismatch { .. })));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_gate_path_equals_scalar_path(
+            n in 1u32..500,
+            fa in 0.0f64..=1.0,
+            fb in 0.0f64..=1.0,
+        ) {
+            let a = (fa * f64::from(n)) as u32;
+            let b = (fb * f64::from(n)) as u32;
+            let sa = UnaryBitstream::encode(a, n).unwrap();
+            let sb = UnaryBitstream::encode(b, n).unwrap();
+            prop_assert_eq!(unary_geq(&sa, &sb).unwrap(), a >= b);
+        }
+
+        #[test]
+        fn prop_geq_is_total_order_compatible(
+            n in 1u32..200,
+            fa in 0.0f64..=1.0,
+            fb in 0.0f64..=1.0,
+        ) {
+            let a = (fa * f64::from(n)) as u32;
+            let b = (fb * f64::from(n)) as u32;
+            let sa = UnaryBitstream::encode(a, n).unwrap();
+            let sb = UnaryBitstream::encode(b, n).unwrap();
+            let ab = unary_geq(&sa, &sb).unwrap();
+            let ba = unary_geq(&sb, &sa).unwrap();
+            // At least one direction always holds; both hold iff equal.
+            prop_assert!(ab || ba);
+            prop_assert_eq!(ab && ba, a == b);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Error types for the `uhd-bitstream` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by unary bit-stream construction and operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BitstreamError {
+    /// Tried to encode a value larger than the stream length.
+    ValueOverflow {
+        /// The value that was requested.
+        value: u64,
+        /// The stream length in bits.
+        length: u64,
+    },
+    /// A binary operation was applied to streams of different lengths.
+    LengthMismatch {
+        /// Length of the left operand.
+        left: u64,
+        /// Length of the right operand.
+        right: u64,
+    },
+    /// A stream of zero length was requested.
+    EmptyStream,
+    /// A stream-table lookup used an index beyond the table.
+    TableIndexOutOfRange {
+        /// The offending index.
+        index: u64,
+        /// Number of entries in the table.
+        entries: u64,
+    },
+    /// Raw bits passed to a constructor were not in thermometer form.
+    NotThermometer,
+}
+
+impl fmt::Display for BitstreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitstreamError::ValueOverflow { value, length } => {
+                write!(f, "value {value} does not fit in a {length}-bit unary stream")
+            }
+            BitstreamError::LengthMismatch { left, right } => {
+                write!(f, "unary stream lengths differ: {left} vs {right}")
+            }
+            BitstreamError::EmptyStream => write!(f, "unary streams must have nonzero length"),
+            BitstreamError::TableIndexOutOfRange { index, entries } => {
+                write!(f, "stream table index {index} out of range (table has {entries} entries)")
+            }
+            BitstreamError::NotThermometer => {
+                write!(f, "bit pattern is not a thermometer (unary) code")
+            }
+        }
+    }
+}
+
+impl Error for BitstreamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync_and_display() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BitstreamError>();
+        assert!(!BitstreamError::EmptyStream.to_string().is_empty());
+        assert!(BitstreamError::ValueOverflow { value: 9, length: 4 }
+            .to_string()
+            .contains("9"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Unary (thermometer) bit-stream computing substrate for uHD.
+//!
+//! Unary bit-stream computing (UBC) represents an integer value `v ≤ N` as
+//! an N-bit stream whose first `v` bits are logic-1 — e.g. with N = 7,
+//! `X1 → 0 0 0 0 0 1 1` is the value 2 and `X2 → 0 0 1 1 1 1 1` is the
+//! value 5 (paper §II). Because any two unary streams of equal length are
+//! maximally correlated, bitwise AND computes their *minimum* and bitwise
+//! OR their *maximum*, which is what makes the paper's lightweight
+//! comparator possible.
+//!
+//! This crate provides:
+//!
+//! * [`unary::UnaryBitstream`] — the packed stream type with its algebra;
+//! * [`ust::UnaryStreamTable`] — the pre-stored associative stream table
+//!   uHD fetches from instead of generating streams (paper Fig. 3(c));
+//! * [`generator::CounterComparatorGenerator`] — the conventional
+//!   counter + comparator stream generator uHD replaces (Fig. 3(b));
+//! * [`comparator`] — the proposed unary comparator (Fig. 4), in both a
+//!   gate-faithful form and a fast scalar form, proven equivalent.
+//!
+//! # Example
+//!
+//! ```
+//! use uhd_bitstream::unary::UnaryBitstream;
+//! use uhd_bitstream::comparator::unary_geq;
+//!
+//! let data = UnaryBitstream::encode(2, 7)?;
+//! let sobol = UnaryBitstream::encode(5, 7)?;
+//! // 2 >= 5 is false: the comparator outputs logic-0 (paper Fig. 4).
+//! assert!(!unary_geq(&data, &sobol)?);
+//! assert!(unary_geq(&sobol, &data)?);
+//! # Ok::<(), uhd_bitstream::BitstreamError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod comparator;
+pub mod error;
+pub mod generator;
+pub mod unary;
+pub mod ust;
+
+pub use error::BitstreamError;
+pub use unary::UnaryBitstream;
+pub use ust::UnaryStreamTable;

@@ -1,0 +1,176 @@
+//! The Unary Stream Table (UST) — pre-stored associative stream fetching
+//! (paper Fig. 3(c)).
+//!
+//! uHD works on short, fixed-length streams (N = 16 for ξ = 16 levels), so
+//! *every possible* unary stream fits in a small table. Instead of burning
+//! 2^M clock cycles in a counter + comparator per stream (Fig. 3(b)), the
+//! quantized M-bit scalar in a register or BRAM simply indexes the table
+//! and the whole stream is fetched at once. This is the first design
+//! checkpoint (➊) of the paper: fetching costs ~0.77 fJ per hypervector
+//! bit versus ~0.167 pJ for conventional generation.
+
+use crate::error::BitstreamError;
+use crate::unary::UnaryBitstream;
+
+/// An associative table holding the unary stream `U_q` for every level
+/// `q ∈ 0..ξ`.
+///
+/// Entry `q` is the N-bit thermometer stream with `q` leading 1s, where
+/// `N = ξ − 1` bits suffice to distinguish all ξ levels (a ξ-level value
+/// has 0..=ξ−1 ones). The paper stores 16-bit streams for ξ = 16; the
+/// table supports both conventions via an explicit stream length.
+///
+/// # Example
+///
+/// ```
+/// use uhd_bitstream::ust::UnaryStreamTable;
+///
+/// let ust = UnaryStreamTable::new(16, 16)?;  // xi = 16 levels, N = 16 bits
+/// assert_eq!(ust.fetch(5)?.to_string(), "0000000000011111");
+/// # Ok::<(), uhd_bitstream::BitstreamError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnaryStreamTable {
+    streams: Vec<UnaryBitstream>,
+    stream_length: u32,
+    fetches: std::cell::Cell<u64>,
+}
+
+impl UnaryStreamTable {
+    /// Build a table with `levels` entries of `stream_length`-bit streams.
+    ///
+    /// # Errors
+    ///
+    /// * [`BitstreamError::EmptyStream`] if `stream_length == 0` or
+    ///   `levels == 0`.
+    /// * [`BitstreamError::ValueOverflow`] if the largest level does not
+    ///   fit in the stream length (`levels − 1 > stream_length`).
+    pub fn new(levels: u32, stream_length: u32) -> Result<Self, BitstreamError> {
+        if levels == 0 || stream_length == 0 {
+            return Err(BitstreamError::EmptyStream);
+        }
+        if levels - 1 > stream_length {
+            return Err(BitstreamError::ValueOverflow {
+                value: u64::from(levels - 1),
+                length: u64::from(stream_length),
+            });
+        }
+        let streams = (0..levels)
+            .map(|q| UnaryBitstream::encode(q, stream_length))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(UnaryStreamTable { streams, stream_length, fetches: std::cell::Cell::new(0) })
+    }
+
+    /// Number of entries ξ.
+    #[must_use]
+    pub fn levels(&self) -> u32 {
+        self.streams.len() as u32
+    }
+
+    /// Stream length N in bits.
+    #[must_use]
+    pub fn stream_length(&self) -> u32 {
+        self.stream_length
+    }
+
+    /// Fetch the stream for level `q`.
+    ///
+    /// # Errors
+    ///
+    /// [`BitstreamError::TableIndexOutOfRange`] if `q` exceeds the table.
+    pub fn fetch(&self, q: u32) -> Result<&UnaryBitstream, BitstreamError> {
+        let s = self.streams.get(q as usize).ok_or(BitstreamError::TableIndexOutOfRange {
+            index: u64::from(q),
+            entries: u64::from(self.levels()),
+        })?;
+        self.fetches.set(self.fetches.get() + 1);
+        Ok(s)
+    }
+
+    /// How many fetches the table has served (drives the ➊ energy model).
+    #[must_use]
+    pub fn fetches(&self) -> u64 {
+        self.fetches.get()
+    }
+
+    /// Total storage the table occupies, in bits (ξ × N) — the BRAM/ROM
+    /// footprint of the design.
+    #[must_use]
+    pub fn storage_bits(&self) -> u64 {
+        u64::from(self.levels()) * u64::from(self.stream_length)
+    }
+
+    /// Iterate over `(level, stream)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &UnaryBitstream)> {
+        self.streams.iter().enumerate().map(|(q, s)| (q as u32, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_contains_every_level() {
+        let ust = UnaryStreamTable::new(16, 16).unwrap();
+        assert_eq!(ust.levels(), 16);
+        for q in 0..16 {
+            assert_eq!(ust.fetch(q).unwrap().decode(), q);
+        }
+    }
+
+    #[test]
+    fn paper_figure_example_u5() {
+        // Fig. 3(c): U5 = 0 0 0 0 0 0 1 1 1 1 1 with an 11-bit table.
+        let ust = UnaryStreamTable::new(12, 11).unwrap();
+        assert_eq!(ust.fetch(5).unwrap().to_string(), "00000011111");
+        assert_eq!(ust.fetch(5).unwrap().decode(), 5);
+    }
+
+    #[test]
+    fn out_of_range_fetch_errors() {
+        let ust = UnaryStreamTable::new(16, 16).unwrap();
+        assert!(matches!(
+            ust.fetch(16),
+            Err(BitstreamError::TableIndexOutOfRange { index: 16, entries: 16 })
+        ));
+    }
+
+    #[test]
+    fn degenerate_tables_rejected() {
+        assert!(UnaryStreamTable::new(0, 8).is_err());
+        assert!(UnaryStreamTable::new(8, 0).is_err());
+        // 17 levels cannot be told apart with 15-bit streams.
+        assert!(UnaryStreamTable::new(17, 15).is_err());
+        // ...but 16-bit streams hold 17 levels (0..=16 ones).
+        assert!(UnaryStreamTable::new(17, 16).is_ok());
+    }
+
+    #[test]
+    fn fetch_counter_increments() {
+        let ust = UnaryStreamTable::new(4, 4).unwrap();
+        assert_eq!(ust.fetches(), 0);
+        let _ = ust.fetch(1).unwrap();
+        let _ = ust.fetch(2).unwrap();
+        assert_eq!(ust.fetches(), 2);
+        // Failed fetches do not count.
+        let _ = ust.fetch(99);
+        assert_eq!(ust.fetches(), 2);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let ust = UnaryStreamTable::new(16, 16).unwrap();
+        assert_eq!(ust.storage_bits(), 256);
+    }
+
+    #[test]
+    fn fetched_streams_agree_with_generator() {
+        use crate::generator::CounterComparatorGenerator;
+        let ust = UnaryStreamTable::new(16, 16).unwrap();
+        let mut gen = CounterComparatorGenerator::new(4);
+        for q in 0..16 {
+            assert_eq!(ust.fetch(q).unwrap(), &gen.generate(q).unwrap(), "level {q}");
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! Bundling accumulators: the software mirror of the paper's popcount
+//! stage (Fig. 5).
+//!
+//! Bundling in HDC sums bipolar hypervectors element-wise. The hardware
+//! does this with a per-dimension popcounter built from D flip-flops; the
+//! software equivalents here are:
+//!
+//! * [`DenseAccumulator`] — a plain `i64`-per-dimension reference
+//!   implementation;
+//! * [`BitSliceAccumulator`] — a carry-save, bit-sliced counter array that
+//!   adds one packed 64-dimension mask word with O(1) amortized word
+//!   operations. This is both the fast path for training and a faithful
+//!   software model of the ripple behaviour of the hardware counter.
+//!
+//! Both accumulate *counts of logic-1* per dimension; the bipolar sum is
+//! recovered as `2·count − total`, and binarization (`sign`) outputs +1
+//! exactly when `count ≥ ⌈total/2⌉` — the paper's threshold-of-
+//! binarization TOB = H/2.
+
+use crate::error::HdcError;
+use crate::hypervector::{words_for_dim, Hypervector};
+
+/// Reference accumulator: one saturating-free `i64` counter per dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseAccumulator {
+    counts: Vec<i64>,
+    dim: u32,
+    total: u64,
+}
+
+impl DenseAccumulator {
+    /// Create a zeroed accumulator of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn new(dim: u32) -> Self {
+        assert!(dim > 0, "accumulator dimension must be nonzero");
+        DenseAccumulator { counts: vec![0; dim as usize], dim, total: 0 }
+    }
+
+    /// Dimension D.
+    #[must_use]
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Number of masks added so far.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Add one packed mask (bit = 1 increments that dimension's counter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != words_for_dim(dim)`.
+    pub fn add_mask(&mut self, words: &[u64]) {
+        assert_eq!(words.len(), words_for_dim(self.dim), "mask word count mismatch");
+        for i in 0..self.dim {
+            if (words[(i / 64) as usize] >> (i % 64)) & 1 == 1 {
+                self.counts[i as usize] += 1;
+            }
+        }
+        self.total += 1;
+    }
+
+    /// Add a hypervector's +1 pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`HdcError::DimensionMismatch`] if dimensions differ.
+    pub fn add_hypervector(&mut self, hv: &Hypervector) -> Result<(), HdcError> {
+        if hv.dim() != self.dim {
+            return Err(HdcError::DimensionMismatch { left: self.dim, right: hv.dim() });
+        }
+        self.add_mask(hv.words());
+        Ok(())
+    }
+
+    /// Per-dimension counts of 1s.
+    #[must_use]
+    pub fn counts(&self) -> &[i64] {
+        &self.counts
+    }
+
+    /// Per-dimension bipolar sums `2·count − total`.
+    #[must_use]
+    pub fn bipolar_sums(&self) -> Vec<i64> {
+        self.counts.iter().map(|&c| 2 * c - self.total as i64).collect()
+    }
+
+    /// Binarize: +1 where the bipolar sum is ≥ 0 (count ≥ total/2).
+    #[must_use]
+    pub fn binarize(&self) -> Hypervector {
+        let mut hv = Hypervector::neg_ones(self.dim);
+        for i in 0..self.dim {
+            if 2 * self.counts[i as usize] >= self.total as i64 {
+                hv.set_bit(i, true);
+            }
+        }
+        hv
+    }
+}
+
+/// Carry-save bit-sliced accumulator.
+///
+/// Maintains K bit planes per 64-dimension word column; plane `k` holds
+/// bit `k` of each dimension's count. Adding a mask is a ripple-carry
+/// increment restricted to dimensions where the mask is 1 — on average it
+/// touches ~2 planes, independent of K, so adding one image's H masks
+/// costs `O(H · D/64)` word operations.
+///
+/// # Example
+///
+/// ```
+/// use uhd_core::accumulator::BitSliceAccumulator;
+///
+/// let mut acc = BitSliceAccumulator::new(128);
+/// acc.add_mask(&[u64::MAX, 0]);      // dims 0..64 see a 1
+/// acc.add_mask(&[u64::MAX, 0]);
+/// acc.add_mask(&[0, u64::MAX]);      // dims 64..128 see a 1
+/// let counts = acc.counts();
+/// assert_eq!(counts[0], 2);
+/// assert_eq!(counts[64], 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitSliceAccumulator {
+    /// planes[k] is the k-th bit plane, one `Vec<u64>` over word columns.
+    planes: Vec<Vec<u64>>,
+    dim: u32,
+    total: u64,
+}
+
+impl BitSliceAccumulator {
+    /// Create a zeroed accumulator of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn new(dim: u32) -> Self {
+        assert!(dim > 0, "accumulator dimension must be nonzero");
+        BitSliceAccumulator { planes: vec![vec![0u64; words_for_dim(dim)]], dim, total: 0 }
+    }
+
+    /// Dimension D.
+    #[must_use]
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Number of masks added so far.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Current counter width in planes (grows on demand).
+    #[must_use]
+    pub fn planes(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// Add one packed mask: every dimension whose mask bit is 1 is
+    /// incremented.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != words_for_dim(dim)`.
+    pub fn add_mask(&mut self, words: &[u64]) {
+        let wc = words_for_dim(self.dim);
+        assert_eq!(words.len(), wc, "mask word count mismatch");
+        for col in 0..wc {
+            let mut carry = words[col];
+            let mut k = 0;
+            while carry != 0 {
+                if k == self.planes.len() {
+                    self.planes.push(vec![0u64; wc]);
+                }
+                let plane = &mut self.planes[k][col];
+                let t = *plane & carry;
+                *plane ^= carry;
+                carry = t;
+                k += 1;
+            }
+        }
+        self.total += 1;
+    }
+
+    /// Merge another accumulator's counts into this one.
+    ///
+    /// # Errors
+    ///
+    /// [`HdcError::DimensionMismatch`] if dimensions differ.
+    pub fn merge(&mut self, other: &BitSliceAccumulator) -> Result<(), HdcError> {
+        if other.dim != self.dim {
+            return Err(HdcError::DimensionMismatch { left: self.dim, right: other.dim });
+        }
+        // Ripple-add every plane of `other` at its weight.
+        let wc = words_for_dim(self.dim);
+        for (weight, plane) in other.planes.iter().enumerate() {
+            for col in 0..wc {
+                let mut carry = plane[col];
+                let mut k = weight;
+                while carry != 0 {
+                    while self.planes.len() <= k {
+                        self.planes.push(vec![0u64; wc]);
+                    }
+                    let p = &mut self.planes[k][col];
+                    let t = *p & carry;
+                    *p ^= carry;
+                    carry = t;
+                    k += 1;
+                }
+            }
+        }
+        self.total += other.total;
+        Ok(())
+    }
+
+    /// Extract the per-dimension counts.
+    #[must_use]
+    pub fn counts(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.dim as usize];
+        for (k, plane) in self.planes.iter().enumerate() {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let bit = (plane[i / 64] >> (i % 64)) & 1;
+                *slot |= bit << k;
+            }
+        }
+        out
+    }
+
+    /// Binarize against an explicit total: +1 where `2·count ≥ total`.
+    ///
+    /// This is the paper's masking-logic decision with TOB = total/2;
+    /// using an explicit argument lets callers binarize a class
+    /// accumulator against `H × images` while reusing the same machinery
+    /// per image with `H`.
+    #[must_use]
+    pub fn binarize_with_total(&self, total: u64) -> Hypervector {
+        let counts = self.counts();
+        let mut hv = Hypervector::neg_ones(self.dim);
+        for (i, &c) in counts.iter().enumerate() {
+            if 2 * c >= total {
+                hv.set_bit(i as u32, true);
+            }
+        }
+        hv
+    }
+
+    /// Binarize against the number of masks actually added.
+    #[must_use]
+    pub fn binarize(&self) -> Hypervector {
+        self.binarize_with_total(self.total)
+    }
+
+    /// Per-dimension bipolar sums `2·count − total`.
+    #[must_use]
+    pub fn bipolar_sums(&self) -> Vec<i64> {
+        self.counts().iter().map(|&c| 2 * c as i64 - self.total as i64).collect()
+    }
+
+    /// Reset to the zero state, keeping the allocated planes.
+    pub fn clear(&mut self) {
+        for plane in &mut self.planes {
+            for w in plane.iter_mut() {
+                *w = 0;
+            }
+        }
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use uhd_lowdisc::rng::Xoshiro256StarStar;
+
+    fn random_mask(rng: &mut Xoshiro256StarStar, words: usize, dim: u32) -> Vec<u64> {
+        let mut m: Vec<u64> = (0..words).map(|_| rng.next_u64()).collect();
+        let rem = dim % 64;
+        if rem != 0 {
+            let last = m.last_mut().unwrap();
+            *last &= (1u64 << rem) - 1;
+        }
+        m
+    }
+
+    #[test]
+    fn bit_slice_matches_dense_on_random_masks() {
+        let dim = 200u32;
+        let words = words_for_dim(dim);
+        let mut rng = Xoshiro256StarStar::seeded(42);
+        let mut dense = DenseAccumulator::new(dim);
+        let mut sliced = BitSliceAccumulator::new(dim);
+        for _ in 0..500 {
+            let m = random_mask(&mut rng, words, dim);
+            dense.add_mask(&m);
+            sliced.add_mask(&m);
+        }
+        let dc: Vec<u64> = dense.counts().iter().map(|&c| c as u64).collect();
+        assert_eq!(sliced.counts(), dc);
+        assert_eq!(sliced.binarize(), dense.binarize());
+        assert_eq!(sliced.bipolar_sums(), dense.bipolar_sums());
+    }
+
+    #[test]
+    fn plane_growth_is_logarithmic() {
+        let mut acc = BitSliceAccumulator::new(64);
+        let m = vec![u64::MAX];
+        for _ in 0..1000 {
+            acc.add_mask(&m);
+        }
+        assert_eq!(acc.counts(), vec![1000u64; 64]);
+        assert!(acc.planes() <= 11, "planes = {}", acc.planes());
+    }
+
+    #[test]
+    fn binarize_ties_go_positive() {
+        // With total = 2 and count = 1 (2*1 >= 2), the sign is +1 —
+        // exactly the TOB = H/2 "threshold reached" rule of Fig. 5.
+        let mut acc = BitSliceAccumulator::new(64);
+        acc.add_mask(&[u64::MAX]);
+        acc.add_mask(&[0]);
+        let hv = acc.binarize();
+        assert_eq!(hv.count_plus_ones(), 64);
+    }
+
+    #[test]
+    fn merge_equals_sequential_addition() {
+        let dim = 130u32;
+        let words = words_for_dim(dim);
+        let mut rng = Xoshiro256StarStar::seeded(7);
+        let masks: Vec<Vec<u64>> =
+            (0..60).map(|_| random_mask(&mut rng, words, dim)).collect();
+        let mut whole = BitSliceAccumulator::new(dim);
+        for m in &masks {
+            whole.add_mask(m);
+        }
+        let mut left = BitSliceAccumulator::new(dim);
+        let mut right = BitSliceAccumulator::new(dim);
+        for (i, m) in masks.iter().enumerate() {
+            if i % 2 == 0 {
+                left.add_mask(m);
+            } else {
+                right.add_mask(m);
+            }
+        }
+        left.merge(&right).unwrap();
+        assert_eq!(left.counts(), whole.counts());
+        assert_eq!(left.total(), whole.total());
+    }
+
+    #[test]
+    fn merge_into_shallower_accumulator() {
+        // Regression: merging an accumulator with more planes than the
+        // receiver used to index out of bounds.
+        let mut shallow = BitSliceAccumulator::new(64);
+        let mut deep = BitSliceAccumulator::new(64);
+        let m = vec![u64::MAX];
+        shallow.add_mask(&m); // 1 plane
+        for _ in 0..5000 {
+            deep.add_mask(&m); // 13 planes
+        }
+        shallow.merge(&deep).unwrap();
+        assert_eq!(shallow.counts(), vec![5001u64; 64]);
+        // And the symmetric direction.
+        let mut deep2 = BitSliceAccumulator::new(64);
+        for _ in 0..5000 {
+            deep2.add_mask(&m);
+        }
+        let mut one = BitSliceAccumulator::new(64);
+        one.add_mask(&m);
+        deep2.merge(&one).unwrap();
+        assert_eq!(deep2.counts(), vec![5001u64; 64]);
+    }
+
+    #[test]
+    fn merge_dimension_mismatch_errors() {
+        let mut a = BitSliceAccumulator::new(64);
+        let b = BitSliceAccumulator::new(65);
+        assert!(matches!(a.merge(&b), Err(HdcError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn clear_resets_counts() {
+        let mut acc = BitSliceAccumulator::new(64);
+        acc.add_mask(&[u64::MAX]);
+        acc.clear();
+        assert_eq!(acc.total(), 0);
+        assert_eq!(acc.counts(), vec![0u64; 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask word count mismatch")]
+    fn wrong_mask_width_panics() {
+        let mut acc = BitSliceAccumulator::new(64);
+        acc.add_mask(&[0, 0]);
+    }
+
+    #[test]
+    fn dense_add_hypervector_counts_plus_ones() {
+        let mut rng = Xoshiro256StarStar::seeded(9);
+        let hv = Hypervector::random(100, &mut rng);
+        let mut acc = DenseAccumulator::new(100);
+        acc.add_hypervector(&hv).unwrap();
+        let ones: i64 = acc.counts().iter().sum();
+        assert_eq!(ones, i64::from(hv.count_plus_ones()));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_bit_slice_equals_dense(
+            dim in 1u32..300,
+            seed in any::<u64>(),
+            n_masks in 1usize..120,
+        ) {
+            let words = words_for_dim(dim);
+            let mut rng = Xoshiro256StarStar::seeded(seed);
+            let mut dense = DenseAccumulator::new(dim);
+            let mut sliced = BitSliceAccumulator::new(dim);
+            for _ in 0..n_masks {
+                let m = random_mask(&mut rng, words, dim);
+                dense.add_mask(&m);
+                sliced.add_mask(&m);
+            }
+            let dc: Vec<u64> = dense.counts().iter().map(|&c| c as u64).collect();
+            prop_assert_eq!(sliced.counts(), dc);
+            prop_assert_eq!(sliced.binarize(), dense.binarize());
+        }
+    }
+}

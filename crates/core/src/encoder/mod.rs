@@ -1,0 +1,107 @@
+//! Image-to-hypervector encoders: the baseline HDC pipeline and the
+//! proposed uHD pipeline.
+//!
+//! Both encoders turn an H-pixel grayscale image into D-dimensional
+//! hypervector *contributions* and bundle them with a popcount
+//! accumulator:
+//!
+//! * [`baseline::BaselineEncoder`] — position hypervectors `P` bound
+//!   (XOR/XNOR) with level hypervectors `L`, both pseudo-random
+//!   (paper Fig. 1);
+//! * [`uhd::UhdEncoder`] — per-pixel Sobol sequences compared against the
+//!   pixel intensity; the Sobol *index* replaces the position hypervector
+//!   and the binding multiplication disappears (paper Fig. 2).
+//!
+//! The [`ImageEncoder`] trait is what training, inference, examples and
+//! benches program against; [`EncoderProfile`] exposes the per-image
+//! operation counts that drive the embedded-platform cost model
+//! (paper Table I).
+
+pub mod baseline;
+pub mod level;
+pub mod uhd;
+
+use crate::accumulator::BitSliceAccumulator;
+use crate::error::HdcError;
+use crate::hypervector::Hypervector;
+
+/// Per-image operation and memory profile of an encoder.
+///
+/// These are *structural* counts (how many comparisons, bindings and
+/// accumulations one image costs), not wall-clock measurements; the
+/// `uhd-hw` crate maps them to ARM cycles and bytes for Table I/III.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncoderProfile {
+    /// Human-readable encoder name.
+    pub name: &'static str,
+    /// Pixels (features) per image, H.
+    pub pixels: usize,
+    /// Hypervector dimension D.
+    pub dim: u32,
+    /// Scalar comparisons per image (hypervector-bit generation).
+    pub comparisons_per_image: u64,
+    /// Binding (element-wise multiply / XOR) bit-operations per image.
+    pub bind_bitops_per_image: u64,
+    /// Bundling accumulator increments per image.
+    pub accumulate_ops_per_image: u64,
+    /// Random numbers drawn to (re)generate the hypervector tables for
+    /// one training iteration. Zero for deterministic (uHD) encoders.
+    pub rng_draws_per_iteration: u64,
+    /// Persistent table storage in bytes (P/L tables or quantized Sobol).
+    pub table_bytes: u64,
+    /// Per-image working memory in bytes (accumulators, scratch).
+    pub working_bytes: u64,
+}
+
+/// An encoder from H-pixel grayscale images to D-dimensional
+/// hypervectors.
+pub trait ImageEncoder: Send + Sync {
+    /// Hypervector dimension D.
+    fn dim(&self) -> u32;
+
+    /// Pixels (features) H expected per image.
+    fn pixels(&self) -> usize;
+
+    /// Add the H per-pixel hypervector masks of `image` into `acc`.
+    ///
+    /// Each mask bit is 1 where that pixel's level hypervector element is
+    /// +1; adding all H masks realizes the paper's bundling sum
+    /// `Σᵢ Lᵢ` (uHD) or `Σᵢ Pᵢ ⊕ Lᵢ` (baseline).
+    ///
+    /// # Errors
+    ///
+    /// * [`HdcError::ImageSizeMismatch`] if `image.len() != pixels()`.
+    /// * [`HdcError::DimensionMismatch`] if `acc` has the wrong dimension.
+    fn accumulate(&self, image: &[u8], acc: &mut BitSliceAccumulator) -> Result<(), HdcError>;
+
+    /// Encode one image to a binarized hypervector (sign at TOB = H/2,
+    /// the concurrent binarization of paper Fig. 5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`ImageEncoder::accumulate`].
+    fn encode(&self, image: &[u8]) -> Result<Hypervector, HdcError> {
+        let mut acc = BitSliceAccumulator::new(self.dim());
+        self.accumulate(image, &mut acc)?;
+        Ok(acc.binarize_with_total(self.pixels() as u64))
+    }
+
+    /// The per-image operation/memory profile for the embedded cost model.
+    fn profile(&self) -> EncoderProfile;
+}
+
+/// Validate an image length against an encoder's pixel count.
+pub(crate) fn check_image(pixels: usize, image: &[u8]) -> Result<(), HdcError> {
+    if image.len() != pixels {
+        return Err(HdcError::ImageSizeMismatch { expected: pixels, got: image.len() });
+    }
+    Ok(())
+}
+
+/// Validate an accumulator dimension against an encoder's dimension.
+pub(crate) fn check_acc(dim: u32, acc: &BitSliceAccumulator) -> Result<(), HdcError> {
+    if acc.dim() != dim {
+        return Err(HdcError::DimensionMismatch { left: dim, right: acc.dim() });
+    }
+    Ok(())
+}

@@ -1,0 +1,115 @@
+//! Error types for the `uhd-core` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by hypervector algebra, encoders and models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HdcError {
+    /// A hypervector with zero dimensions was requested.
+    DimensionZero,
+    /// Two hypervectors of different dimensions were combined.
+    DimensionMismatch {
+        /// Dimension of the left operand.
+        left: u32,
+        /// Dimension of the right operand.
+        right: u32,
+    },
+    /// Raw words passed to a constructor have the wrong length.
+    WordCountMismatch {
+        /// Words required for the stated dimension.
+        expected: usize,
+        /// Words actually supplied.
+        got: usize,
+    },
+    /// An image of the wrong pixel count was passed to an encoder.
+    ImageSizeMismatch {
+        /// Pixels the encoder was built for.
+        expected: usize,
+        /// Pixels in the offending image.
+        got: usize,
+    },
+    /// Training was attempted with no samples, or with a label outside
+    /// the configured class count.
+    InvalidTrainingData {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A model was asked to classify before any training happened.
+    ModelUntrained,
+    /// Configuration rejected (e.g. zero classes, zero dimension).
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A substrate error bubbled up from the low-discrepancy layer.
+    LowDisc(uhd_lowdisc::LowDiscError),
+    /// A substrate error bubbled up from the unary bit-stream layer.
+    Bitstream(uhd_bitstream::BitstreamError),
+}
+
+impl fmt::Display for HdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdcError::DimensionZero => write!(f, "hypervector dimension must be nonzero"),
+            HdcError::DimensionMismatch { left, right } => {
+                write!(f, "hypervector dimensions differ: {left} vs {right}")
+            }
+            HdcError::WordCountMismatch { expected, got } => {
+                write!(f, "expected {expected} packed words, got {got}")
+            }
+            HdcError::ImageSizeMismatch { expected, got } => {
+                write!(f, "encoder expects {expected} pixels, image has {got}")
+            }
+            HdcError::InvalidTrainingData { reason } => {
+                write!(f, "invalid training data: {reason}")
+            }
+            HdcError::ModelUntrained => write!(f, "model has no trained class hypervectors"),
+            HdcError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            HdcError::LowDisc(e) => write!(f, "low-discrepancy substrate: {e}"),
+            HdcError::Bitstream(e) => write!(f, "bit-stream substrate: {e}"),
+        }
+    }
+}
+
+impl Error for HdcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HdcError::LowDisc(e) => Some(e),
+            HdcError::Bitstream(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<uhd_lowdisc::LowDiscError> for HdcError {
+    fn from(e: uhd_lowdisc::LowDiscError) -> Self {
+        HdcError::LowDisc(e)
+    }
+}
+
+impl From<uhd_bitstream::BitstreamError> for HdcError {
+    fn from(e: uhd_bitstream::BitstreamError) -> Self {
+        HdcError::Bitstream(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = HdcError::from(uhd_lowdisc::LowDiscError::EmptyRequest);
+        assert!(e.to_string().contains("low-discrepancy"));
+        assert!(e.source().is_some());
+        assert!(HdcError::ModelUntrained.source().is_none());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HdcError>();
+    }
+}

@@ -1,0 +1,613 @@
+//! Class-hypervector training and inference.
+//!
+//! Training in HDC is a single pass: every labelled image's hypervector
+//! contributions are bundled into its class accumulator, and once all
+//! samples are seen each class accumulator is binarized by sign into a
+//! class hypervector (paper §II: "This operation is performed only once,
+//! different from the conventional learning systems having iterative
+//! forward passes"). Inference encodes the query the same way and picks
+//! the class with the highest cosine similarity.
+
+use crate::accumulator::BitSliceAccumulator;
+use crate::encoder::ImageEncoder;
+use crate::error::HdcError;
+use crate::hypervector::Hypervector;
+use crate::similarity::{classify, cosine_int};
+
+/// How a query is compared against the trained classes.
+///
+/// The paper's *hardware* produces sign-binarized vectors (the masking-
+/// logic binarizer of Fig. 5), but it also notes the accumulated class
+/// values are "large scalars (non-quantized class hypervector)" and its
+/// reference software pipeline (Moghadam et al., ESL 2023) measures
+/// cosine similarity on the accumulated (integer) vectors. Dark, sparse
+/// images make the difference material: majority-binarizing a query at
+/// TOB = H/2 collapses most dimensions to −1, so the accuracy studies use
+/// the integer modes while the hardware benches exercise the binarized
+/// path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InferenceMode {
+    /// Query binarized at TOB = H/2 and compared against binarized class
+    /// hypervectors — the paper's Fig. 5 hardware datapath.
+    BinarizedQuery,
+    /// Integer (non-binarized) query against binarized class
+    /// hypervectors — QuantHD-style model quantization.
+    IntegerQuery,
+    /// Integer query against integer class sums — the classic HDC
+    /// similarity used for the accuracy tables.
+    #[default]
+    IntegerBoth,
+}
+
+/// A trained HDC classifier: one binarized class hypervector per class,
+/// plus the integer accumulator sums needed for retraining.
+#[derive(Debug, Clone)]
+pub struct HdcModel {
+    class_hvs: Vec<Hypervector>,
+    /// Per-class bipolar accumulator sums (kept for retraining).
+    class_sums: Vec<Vec<i64>>,
+    dim: u32,
+}
+
+/// A labelled dataset view: images plus class labels.
+#[derive(Debug, Clone, Copy)]
+pub struct LabelledImages<'a> {
+    /// Image pixel buffers, one `&[u8]` per image.
+    pub images: &'a [Vec<u8>],
+    /// Class label per image, in `0..classes`.
+    pub labels: &'a [usize],
+}
+
+impl<'a> LabelledImages<'a> {
+    /// Bundle images and labels, checking the obvious invariants.
+    ///
+    /// # Errors
+    ///
+    /// [`HdcError::InvalidTrainingData`] when the two slices disagree in
+    /// length or are empty.
+    pub fn new(images: &'a [Vec<u8>], labels: &'a [usize]) -> Result<Self, HdcError> {
+        if images.is_empty() {
+            return Err(HdcError::InvalidTrainingData { reason: "no images".into() });
+        }
+        if images.len() != labels.len() {
+            return Err(HdcError::InvalidTrainingData {
+                reason: format!("{} images but {} labels", images.len(), labels.len()),
+            });
+        }
+        Ok(LabelledImages { images, labels })
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the set is empty (never true once constructed).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+}
+
+impl HdcModel {
+    /// Single-pass training.
+    ///
+    /// All hypervector contributions of all images of a class are bundled
+    /// into one accumulator which is then binarized with
+    /// TOB = (H × images-in-class) / 2.
+    ///
+    /// # Errors
+    ///
+    /// * [`HdcError::InvalidTrainingData`] for empty data, label ≥
+    ///   `classes`, or classes with no samples.
+    /// * Encoder errors for malformed images.
+    pub fn train<E: ImageEncoder + ?Sized>(
+        encoder: &E,
+        data: LabelledImages<'_>,
+        classes: usize,
+    ) -> Result<Self, HdcError> {
+        if classes == 0 {
+            return Err(HdcError::InvalidConfig { reason: "need at least one class".into() });
+        }
+        let mut accs: Vec<BitSliceAccumulator> =
+            (0..classes).map(|_| BitSliceAccumulator::new(encoder.dim())).collect();
+        for (image, &label) in data.images.iter().zip(data.labels.iter()) {
+            if label >= classes {
+                return Err(HdcError::InvalidTrainingData {
+                    reason: format!("label {label} out of range for {classes} classes"),
+                });
+            }
+            encoder.accumulate(image, &mut accs[label])?;
+        }
+        Self::from_accumulators(accs, encoder.dim())
+    }
+
+    /// Multi-threaded single-pass training (bit-identical to
+    /// [`HdcModel::train`] because bundling is commutative).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HdcModel::train`].
+    pub fn train_parallel<E: ImageEncoder + ?Sized>(
+        encoder: &E,
+        data: LabelledImages<'_>,
+        classes: usize,
+        threads: usize,
+    ) -> Result<Self, HdcError> {
+        if classes == 0 {
+            return Err(HdcError::InvalidConfig { reason: "need at least one class".into() });
+        }
+        let threads = threads.max(1).min(data.len());
+        if threads == 1 {
+            return Self::train(encoder, data, classes);
+        }
+        for &label in data.labels {
+            if label >= classes {
+                return Err(HdcError::InvalidTrainingData {
+                    reason: format!("label {label} out of range for {classes} classes"),
+                });
+            }
+        }
+        let chunk = data.len().div_ceil(threads);
+        let results: Vec<Result<Vec<BitSliceAccumulator>, HdcError>> =
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for t in 0..threads {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(data.len());
+                    if lo >= hi {
+                        continue;
+                    }
+                    let images = &data.images[lo..hi];
+                    let labels = &data.labels[lo..hi];
+                    handles.push(scope.spawn(move |_| {
+                        let mut accs: Vec<BitSliceAccumulator> = (0..classes)
+                            .map(|_| BitSliceAccumulator::new(encoder.dim()))
+                            .collect();
+                        for (image, &label) in images.iter().zip(labels.iter()) {
+                            encoder.accumulate(image, &mut accs[label])?;
+                        }
+                        Ok(accs)
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().expect("training thread panicked")).collect()
+            })
+            .expect("training scope panicked");
+
+        let mut merged: Vec<BitSliceAccumulator> =
+            (0..classes).map(|_| BitSliceAccumulator::new(encoder.dim())).collect();
+        for r in results {
+            let accs = r?;
+            for (m, a) in merged.iter_mut().zip(accs.iter()) {
+                m.merge(a)?;
+            }
+        }
+        Self::from_accumulators(merged, encoder.dim())
+    }
+
+    fn from_accumulators(
+        accs: Vec<BitSliceAccumulator>,
+        dim: u32,
+    ) -> Result<Self, HdcError> {
+        let mut class_hvs = Vec::with_capacity(accs.len());
+        let mut class_sums = Vec::with_capacity(accs.len());
+        for (c, acc) in accs.iter().enumerate() {
+            if acc.total() == 0 {
+                return Err(HdcError::InvalidTrainingData {
+                    reason: format!("class {c} has no training samples"),
+                });
+            }
+            class_hvs.push(acc.binarize());
+            class_sums.push(acc.bipolar_sums());
+        }
+        Ok(HdcModel { class_hvs, class_sums, dim })
+    }
+
+    /// Build a model directly from per-class bipolar sums (used by the
+    /// retraining extension).
+    ///
+    /// # Errors
+    ///
+    /// [`HdcError::InvalidTrainingData`] for empty input or ragged sums.
+    pub fn from_class_sums(class_sums: Vec<Vec<i64>>, dim: u32) -> Result<Self, HdcError> {
+        if class_sums.is_empty() {
+            return Err(HdcError::InvalidTrainingData { reason: "no classes".into() });
+        }
+        let mut class_hvs = Vec::with_capacity(class_sums.len());
+        for sums in &class_sums {
+            if sums.len() != dim as usize {
+                return Err(HdcError::InvalidTrainingData {
+                    reason: format!("class sum length {} != dim {dim}", sums.len()),
+                });
+            }
+            let mut hv = Hypervector::neg_ones(dim);
+            for (i, &s) in sums.iter().enumerate() {
+                if s >= 0 {
+                    hv.set_bit(i as u32, true);
+                }
+            }
+            class_hvs.push(hv);
+        }
+        Ok(HdcModel { class_hvs, class_sums, dim })
+    }
+
+    /// Hypervector dimension D.
+    #[must_use]
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Number of classes q.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.class_hvs.len()
+    }
+
+    /// The binarized class hypervectors `C_1..C_q`.
+    #[must_use]
+    pub fn class_hypervectors(&self) -> &[Hypervector] {
+        &self.class_hvs
+    }
+
+    /// The integer (non-binarized) class accumulator sums.
+    #[must_use]
+    pub fn class_sums(&self) -> &[Vec<i64>] {
+        &self.class_sums
+    }
+
+    /// Classify one image with the default [`InferenceMode::IntegerBoth`]:
+    /// encode, then cosine-similarity argmax.
+    ///
+    /// # Errors
+    ///
+    /// Encoder errors for malformed images.
+    pub fn classify<E: ImageEncoder + ?Sized>(
+        &self,
+        encoder: &E,
+        image: &[u8],
+    ) -> Result<(usize, f64), HdcError> {
+        self.classify_with(encoder, image, InferenceMode::default())
+    }
+
+    /// Classify one image under an explicit [`InferenceMode`].
+    ///
+    /// # Errors
+    ///
+    /// Encoder errors for malformed images.
+    pub fn classify_with<E: ImageEncoder + ?Sized>(
+        &self,
+        encoder: &E,
+        image: &[u8],
+        mode: InferenceMode,
+    ) -> Result<(usize, f64), HdcError> {
+        match mode {
+            InferenceMode::BinarizedQuery => {
+                let query = encoder.encode(image)?;
+                classify(&query, &self.class_hvs)
+            }
+            InferenceMode::IntegerQuery | InferenceMode::IntegerBoth => {
+                let mut acc = BitSliceAccumulator::new(encoder.dim());
+                encoder.accumulate(image, &mut acc)?;
+                let query = acc.bipolar_sums();
+                let mut best = (0usize, f64::NEG_INFINITY);
+                for c in 0..self.classes() {
+                    let score = match mode {
+                        InferenceMode::IntegerQuery => {
+                            let class_bipolar: Vec<i64> = (0..self.dim)
+                                .map(|i| if self.class_hvs[c].bit(i) { 1 } else { -1 })
+                                .collect();
+                            cosine_int(&query, &class_bipolar)?
+                        }
+                        _ => cosine_int(&query, &self.class_sums[c])?,
+                    };
+                    if score > best.1 {
+                        best = (c, score);
+                    }
+                }
+                Ok(best)
+            }
+        }
+    }
+
+    /// Classify an already encoded hypervector.
+    ///
+    /// # Errors
+    ///
+    /// [`HdcError::DimensionMismatch`] for wrong query dimension.
+    pub fn classify_encoded(&self, query: &Hypervector) -> Result<(usize, f64), HdcError> {
+        classify(query, &self.class_hvs)
+    }
+
+    /// Accuracy over a labelled test set (single thread, default mode).
+    ///
+    /// # Errors
+    ///
+    /// Encoder errors for malformed images.
+    pub fn evaluate<E: ImageEncoder + ?Sized>(
+        &self,
+        encoder: &E,
+        data: LabelledImages<'_>,
+    ) -> Result<f64, HdcError> {
+        self.evaluate_with(encoder, data, InferenceMode::default())
+    }
+
+    /// Accuracy over a labelled test set under an explicit mode.
+    ///
+    /// # Errors
+    ///
+    /// Encoder errors for malformed images.
+    pub fn evaluate_with<E: ImageEncoder + ?Sized>(
+        &self,
+        encoder: &E,
+        data: LabelledImages<'_>,
+        mode: InferenceMode,
+    ) -> Result<f64, HdcError> {
+        let mut correct = 0usize;
+        for (image, &label) in data.images.iter().zip(data.labels.iter()) {
+            if self.classify_with(encoder, image, mode)?.0 == label {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / data.len() as f64)
+    }
+
+    /// Accuracy over a labelled test set using `threads` workers
+    /// (default mode).
+    ///
+    /// # Errors
+    ///
+    /// Encoder errors for malformed images.
+    pub fn evaluate_parallel<E: ImageEncoder + ?Sized>(
+        &self,
+        encoder: &E,
+        data: LabelledImages<'_>,
+        threads: usize,
+    ) -> Result<f64, HdcError> {
+        self.evaluate_parallel_with(encoder, data, threads, InferenceMode::default())
+    }
+
+    /// Accuracy over a labelled test set using `threads` workers under an
+    /// explicit mode.
+    ///
+    /// # Errors
+    ///
+    /// Encoder errors for malformed images.
+    pub fn evaluate_parallel_with<E: ImageEncoder + ?Sized>(
+        &self,
+        encoder: &E,
+        data: LabelledImages<'_>,
+        threads: usize,
+        mode: InferenceMode,
+    ) -> Result<f64, HdcError> {
+        let threads = threads.max(1).min(data.len());
+        if threads == 1 {
+            return self.evaluate_with(encoder, data, mode);
+        }
+        let chunk = data.len().div_ceil(threads);
+        let counts: Vec<Result<usize, HdcError>> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(data.len());
+                if lo >= hi {
+                    continue;
+                }
+                let images = &data.images[lo..hi];
+                let labels = &data.labels[lo..hi];
+                let model = &*self;
+                handles.push(scope.spawn(move |_| {
+                    let mut correct = 0usize;
+                    for (image, &label) in images.iter().zip(labels.iter()) {
+                        if model.classify_with(encoder, image, mode)?.0 == label {
+                            correct += 1;
+                        }
+                    }
+                    Ok(correct)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("eval thread panicked")).collect()
+        })
+        .expect("eval scope panicked");
+        let mut correct = 0usize;
+        for c in counts {
+            correct += c?;
+        }
+        Ok(correct as f64 / data.len() as f64)
+    }
+
+    /// Serialize the model to a deterministic, platform-independent byte
+    /// stream (dimension, class count, packed class hypervectors and
+    /// integer sums, all little-endian).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"UHDM");
+        out.extend_from_slice(&1u32.to_le_bytes()); // format version
+        out.extend_from_slice(&self.dim.to_le_bytes());
+        out.extend_from_slice(&(self.class_hvs.len() as u32).to_le_bytes());
+        for hv in &self.class_hvs {
+            for w in hv.words() {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        for sums in &self.class_sums {
+            for s in sums {
+                out.extend_from_slice(&s.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserialize a model produced by [`HdcModel::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`HdcError::InvalidConfig`] for malformed or truncated input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, HdcError> {
+        let bad = |reason: &str| HdcError::InvalidConfig { reason: reason.into() };
+        if bytes.len() < 16 || &bytes[0..4] != b"UHDM" {
+            return Err(bad("missing UHDM header"));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("sliced"));
+        if version != 1 {
+            return Err(bad("unsupported model version"));
+        }
+        let dim = u32::from_le_bytes(bytes[8..12].try_into().expect("sliced"));
+        let classes = u32::from_le_bytes(bytes[12..16].try_into().expect("sliced")) as usize;
+        if dim == 0 || classes == 0 {
+            return Err(bad("degenerate model header"));
+        }
+        let wc = crate::hypervector::words_for_dim(dim);
+        let hv_bytes = wc * 8 * classes;
+        let sum_bytes = dim as usize * 8 * classes;
+        if bytes.len() != 16 + hv_bytes + sum_bytes {
+            return Err(bad("truncated model payload"));
+        }
+        let mut offset = 16;
+        let mut class_hvs = Vec::with_capacity(classes);
+        for _ in 0..classes {
+            let mut words = Vec::with_capacity(wc);
+            for _ in 0..wc {
+                words.push(u64::from_le_bytes(
+                    bytes[offset..offset + 8].try_into().expect("sliced"),
+                ));
+                offset += 8;
+            }
+            class_hvs.push(Hypervector::from_words(words, dim)?);
+        }
+        let mut class_sums = Vec::with_capacity(classes);
+        for _ in 0..classes {
+            let mut sums = Vec::with_capacity(dim as usize);
+            for _ in 0..dim as usize {
+                sums.push(i64::from_le_bytes(
+                    bytes[offset..offset + 8].try_into().expect("sliced"),
+                ));
+                offset += 8;
+            }
+            class_sums.push(sums);
+        }
+        Ok(HdcModel { class_hvs, class_sums, dim })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::uhd::{UhdConfig, UhdEncoder};
+
+    /// A toy dataset: class 0 = dark images, class 1 = bright images,
+    /// separable by any sane intensity encoder.
+    fn toy_data(n_per_class: usize, pixels: usize, seed: u64) -> (Vec<Vec<u8>>, Vec<usize>) {
+        use uhd_lowdisc::rng::Xoshiro256StarStar;
+        let mut rng = Xoshiro256StarStar::seeded(seed);
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2usize {
+            for _ in 0..n_per_class {
+                let base = if c == 0 { 40.0 } else { 200.0 };
+                let img: Vec<u8> = (0..pixels)
+                    .map(|_| (base + rng.next_range(-35.0, 35.0)).clamp(0.0, 255.0) as u8)
+                    .collect();
+                images.push(img);
+                labels.push(c);
+            }
+        }
+        (images, labels)
+    }
+
+    fn toy_encoder(pixels: usize) -> UhdEncoder {
+        UhdEncoder::new(UhdConfig::new(512, pixels)).unwrap()
+    }
+
+    #[test]
+    fn trains_and_separates_toy_classes() {
+        let (images, labels) = toy_data(40, 16, 1);
+        let enc = toy_encoder(16);
+        let data = LabelledImages::new(&images, &labels).unwrap();
+        let model = HdcModel::train(&enc, data, 2).unwrap();
+        let acc = model.evaluate(&enc, data).unwrap();
+        assert!(acc > 0.95, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn parallel_training_is_bit_identical() {
+        let (images, labels) = toy_data(30, 16, 2);
+        let enc = toy_encoder(16);
+        let data = LabelledImages::new(&images, &labels).unwrap();
+        let serial = HdcModel::train(&enc, data, 2).unwrap();
+        let parallel = HdcModel::train_parallel(&enc, data, 2, 4).unwrap();
+        assert_eq!(serial.class_hypervectors(), parallel.class_hypervectors());
+        assert_eq!(serial.class_sums(), parallel.class_sums());
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial() {
+        let (images, labels) = toy_data(25, 16, 3);
+        let enc = toy_encoder(16);
+        let data = LabelledImages::new(&images, &labels).unwrap();
+        let model = HdcModel::train(&enc, data, 2).unwrap();
+        let a = model.evaluate(&enc, data).unwrap();
+        let b = model.evaluate_parallel(&enc, data, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_training_inputs() {
+        let enc = toy_encoder(16);
+        let (images, labels) = toy_data(5, 16, 4);
+        assert!(LabelledImages::new(&[], &[]).is_err());
+        assert!(LabelledImages::new(&images, &labels[..5]).is_err());
+        let data = LabelledImages::new(&images, &labels).unwrap();
+        // Zero classes.
+        assert!(HdcModel::train(&enc, data, 0).is_err());
+        // Label out of range.
+        let bad_labels = vec![9usize; images.len()];
+        let bad = LabelledImages::new(&images, &bad_labels).unwrap();
+        assert!(matches!(
+            HdcModel::train(&enc, bad, 2),
+            Err(HdcError::InvalidTrainingData { .. })
+        ));
+        // A class with no samples.
+        assert!(matches!(
+            HdcModel::train(&enc, data, 5),
+            Err(HdcError::InvalidTrainingData { .. })
+        ));
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let (images, labels) = toy_data(10, 16, 5);
+        let enc = toy_encoder(16);
+        let data = LabelledImages::new(&images, &labels).unwrap();
+        let model = HdcModel::train(&enc, data, 2).unwrap();
+        let bytes = model.to_bytes();
+        let back = HdcModel::from_bytes(&bytes).unwrap();
+        assert_eq!(model.class_hypervectors(), back.class_hypervectors());
+        assert_eq!(model.class_sums(), back.class_sums());
+        assert_eq!(bytes, back.to_bytes(), "round-trip must be byte-stable");
+    }
+
+    #[test]
+    fn deserialization_rejects_garbage() {
+        assert!(HdcModel::from_bytes(b"").is_err());
+        assert!(HdcModel::from_bytes(b"NOPE").is_err());
+        let (images, labels) = toy_data(5, 16, 6);
+        let enc = toy_encoder(16);
+        let data = LabelledImages::new(&images, &labels).unwrap();
+        let model = HdcModel::train(&enc, data, 2).unwrap();
+        let mut bytes = model.to_bytes();
+        bytes.truncate(bytes.len() - 3);
+        assert!(HdcModel::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn classify_encoded_checks_dimension() {
+        let (images, labels) = toy_data(5, 16, 7);
+        let enc = toy_encoder(16);
+        let data = LabelledImages::new(&images, &labels).unwrap();
+        let model = HdcModel::train(&enc, data, 2).unwrap();
+        let bad = Hypervector::ones(64);
+        assert!(model.classify_encoded(&bad).is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Orthogonality diagnostics for hypervector sets.
+//!
+//! The paper's case for quasi-randomness is that LD-generated
+//! hypervectors are *more reliably orthogonal* than pseudo-random ones
+//! ("an important target of this work is to produce hypervectors with
+//! ideal orthogonality", §II). These statistics quantify that claim for
+//! any set of hypervectors and back the `orthogonality_study` example and
+//! the crate's statistical tests.
+
+use crate::error::HdcError;
+use crate::hypervector::Hypervector;
+use crate::similarity::cosine;
+
+/// Summary statistics of the pairwise cosine similarities of a set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrthogonalityStats {
+    /// Number of vectors analysed.
+    pub count: usize,
+    /// Mean |cos| over all pairs (0 = perfectly orthogonal on average).
+    pub mean_abs_cosine: f64,
+    /// Largest |cos| over all pairs (worst pair).
+    pub max_abs_cosine: f64,
+    /// Mean fraction of +1 elements (0.5 = balanced).
+    pub mean_balance: f64,
+    /// Largest deviation of any vector's balance from 0.5.
+    pub max_balance_deviation: f64,
+}
+
+/// Compute pairwise-orthogonality statistics for a hypervector set.
+///
+/// # Errors
+///
+/// * [`HdcError::InvalidConfig`] for fewer than two vectors.
+/// * [`HdcError::DimensionMismatch`] for ragged dimensions.
+pub fn orthogonality_stats(set: &[Hypervector]) -> Result<OrthogonalityStats, HdcError> {
+    if set.len() < 2 {
+        return Err(HdcError::InvalidConfig {
+            reason: "orthogonality statistics need at least two vectors".into(),
+        });
+    }
+    let dim = set[0].dim();
+    let mut sum_abs = 0.0f64;
+    let mut max_abs = 0.0f64;
+    let mut pairs = 0usize;
+    for i in 0..set.len() {
+        for j in (i + 1)..set.len() {
+            let c = cosine(&set[i], &set[j])?.abs();
+            sum_abs += c;
+            max_abs = max_abs.max(c);
+            pairs += 1;
+        }
+    }
+    let mut sum_balance = 0.0f64;
+    let mut max_dev = 0.0f64;
+    for hv in set {
+        let balance = f64::from(hv.count_plus_ones()) / f64::from(dim);
+        sum_balance += balance;
+        max_dev = max_dev.max((balance - 0.5).abs());
+    }
+    Ok(OrthogonalityStats {
+        count: set.len(),
+        mean_abs_cosine: sum_abs / pairs as f64,
+        max_abs_cosine: max_abs,
+        mean_balance: sum_balance / set.len() as f64,
+        max_balance_deviation: max_dev,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uhd_lowdisc::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn random_set_is_nearly_orthogonal() {
+        let mut rng = Xoshiro256StarStar::seeded(1);
+        let set: Vec<Hypervector> =
+            (0..12).map(|_| Hypervector::random(4096, &mut rng)).collect();
+        let stats = orthogonality_stats(&set).unwrap();
+        assert!(stats.mean_abs_cosine < 0.05, "mean |cos| {}", stats.mean_abs_cosine);
+        assert!((stats.mean_balance - 0.5).abs() < 0.05);
+        assert_eq!(stats.count, 12);
+    }
+
+    #[test]
+    fn identical_vectors_have_cosine_one() {
+        let hv = Hypervector::ones(256);
+        let stats = orthogonality_stats(&[hv.clone(), hv]).unwrap();
+        assert_eq!(stats.max_abs_cosine, 1.0);
+        assert_eq!(stats.mean_abs_cosine, 1.0);
+    }
+
+    #[test]
+    fn needs_two_vectors() {
+        let hv = Hypervector::ones(64);
+        assert!(orthogonality_stats(&[hv]).is_err());
+        assert!(orthogonality_stats(&[]).is_err());
+    }
+
+    #[test]
+    fn ragged_dimensions_error() {
+        let a = Hypervector::ones(64);
+        let b = Hypervector::ones(128);
+        assert!(orthogonality_stats(&[a, b]).is_err());
+    }
+}

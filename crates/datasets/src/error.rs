@@ -1,0 +1,81 @@
+//! Error types for the `uhd-datasets` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by dataset loading and generation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DatasetError {
+    /// An IDX file had a bad magic number or malformed header.
+    BadIdxHeader {
+        /// Explanation of what was wrong.
+        reason: String,
+    },
+    /// An IDX payload was shorter than its header promised.
+    TruncatedIdx {
+        /// Bytes expected from the header.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// Image and label files disagree on the sample count.
+    CountMismatch {
+        /// Images present.
+        images: usize,
+        /// Labels present.
+        labels: usize,
+    },
+    /// A generator/config was given degenerate parameters.
+    InvalidSpec {
+        /// Explanation of what was wrong.
+        reason: String,
+    },
+    /// Underlying I/O failure while reading dataset files.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::BadIdxHeader { reason } => write!(f, "bad IDX header: {reason}"),
+            DatasetError::TruncatedIdx { expected, got } => {
+                write!(f, "truncated IDX payload: expected {expected} bytes, got {got}")
+            }
+            DatasetError::CountMismatch { images, labels } => {
+                write!(f, "image/label count mismatch: {images} images vs {labels} labels")
+            }
+            DatasetError::InvalidSpec { reason } => write!(f, "invalid dataset spec: {reason}"),
+            DatasetError::Io(e) => write!(f, "dataset i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for DatasetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DatasetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DatasetError::BadIdxHeader { reason: "nope".into() };
+        assert!(e.to_string().contains("nope"));
+        assert!(e.source().is_none());
+        let io = DatasetError::from(std::io::Error::other("disk on fire"));
+        assert!(io.source().is_some());
+    }
+}

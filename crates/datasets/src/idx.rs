@@ -1,0 +1,205 @@
+//! IDX (MNIST-format) file parsing.
+//!
+//! The canonical MNIST distribution stores images in `idx3-ubyte` files
+//! (magic `0x00000803`) and labels in `idx1-ubyte` files (magic
+//! `0x00000801`), both big-endian. When real dataset files are available
+//! under a `data/` directory the experiment harness prefers them over the
+//! synthetic analogues; this module does the parsing and validation.
+
+use crate::error::DatasetError;
+use crate::image::Dataset;
+use std::path::Path;
+
+/// Parsed IDX image payload.
+#[derive(Debug, Clone)]
+pub struct IdxImages {
+    /// Image rows.
+    pub rows: usize,
+    /// Image columns.
+    pub cols: usize,
+    /// One flattened row-major buffer per image.
+    pub images: Vec<Vec<u8>>,
+}
+
+/// Parse an `idx3-ubyte` image buffer.
+///
+/// # Errors
+///
+/// [`DatasetError::BadIdxHeader`] for wrong magic/shape and
+/// [`DatasetError::TruncatedIdx`] for short payloads.
+pub fn parse_idx_images(bytes: &[u8]) -> Result<IdxImages, DatasetError> {
+    if bytes.len() < 16 {
+        return Err(DatasetError::BadIdxHeader { reason: "file shorter than header".into() });
+    }
+    let magic = u32::from_be_bytes(bytes[0..4].try_into().expect("sliced"));
+    if magic != 0x0000_0803 {
+        return Err(DatasetError::BadIdxHeader {
+            reason: format!("magic {magic:#010x}, expected 0x00000803"),
+        });
+    }
+    let count = u32::from_be_bytes(bytes[4..8].try_into().expect("sliced")) as usize;
+    let rows = u32::from_be_bytes(bytes[8..12].try_into().expect("sliced")) as usize;
+    let cols = u32::from_be_bytes(bytes[12..16].try_into().expect("sliced")) as usize;
+    if rows == 0 || cols == 0 {
+        return Err(DatasetError::BadIdxHeader { reason: "zero image geometry".into() });
+    }
+    let expected = 16 + count * rows * cols;
+    if bytes.len() < expected {
+        return Err(DatasetError::TruncatedIdx { expected, got: bytes.len() });
+    }
+    let mut images = Vec::with_capacity(count);
+    for i in 0..count {
+        let start = 16 + i * rows * cols;
+        images.push(bytes[start..start + rows * cols].to_vec());
+    }
+    Ok(IdxImages { rows, cols, images })
+}
+
+/// Parse an `idx1-ubyte` label buffer.
+///
+/// # Errors
+///
+/// [`DatasetError::BadIdxHeader`] for wrong magic and
+/// [`DatasetError::TruncatedIdx`] for short payloads.
+pub fn parse_idx_labels(bytes: &[u8]) -> Result<Vec<u8>, DatasetError> {
+    if bytes.len() < 8 {
+        return Err(DatasetError::BadIdxHeader { reason: "file shorter than header".into() });
+    }
+    let magic = u32::from_be_bytes(bytes[0..4].try_into().expect("sliced"));
+    if magic != 0x0000_0801 {
+        return Err(DatasetError::BadIdxHeader {
+            reason: format!("magic {magic:#010x}, expected 0x00000801"),
+        });
+    }
+    let count = u32::from_be_bytes(bytes[4..8].try_into().expect("sliced")) as usize;
+    let expected = 8 + count;
+    if bytes.len() < expected {
+        return Err(DatasetError::TruncatedIdx { expected, got: bytes.len() });
+    }
+    Ok(bytes[8..8 + count].to_vec())
+}
+
+/// Load a labelled dataset from a pair of IDX files.
+///
+/// # Errors
+///
+/// I/O failures, IDX parse failures, or
+/// [`DatasetError::CountMismatch`] when the two files disagree.
+pub fn load_idx_dataset(
+    name: &str,
+    image_path: &Path,
+    label_path: &Path,
+    classes: usize,
+) -> Result<Dataset, DatasetError> {
+    let img_bytes = std::fs::read(image_path)?;
+    let lbl_bytes = std::fs::read(label_path)?;
+    let parsed = parse_idx_images(&img_bytes)?;
+    let labels = parse_idx_labels(&lbl_bytes)?;
+    if parsed.images.len() != labels.len() {
+        return Err(DatasetError::CountMismatch {
+            images: parsed.images.len(),
+            labels: labels.len(),
+        });
+    }
+    Dataset::new(
+        name,
+        parsed.cols,
+        parsed.rows,
+        classes,
+        parsed.images,
+        labels.into_iter().map(usize::from).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx3(count: u32, rows: u32, cols: u32, pixels: &[u8]) -> Vec<u8> {
+        let mut v = Vec::new();
+        v.extend_from_slice(&0x0000_0803u32.to_be_bytes());
+        v.extend_from_slice(&count.to_be_bytes());
+        v.extend_from_slice(&rows.to_be_bytes());
+        v.extend_from_slice(&cols.to_be_bytes());
+        v.extend_from_slice(pixels);
+        v
+    }
+
+    fn idx1(labels: &[u8]) -> Vec<u8> {
+        let mut v = Vec::new();
+        v.extend_from_slice(&0x0000_0801u32.to_be_bytes());
+        v.extend_from_slice(&(labels.len() as u32).to_be_bytes());
+        v.extend_from_slice(labels);
+        v
+    }
+
+    #[test]
+    fn parses_well_formed_images() {
+        let bytes = idx3(2, 2, 2, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let parsed = parse_idx_images(&bytes).unwrap();
+        assert_eq!(parsed.rows, 2);
+        assert_eq!(parsed.cols, 2);
+        assert_eq!(parsed.images, vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8]]);
+    }
+
+    #[test]
+    fn parses_well_formed_labels() {
+        let bytes = idx1(&[3, 1, 4]);
+        assert_eq!(parse_idx_labels(&bytes).unwrap(), vec![3, 1, 4]);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let mut bytes = idx3(1, 1, 1, &[0]);
+        bytes[3] = 0x01; // corrupt the magic
+        assert!(matches!(parse_idx_images(&bytes), Err(DatasetError::BadIdxHeader { .. })));
+        let mut lab = idx1(&[0]);
+        lab[3] = 0x03;
+        assert!(matches!(parse_idx_labels(&lab), Err(DatasetError::BadIdxHeader { .. })));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut bytes = idx3(2, 2, 2, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        bytes.truncate(bytes.len() - 1);
+        assert!(matches!(parse_idx_images(&bytes), Err(DatasetError::TruncatedIdx { .. })));
+        let mut lab = idx1(&[1, 2, 3]);
+        lab.truncate(lab.len() - 2);
+        assert!(matches!(parse_idx_labels(&lab), Err(DatasetError::TruncatedIdx { .. })));
+    }
+
+    #[test]
+    fn rejects_tiny_files() {
+        assert!(parse_idx_images(&[0, 0]).is_err());
+        assert!(parse_idx_labels(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn load_dataset_from_files() {
+        let dir = std::env::temp_dir().join(format!("uhd_idx_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let img_path = dir.join("img.idx3");
+        let lbl_path = dir.join("lbl.idx1");
+        std::fs::write(&img_path, idx3(2, 2, 2, &[9; 8])).unwrap();
+        std::fs::write(&lbl_path, idx1(&[0, 1])).unwrap();
+        let d = load_idx_dataset("disk", &img_path, &lbl_path, 2).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.pixels(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_dataset_count_mismatch() {
+        let dir = std::env::temp_dir().join(format!("uhd_idx_test2_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let img_path = dir.join("img.idx3");
+        let lbl_path = dir.join("lbl.idx1");
+        std::fs::write(&img_path, idx3(2, 2, 2, &[9; 8])).unwrap();
+        std::fs::write(&lbl_path, idx1(&[0, 1, 1])).unwrap();
+        assert!(matches!(
+            load_idx_dataset("disk", &img_path, &lbl_path, 2),
+            Err(DatasetError::CountMismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

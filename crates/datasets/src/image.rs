@@ -1,0 +1,223 @@
+//! Grayscale image and labelled-dataset containers.
+
+use crate::error::DatasetError;
+
+/// A labelled grayscale image dataset with uniform geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dataset {
+    name: String,
+    width: usize,
+    height: usize,
+    classes: usize,
+    images: Vec<Vec<u8>>,
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Assemble a dataset, validating geometry and labels.
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::InvalidSpec`] for empty data, ragged images or
+    /// labels out of range; [`DatasetError::CountMismatch`] when images
+    /// and labels disagree in count.
+    pub fn new(
+        name: impl Into<String>,
+        width: usize,
+        height: usize,
+        classes: usize,
+        images: Vec<Vec<u8>>,
+        labels: Vec<usize>,
+    ) -> Result<Self, DatasetError> {
+        if width == 0 || height == 0 {
+            return Err(DatasetError::InvalidSpec { reason: "zero image geometry".into() });
+        }
+        if classes == 0 {
+            return Err(DatasetError::InvalidSpec { reason: "zero classes".into() });
+        }
+        if images.is_empty() {
+            return Err(DatasetError::InvalidSpec { reason: "no images".into() });
+        }
+        if images.len() != labels.len() {
+            return Err(DatasetError::CountMismatch { images: images.len(), labels: labels.len() });
+        }
+        let pixels = width * height;
+        for (i, img) in images.iter().enumerate() {
+            if img.len() != pixels {
+                return Err(DatasetError::InvalidSpec {
+                    reason: format!("image {i} has {} pixels, expected {pixels}", img.len()),
+                });
+            }
+        }
+        for (i, &l) in labels.iter().enumerate() {
+            if l >= classes {
+                return Err(DatasetError::InvalidSpec {
+                    reason: format!("label {l} of sample {i} out of range for {classes} classes"),
+                });
+            }
+        }
+        Ok(Dataset { name: name.into(), width, height, classes, images, labels })
+    }
+
+    /// Dataset name (e.g. `"synthetic-mnist"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Image width in pixels.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixels per image (width × height).
+    #[must_use]
+    pub fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the dataset is empty (never true once constructed).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// The image buffers.
+    #[must_use]
+    pub fn images(&self) -> &[Vec<u8>] {
+        &self.images
+    }
+
+    /// The labels, parallel to [`Dataset::images`].
+    #[must_use]
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Per-class sample counts.
+    #[must_use]
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Take the first `n` samples as a new dataset (used to shrink
+    /// experiments for CI-scale runs).
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::InvalidSpec`] when `n` is zero or exceeds the set.
+    pub fn take(&self, n: usize) -> Result<Dataset, DatasetError> {
+        if n == 0 || n > self.len() {
+            return Err(DatasetError::InvalidSpec {
+                reason: format!("cannot take {n} of {} samples", self.len()),
+            });
+        }
+        Dataset::new(
+            self.name.clone(),
+            self.width,
+            self.height,
+            self.classes,
+            self.images[..n].to_vec(),
+            self.labels[..n].to_vec(),
+        )
+    }
+
+    /// Render one image as ASCII art (for examples and debugging).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn ascii_art(&self, index: usize) -> String {
+        let ramp = b" .:-=+*#%@";
+        let img = &self.images[index];
+        let mut out = String::with_capacity((self.width + 1) * self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let v = img[y * self.width + x] as usize;
+                out.push(ramp[v * (ramp.len() - 1) / 255] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::new(
+            "tiny",
+            2,
+            2,
+            2,
+            vec![vec![0, 50, 100, 150], vec![200, 210, 220, 255]],
+            vec![0, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = tiny();
+        assert_eq!(d.name(), "tiny");
+        assert_eq!(d.pixels(), 4);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.class_counts(), vec![1, 1]);
+    }
+
+    #[test]
+    fn validation_catches_bad_shapes() {
+        assert!(Dataset::new("x", 0, 2, 2, vec![vec![]], vec![0]).is_err());
+        assert!(Dataset::new("x", 2, 2, 0, vec![vec![0; 4]], vec![0]).is_err());
+        assert!(Dataset::new("x", 2, 2, 2, vec![], vec![]).is_err());
+        assert!(Dataset::new("x", 2, 2, 2, vec![vec![0; 3]], vec![0]).is_err());
+        assert!(Dataset::new("x", 2, 2, 2, vec![vec![0; 4]], vec![5]).is_err());
+        assert!(matches!(
+            Dataset::new("x", 2, 2, 2, vec![vec![0; 4]], vec![0, 1]),
+            Err(DatasetError::CountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn take_shrinks() {
+        let d = tiny();
+        let t = d.take(1).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(d.take(0).is_err());
+        assert!(d.take(3).is_err());
+    }
+
+    #[test]
+    fn ascii_art_has_expected_shape() {
+        let d = tiny();
+        let art = d.ascii_art(0);
+        assert_eq!(art.lines().count(), 2);
+        assert!(art.lines().all(|l| l.chars().count() == 2));
+    }
+}

@@ -1,0 +1,37 @@
+//! Image dataset substrate for the uHD reproduction.
+//!
+//! Provides the evaluation data for every accuracy experiment in the
+//! paper (Tables IV and V, Fig. 6):
+//!
+//! * [`idx`] — parsing of real MNIST-format (`idx-ubyte`) files when they
+//!   are available on disk;
+//! * [`synth`] — deterministic procedural analogues of MNIST, CIFAR-10,
+//!   BloodMNIST, BreastMNIST, Fashion-MNIST and SVHN (the repository
+//!   carries no binary assets — see DESIGN.md §5 for why the substitution
+//!   preserves the paper's claims);
+//! * [`split`] — stratified splitting and shuffling;
+//! * [`image`] — the validated [`image::Dataset`] container.
+//!
+//! # Example
+//!
+//! ```
+//! use uhd_datasets::synth::{generate, SynthSpec, SyntheticKind};
+//!
+//! let (train, test) = generate(SynthSpec::new(SyntheticKind::Mnist, 100, 20, 42))?;
+//! assert_eq!(train.pixels(), 28 * 28);
+//! assert_eq!(train.classes(), 10);
+//! assert_eq!(test.len(), 20);
+//! # Ok::<(), uhd_datasets::DatasetError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod idx;
+pub mod image;
+pub mod split;
+pub mod synth;
+
+pub use error::DatasetError;
+pub use image::Dataset;
+pub use synth::{SynthSpec, SyntheticKind};

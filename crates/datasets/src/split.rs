@@ -1,0 +1,142 @@
+//! Dataset splitting and shuffling utilities.
+
+use crate::error::DatasetError;
+use crate::image::Dataset;
+use uhd_lowdisc::rng::Xoshiro256StarStar;
+
+/// Deterministically shuffle a dataset.
+#[must_use]
+pub fn shuffle(dataset: &Dataset, seed: u64) -> Dataset {
+    let mut idx: Vec<usize> = (0..dataset.len()).collect();
+    let mut rng = Xoshiro256StarStar::seeded(seed);
+    for i in (1..idx.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        idx.swap(i, j);
+    }
+    let images = idx.iter().map(|&i| dataset.images()[i].clone()).collect();
+    let labels = idx.iter().map(|&i| dataset.labels()[i]).collect();
+    Dataset::new(
+        dataset.name(),
+        dataset.width(),
+        dataset.height(),
+        dataset.classes(),
+        images,
+        labels,
+    )
+    .expect("shuffle preserves validity")
+}
+
+/// Stratified train/test split: every class contributes `train_fraction`
+/// of its samples to the training set (rounded down, at least one test
+/// sample per class when possible).
+///
+/// # Errors
+///
+/// [`DatasetError::InvalidSpec`] if the fraction is outside (0, 1) or a
+/// class would end up empty on either side.
+pub fn stratified_split(
+    dataset: &Dataset,
+    train_fraction: f64,
+    seed: u64,
+) -> Result<(Dataset, Dataset), DatasetError> {
+    if !(train_fraction > 0.0 && train_fraction < 1.0) {
+        return Err(DatasetError::InvalidSpec {
+            reason: format!("train fraction {train_fraction} must be in (0, 1)"),
+        });
+    }
+    let shuffled = shuffle(dataset, seed);
+    let mut train_images = Vec::new();
+    let mut train_labels = Vec::new();
+    let mut test_images = Vec::new();
+    let mut test_labels = Vec::new();
+    for class in 0..dataset.classes() {
+        let members: Vec<usize> = shuffled
+            .labels()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| (l == class).then_some(i))
+            .collect();
+        let n_train = ((members.len() as f64) * train_fraction).floor() as usize;
+        if n_train == 0 || n_train == members.len() {
+            return Err(DatasetError::InvalidSpec {
+                reason: format!(
+                    "class {class} with {} samples cannot be split at fraction {train_fraction}",
+                    members.len()
+                ),
+            });
+        }
+        for (k, &i) in members.iter().enumerate() {
+            if k < n_train {
+                train_images.push(shuffled.images()[i].clone());
+                train_labels.push(class);
+            } else {
+                test_images.push(shuffled.images()[i].clone());
+                test_labels.push(class);
+            }
+        }
+    }
+    let train = Dataset::new(
+        format!("{}-train", dataset.name()),
+        dataset.width(),
+        dataset.height(),
+        dataset.classes(),
+        train_images,
+        train_labels,
+    )?;
+    let test = Dataset::new(
+        format!("{}-test", dataset.name()),
+        dataset.width(),
+        dataset.height(),
+        dataset.classes(),
+        test_images,
+        test_labels,
+    )?;
+    Ok((train, test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthSpec, SyntheticKind};
+
+    fn sample() -> Dataset {
+        generate(SynthSpec::new(SyntheticKind::Mnist, 100, 10, 3)).unwrap().0
+    }
+
+    #[test]
+    fn shuffle_preserves_content() {
+        let d = sample();
+        let s = shuffle(&d, 5);
+        assert_eq!(d.len(), s.len());
+        assert_eq!(d.class_counts(), s.class_counts());
+        assert_ne!(d.labels(), s.labels(), "shuffle should change order");
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let d = sample();
+        assert_eq!(shuffle(&d, 9).labels(), shuffle(&d, 9).labels());
+        assert_ne!(shuffle(&d, 9).labels(), shuffle(&d, 10).labels());
+    }
+
+    #[test]
+    fn stratified_split_keeps_class_balance() {
+        let d = sample();
+        let (train, test) = stratified_split(&d, 0.8, 1).unwrap();
+        assert_eq!(train.len() + test.len(), d.len());
+        for (c, (&tr, &te)) in
+            train.class_counts().iter().zip(test.class_counts().iter()).enumerate()
+        {
+            assert_eq!(tr, 8, "class {c}");
+            assert_eq!(te, 2, "class {c}");
+        }
+    }
+
+    #[test]
+    fn degenerate_fractions_rejected() {
+        let d = sample();
+        assert!(stratified_split(&d, 0.0, 1).is_err());
+        assert!(stratified_split(&d, 1.0, 1).is_err());
+        assert!(stratified_split(&d, 0.01, 1).is_err(), "would empty the train side");
+    }
+}

@@ -1,0 +1,130 @@
+//! Procedural Fashion-MNIST analogue: clothing silhouettes.
+//!
+//! Ten classes mirroring the Fashion-MNIST taxonomy (t-shirt, trouser,
+//! pullover, dress, coat, sandal, shirt, sneaker, bag, ankle boot),
+//! rendered as filled silhouettes with per-sample geometric jitter and
+//! fabric-noise texture.
+
+use super::raster::Canvas;
+use uhd_lowdisc::rng::Xoshiro256StarStar;
+
+/// Render one clothing sample of `class` (0..=9) at `size × size`.
+pub fn render_fashion(class: usize, size: usize, rng: &mut Xoshiro256StarStar) -> Vec<u8> {
+    let mut c = Canvas::new(size, size);
+    let s = size as f32;
+    let j = |rng: &mut Xoshiro256StarStar, lo: f32, hi: f32| rng.next_range(lo.into(), hi.into()) as f32;
+    let ink = j(rng, 0.55, 0.8);
+    let dx = j(rng, -2.8, 2.8);
+    let dy = j(rng, -2.8, 2.8);
+    // All geometry below is in fractional canvas coordinates.
+    let x = |f: f32| f * s + dx;
+    let y = |f: f32| f * s + dy;
+    match class {
+        // T-shirt: torso + short sleeves.
+        0 => {
+            c.fill_rect(x(0.33), y(0.25), x(0.67), y(0.8), ink);
+            c.fill_rect(x(0.15), y(0.25), x(0.33), y(0.42), ink);
+            c.fill_rect(x(0.67), y(0.25), x(0.85), y(0.42), ink);
+        }
+        // Trouser: two legs joined at a waistband.
+        1 => {
+            c.fill_rect(x(0.33), y(0.15), x(0.67), y(0.28), ink);
+            c.fill_rect(x(0.33), y(0.28), x(0.47), y(0.88), ink);
+            c.fill_rect(x(0.53), y(0.28), x(0.67), y(0.88), ink);
+        }
+        // Pullover: torso + long sleeves.
+        2 => {
+            c.fill_rect(x(0.33), y(0.22), x(0.67), y(0.8), ink);
+            c.fill_rect(x(0.12), y(0.22), x(0.33), y(0.7), ink);
+            c.fill_rect(x(0.67), y(0.22), x(0.88), y(0.7), ink);
+        }
+        // Dress: fitted top flaring to a wide hem.
+        3 => {
+            let top_y = 0.18;
+            let bot_y = 0.88;
+            let rows = (s * (bot_y - top_y)) as i32;
+            for r in 0..=rows {
+                let t = r as f32 / rows as f32;
+                let half = 0.10 + 0.22 * t;
+                c.fill_hspan((y(top_y) + r as f32) as i32, x(0.5 - half), x(0.5 + half), ink);
+            }
+        }
+        // Coat: long torso, long sleeves, centre opening.
+        4 => {
+            c.fill_rect(x(0.3), y(0.18), x(0.7), y(0.88), ink);
+            c.fill_rect(x(0.1), y(0.18), x(0.3), y(0.75), ink);
+            c.fill_rect(x(0.7), y(0.18), x(0.9), y(0.75), ink);
+            // Opening: a dark seam down the middle.
+            c.fill_rect(x(0.49), y(0.2), x(0.51), y(0.88), 0.05);
+        }
+        // Sandal: sole wedge + straps.
+        5 => {
+            c.fill_rect(x(0.15), y(0.62), x(0.85), y(0.72), ink);
+            c.draw_line(x(0.25), y(0.62), x(0.45), y(0.4), 1.8, ink);
+            c.draw_line(x(0.55), y(0.4), x(0.75), y(0.62), 1.8, ink);
+        }
+        // Shirt: torso, sleeves, collar notch darker.
+        6 => {
+            c.fill_rect(x(0.34), y(0.2), x(0.66), y(0.82), ink);
+            c.fill_rect(x(0.14), y(0.2), x(0.34), y(0.55), ink);
+            c.fill_rect(x(0.66), y(0.2), x(0.86), y(0.55), ink);
+            c.draw_line(x(0.5), y(0.2), x(0.42), y(0.32), 1.5, 0.05);
+            c.draw_line(x(0.5), y(0.2), x(0.58), y(0.32), 1.5, 0.05);
+        }
+        // Sneaker: low profile with a toe rise.
+        7 => {
+            c.fill_rect(x(0.12), y(0.6), x(0.88), y(0.75), ink);
+            c.fill_ellipse(x(0.25), y(0.6), 0.13 * s, 0.08 * s, 0.0, ink);
+            c.fill_rect(x(0.12), y(0.75), x(0.88), y(0.8), ink * 0.6);
+        }
+        // Bag: body + handle arc.
+        8 => {
+            c.fill_rect(x(0.22), y(0.42), x(0.78), y(0.82), ink);
+            c.draw_line(x(0.35), y(0.42), x(0.40), y(0.25), 1.6, ink);
+            c.draw_line(x(0.40), y(0.25), x(0.60), y(0.25), 1.6, ink);
+            c.draw_line(x(0.60), y(0.25), x(0.65), y(0.42), 1.6, ink);
+        }
+        // Ankle boot: shaft + foot.
+        9 => {
+            c.fill_rect(x(0.38), y(0.2), x(0.62), y(0.6), ink);
+            c.fill_rect(x(0.38), y(0.6), x(0.85), y(0.78), ink);
+        }
+        _ => unreachable!("fashion classes are 0..=9"),
+    }
+    c.box_blur(1);
+    // Fabric texture.
+    c.add_noise(rng, 0.09);
+    c.to_u8()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_classes_nonblank() {
+        let mut rng = Xoshiro256StarStar::seeded(4);
+        for class in 0..10 {
+            let img = render_fashion(class, 28, &mut rng);
+            assert_eq!(img.len(), 784);
+            let inked = img.iter().filter(|&&p| p > 64).count();
+            assert!(inked > 40, "class {class} nearly blank");
+        }
+    }
+
+    #[test]
+    fn trouser_and_coat_have_different_footprints() {
+        let mut rng = Xoshiro256StarStar::seeded(5);
+        let trouser = render_fashion(1, 28, &mut rng);
+        let coat = render_fashion(4, 28, &mut rng);
+        let area = |img: &[u8]| img.iter().filter(|&&p| p > 64).count();
+        assert!(area(&coat) > area(&trouser));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Xoshiro256StarStar::seeded(6);
+        let mut b = Xoshiro256StarStar::seeded(6);
+        assert_eq!(render_fashion(8, 28, &mut a), render_fashion(8, 28, &mut b));
+    }
+}

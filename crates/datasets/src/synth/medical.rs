@@ -1,0 +1,174 @@
+//! Procedural MedMNIST analogues: BloodMNIST and BreastMNIST.
+//!
+//! * BloodMNIST: 8 blood-cell classes distinguished by cell size, nucleus
+//!   count/shape and cytoplasm granularity.
+//! * BreastMNIST: 2 ultrasound classes (benign/malignant) on a speckled
+//!   background — benign lesions are smooth ellipses, malignant ones are
+//!   irregular with spiculation.
+
+use super::raster::Canvas;
+use uhd_lowdisc::rng::Xoshiro256StarStar;
+
+/// Render one blood-cell sample of `class` (0..=7) at `size × size`.
+pub fn render_blood(class: usize, size: usize, rng: &mut Xoshiro256StarStar) -> Vec<u8> {
+    assert!(class < 8, "blood classes are 0..=7");
+    let mut c = Canvas::new(size, size);
+    let s = size as f32;
+    // Plasma background.
+    c.gain_offset(0.0, 0.25);
+    c.add_noise(rng, 0.03);
+
+    // Class-determined morphology.
+    let cell_r = (0.16 + 0.018 * class as f32) * s;
+    let nuclei = 1 + class % 3; // 1..3 lobes
+    let lobed = class >= 4;
+    let granularity = if class % 2 == 0 { 0.10 } else { 0.03 };
+
+    let cx = s * 0.5 + rng.next_range(-2.0, 2.0) as f32;
+    let cy = s * 0.5 + rng.next_range(-2.0, 2.0) as f32;
+    // Cytoplasm.
+    let ecc = rng.next_range(0.85, 1.0) as f32;
+    c.fill_ellipse(cx, cy, cell_r, cell_r * ecc, rng.next_range(0.0, 3.14) as f32, 0.55);
+
+    // Nucleus lobes.
+    for k in 0..nuclei {
+        let angle = k as f32 * 2.1 + rng.next_range(0.0, 0.8) as f32;
+        let off = if lobed { cell_r * 0.45 } else { cell_r * 0.15 };
+        let nx = cx + angle.cos() * off;
+        let ny = cy + angle.sin() * off;
+        let nr = cell_r * rng.next_range(0.3, 0.42) as f32;
+        c.fill_ellipse(nx, ny, nr, nr * 0.85, angle, 0.95);
+    }
+
+    // Cytoplasmic granules.
+    let n_granules = (granularity * 200.0) as usize;
+    for _ in 0..n_granules {
+        let a = rng.next_range(0.0, std::f64::consts::TAU) as f32;
+        let r = rng.next_range(0.0, f64::from(cell_r) * 0.9) as f32;
+        let gx = (cx + a.cos() * r) as i32;
+        let gy = (cy + a.sin() * r) as i32;
+        c.blend_max(gx, gy, 0.8);
+    }
+
+    c.box_blur(1);
+    c.add_noise(rng, 0.03);
+    c.to_u8()
+}
+
+/// Render one breast-ultrasound sample of `class` (0 = benign,
+/// 1 = malignant) at `size × size`.
+pub fn render_breast(class: usize, size: usize, rng: &mut Xoshiro256StarStar) -> Vec<u8> {
+    assert!(class < 2, "breast classes are 0..=1");
+    let mut c = Canvas::new(size, size);
+    let s = size as f32;
+    // Echogenic tissue background with depth falloff.
+    c.add_vertical_gradient(0.75, 0.45);
+    c.speckle(rng, 0.5);
+
+    let cx = s * 0.5 + rng.next_range(-3.0, 3.0) as f32;
+    let cy = s * 0.45 + rng.next_range(-3.0, 3.0) as f32;
+    // Both classes share size/orientation statistics; the only cue is
+    // border character (smooth vs spiculated), mirroring how hard the
+    // real BreastMNIST task is (the paper sits at ~68% for both designs).
+    let rx = s * rng.next_range(0.12, 0.18) as f32;
+    let ry = rx * rng.next_range(0.6, 0.9) as f32;
+    draw_dark_ellipse(&mut c, cx, cy, rx, ry, 0.12);
+    if class == 1 {
+        for k in 0..6 {
+            let a = k as f32 * 1.05 + rng.next_range(0.0, 0.6) as f32;
+            let len = rx * rng.next_range(1.1, 1.5) as f32;
+            let (x1, y1) = (cx + a.cos() * len, cy + a.sin() * len);
+            dark_line(&mut c, cx, cy, x1, y1, 1.3, 0.22);
+        }
+    }
+    c.box_blur(1);
+    c.to_u8()
+}
+
+/// Overwrite an elliptical region with a dark value (lesions absorb, so
+/// `max`-blending cannot be used).
+fn draw_dark_ellipse(c: &mut Canvas, cx: f32, cy: f32, rx: f32, ry: f32, dark: f32) {
+    let r = rx.max(ry).ceil() as i32 + 1;
+    for dy in -r..=r {
+        for dx in -r..=r {
+            let u = dx as f32 / rx.max(1e-6);
+            let w = dy as f32 / ry.max(1e-6);
+            if u * u + w * w <= 1.0 {
+                c.set((cx + dx as f32) as i32, (cy + dy as f32) as i32, dark);
+            }
+        }
+    }
+}
+
+/// Overwrite pixels along a line with a dark value.
+fn dark_line(c: &mut Canvas, x0: f32, y0: f32, x1: f32, y1: f32, thickness: f32, dark: f32) {
+    let dx = x1 - x0;
+    let dy = y1 - y0;
+    let len = (dx * dx + dy * dy).sqrt().max(1e-6);
+    let steps = (len * 2.0).ceil() as usize + 1;
+    let r = thickness / 2.0;
+    for t in 0..steps {
+        let f = t as f32 / (steps - 1).max(1) as f32;
+        let cx = x0 + dx * f;
+        let cy = y0 + dy * f;
+        for yy in (cy - r) as i32..=(cy + r) as i32 {
+            for xx in (cx - r) as i32..=(cx + r) as i32 {
+                c.set(xx, yy, dark);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blood_classes_render_distinctly() {
+        let mut rng = Xoshiro256StarStar::seeded(8);
+        let mut means = Vec::new();
+        for class in 0..8 {
+            let img = render_blood(class, 28, &mut rng);
+            assert_eq!(img.len(), 784);
+            means.push(img.iter().map(|&p| p as u64).sum::<u64>() / 784);
+        }
+        // Larger cells (higher class index) generally carry more ink.
+        assert!(means[7] > means[0], "means {means:?}");
+    }
+
+    #[test]
+    fn breast_classes_differ_in_structure() {
+        let mut rng = Xoshiro256StarStar::seeded(9);
+        let benign = render_breast(0, 28, &mut rng);
+        let malignant = render_breast(1, 28, &mut rng);
+        // Malignant adds a posterior shadow, darkening the lower half.
+        let lower = |img: &[u8]| {
+            img[392..].iter().map(|&p| u64::from(p)).sum::<u64>()
+        };
+        assert!(lower(&malignant) < lower(&benign));
+    }
+
+    #[test]
+    #[should_panic(expected = "blood classes")]
+    fn blood_class_bound() {
+        let mut rng = Xoshiro256StarStar::seeded(1);
+        let _ = render_blood(8, 28, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "breast classes")]
+    fn breast_class_bound() {
+        let mut rng = Xoshiro256StarStar::seeded(1);
+        let _ = render_breast(2, 28, &mut rng);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Xoshiro256StarStar::seeded(10);
+        let mut b = Xoshiro256StarStar::seeded(10);
+        assert_eq!(render_blood(3, 28, &mut a), render_blood(3, 28, &mut b));
+        let mut a = Xoshiro256StarStar::seeded(11);
+        let mut b = Xoshiro256StarStar::seeded(11);
+        assert_eq!(render_breast(1, 28, &mut a), render_breast(1, 28, &mut b));
+    }
+}

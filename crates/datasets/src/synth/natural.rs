@@ -1,0 +1,225 @@
+//! Procedural natural-image analogues: CIFAR-10-like scenes and
+//! SVHN-like street digits, both 32×32 grayscale.
+//!
+//! CIFAR classes are coarse object archetypes over textured backgrounds
+//! with heavy jitter — deliberately hard, so HDC accuracy lands in the
+//! paper's ~40% regime. SVHN renders digits with background clutter,
+//! distractor digits and contrast variation — harder than MNIST, easier
+//! than CIFAR, matching the paper's ~60% regime.
+
+use super::digits;
+use super::raster::Canvas;
+use uhd_lowdisc::rng::Xoshiro256StarStar;
+
+/// Render one CIFAR-10-like sample of `class` (0..=9) at `size × size`.
+pub fn render_cifar(class: usize, size: usize, rng: &mut Xoshiro256StarStar) -> Vec<u8> {
+    assert!(class < 10, "cifar classes are 0..=9");
+    let mut c = Canvas::new(size, size);
+    let s = size as f32;
+    let jx = rng.next_range(-5.5, 5.5) as f32;
+    let jy = rng.next_range(-5.5, 5.5) as f32;
+    let x = |f: f32| f * s + jx;
+    let y = |f: f32| f * s + jy;
+
+    // Background depends on the scene type: sky for fliers, ground for
+    // vehicles/animals, water for ships.
+    match class {
+        0 | 2 => c.add_vertical_gradient(0.75, 0.45), // sky
+        8 => {
+            c.add_vertical_gradient(0.6, 0.2);
+            c.fill_rect(0.0, s * 0.65, s, s, 0.35); // water band
+        }
+        _ => c.add_vertical_gradient(0.35, 0.6), // ground haze
+    }
+
+    let body = rng.next_range(0.75, 0.95) as f32;
+    match class {
+        // Airplane: fuselage + swept wings.
+        0 => {
+            c.fill_ellipse(x(0.5), y(0.5), 0.32 * s, 0.07 * s, 0.0, body);
+            c.draw_line(x(0.5), y(0.5), x(0.28), y(0.3), 2.0, body);
+            c.draw_line(x(0.5), y(0.5), x(0.72), y(0.3), 2.0, body);
+            c.draw_line(x(0.2), y(0.52), x(0.14), y(0.4), 1.6, body);
+        }
+        // Automobile: body, cabin, wheels.
+        1 => {
+            c.fill_rect(x(0.2), y(0.5), x(0.8), y(0.68), body);
+            c.fill_rect(x(0.33), y(0.38), x(0.67), y(0.5), body * 0.9);
+            c.fill_ellipse(x(0.32), y(0.7), 0.07 * s, 0.07 * s, 0.0, 0.1);
+            c.fill_ellipse(x(0.68), y(0.7), 0.07 * s, 0.07 * s, 0.0, 0.1);
+        }
+        // Bird: small body, head, wing stroke.
+        2 => {
+            c.fill_ellipse(x(0.5), y(0.55), 0.16 * s, 0.1 * s, 0.3, body);
+            c.fill_ellipse(x(0.63), y(0.45), 0.06 * s, 0.06 * s, 0.0, body);
+            c.draw_line(x(0.45), y(0.52), x(0.3), y(0.35), 2.0, body);
+        }
+        // Cat: round head, pointed ears, body blob.
+        3 => {
+            c.fill_ellipse(x(0.5), y(0.42), 0.14 * s, 0.13 * s, 0.0, body);
+            c.draw_line(x(0.41), y(0.33), x(0.38), y(0.2), 2.2, body);
+            c.draw_line(x(0.59), y(0.33), x(0.62), y(0.2), 2.2, body);
+            c.fill_ellipse(x(0.5), y(0.68), 0.18 * s, 0.14 * s, 0.0, body * 0.92);
+        }
+        // Deer: slender body, long legs, antlers.
+        4 => {
+            c.fill_ellipse(x(0.5), y(0.5), 0.2 * s, 0.1 * s, 0.0, body);
+            for leg in 0..4 {
+                let lx = 0.35 + 0.1 * leg as f32;
+                c.draw_line(x(lx), y(0.58), x(lx), y(0.85), 1.4, body);
+            }
+            c.draw_line(x(0.66), y(0.42), x(0.72), y(0.22), 1.3, body);
+            c.draw_line(x(0.72), y(0.3), x(0.78), y(0.2), 1.2, body);
+        }
+        // Dog: head with drooping ears, body.
+        5 => {
+            c.fill_ellipse(x(0.45), y(0.4), 0.13 * s, 0.12 * s, 0.0, body);
+            c.draw_line(x(0.35), y(0.38), x(0.3), y(0.52), 2.6, body * 0.9);
+            c.draw_line(x(0.55), y(0.38), x(0.6), y(0.52), 2.6, body * 0.9);
+            c.fill_ellipse(x(0.55), y(0.66), 0.2 * s, 0.13 * s, 0.0, body * 0.95);
+        }
+        // Frog: wide low blob with eye bumps.
+        6 => {
+            c.fill_ellipse(x(0.5), y(0.62), 0.26 * s, 0.13 * s, 0.0, body);
+            c.fill_ellipse(x(0.38), y(0.46), 0.05 * s, 0.05 * s, 0.0, body);
+            c.fill_ellipse(x(0.62), y(0.46), 0.05 * s, 0.05 * s, 0.0, body);
+        }
+        // Horse: body, neck, long legs.
+        7 => {
+            c.fill_ellipse(x(0.5), y(0.52), 0.22 * s, 0.11 * s, 0.0, body);
+            c.draw_line(x(0.68), y(0.46), x(0.78), y(0.28), 3.0, body);
+            c.fill_ellipse(x(0.8), y(0.26), 0.06 * s, 0.05 * s, 0.3, body);
+            for leg in 0..4 {
+                let lx = 0.34 + 0.1 * leg as f32;
+                c.draw_line(x(lx), y(0.6), x(lx), y(0.88), 1.6, body);
+            }
+        }
+        // Ship: hull trapezoid + superstructure + mast.
+        8 => {
+            let rows = (0.12 * s) as i32;
+            for r in 0..rows {
+                let t = r as f32 / rows as f32;
+                let half = 0.3 - 0.08 * t;
+                c.fill_hspan((y(0.58) + r as f32) as i32, x(0.5 - half), x(0.5 + half), body);
+            }
+            c.fill_rect(x(0.42), y(0.42), x(0.62), y(0.58), body * 0.9);
+            c.draw_line(x(0.52), y(0.42), x(0.52), y(0.22), 1.4, body);
+        }
+        // Truck: long box, cab, wheels.
+        9 => {
+            c.fill_rect(x(0.15), y(0.4), x(0.65), y(0.68), body);
+            c.fill_rect(x(0.65), y(0.48), x(0.85), y(0.68), body * 0.9);
+            c.fill_ellipse(x(0.3), y(0.72), 0.06 * s, 0.06 * s, 0.0, 0.1);
+            c.fill_ellipse(x(0.72), y(0.72), 0.06 * s, 0.06 * s, 0.0, 0.1);
+        }
+        _ => unreachable!(),
+    }
+
+    // Natural-image nuisance: texture noise + blur + contrast jitter.
+    c.box_blur(1);
+    c.add_noise(rng, 0.22);
+    c.to_u8()
+}
+
+/// Render one SVHN-like street-number sample of `class` (the digit
+/// 0..=9) at `size × size`.
+pub fn render_svhn(class: usize, size: usize, rng: &mut Xoshiro256StarStar) -> Vec<u8> {
+    assert!(class < 10, "svhn classes are 0..=9");
+    let mut c = Canvas::new(size, size);
+    // Wall/background with gradient + clutter rectangles.
+    let wall = 0.40f32;
+    c.gain_offset(0.0, wall);
+    c.add_vertical_gradient(-0.03, 0.05);
+    for _ in 0..3 {
+        let x0 = rng.next_range(0.0, f64::from(size as u32)) as f32;
+        let y0 = rng.next_range(0.0, f64::from(size as u32)) as f32;
+        let w = rng.next_range(3.0, 10.0) as f32;
+        let h = rng.next_range(3.0, 10.0) as f32;
+        let shade = wall + rng.next_range(-0.06, 0.06) as f32;
+        c.fill_rect(x0, y0, x0 + w, y0 + h, shade.clamp(0.0, 1.0));
+    }
+
+    // Central digit: reuse the stroke-digit renderer at a smaller inset,
+    // then composite with contrast against the wall.
+    let digit_px = digits::render_digit(class, size * 3 / 4, rng);
+    let inset = size / 8;
+    let dsz = size * 3 / 4;
+    let digit_bright = wall + rng.next_range(0.38, 0.44) as f32;
+    for dy in 0..dsz {
+        for dx in 0..dsz {
+            let v = f32::from(digit_px[dy * dsz + dx]) / 255.0;
+            if v > 0.3 {
+                c.blend_max((inset + dx) as i32, (inset + dy) as i32, digit_bright.min(1.0));
+            }
+        }
+    }
+
+    // Distractor digit fragment at a side (SVHN crops contain neighbours).
+    let distractor = digits::render_digit((class + 3) % 10, size / 2, rng);
+    let dd = size / 2;
+    let side = if rng.next_bool(0.5) { -(dd as i32) * 2 / 3 } else { size as i32 - dd as i32 / 3 };
+    for dy in 0..dd {
+        for dx in 0..dd {
+            let v = f32::from(distractor[dy * dd + dx]) / 255.0;
+            if v > 0.3 {
+                c.blend_max(side + dx as i32, (size / 4 + dy) as i32, digit_bright * 0.9);
+            }
+        }
+    }
+
+    c.box_blur(1);
+    c.add_noise(rng, 0.06);
+    c.to_u8()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cifar_classes_render() {
+        let mut rng = Xoshiro256StarStar::seeded(12);
+        for class in 0..10 {
+            let img = render_cifar(class, 32, &mut rng);
+            assert_eq!(img.len(), 1024);
+            // Backgrounds guarantee a non-trivial intensity spread.
+            let min = *img.iter().min().unwrap();
+            let max = *img.iter().max().unwrap();
+            assert!(max - min > 60, "class {class} too flat: {min}..{max}");
+        }
+    }
+
+    #[test]
+    fn svhn_digit_region_brighter_than_wall() {
+        let mut rng = Xoshiro256StarStar::seeded(13);
+        let img = render_svhn(8, 32, &mut rng);
+        assert_eq!(img.len(), 1024);
+        // Centre (digit) brighter than corners (wall) on average.
+        let centre: u64 = (12..20)
+            .flat_map(|y| (12..20).map(move |x| (x, y)))
+            .map(|(x, y)| u64::from(img[y * 32 + x]))
+            .sum();
+        let corner: u64 =
+            (0..8).flat_map(|y| (0..8).map(move |x| (x, y)))
+            .map(|(x, y)| u64::from(img[y * 32 + x]))
+            .sum();
+        assert!(centre > corner, "centre {centre} vs corner {corner}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Xoshiro256StarStar::seeded(14);
+        let mut b = Xoshiro256StarStar::seeded(14);
+        assert_eq!(render_cifar(7, 32, &mut a), render_cifar(7, 32, &mut b));
+        let mut a = Xoshiro256StarStar::seeded(15);
+        let mut b = Xoshiro256StarStar::seeded(15);
+        assert_eq!(render_svhn(2, 32, &mut a), render_svhn(2, 32, &mut b));
+    }
+
+    #[test]
+    #[should_panic(expected = "cifar classes")]
+    fn cifar_class_bound() {
+        let mut rng = Xoshiro256StarStar::seeded(1);
+        let _ = render_cifar(10, 32, &mut rng);
+    }
+}

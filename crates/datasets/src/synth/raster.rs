@@ -1,0 +1,291 @@
+//! Tiny software rasterizer backing the synthetic dataset generators.
+//!
+//! Works in floating-point intensity (0..1) on a fixed-size canvas, with
+//! just enough primitives — thick lines, filled ellipses, rectangles,
+//! horizontal spans, blur, noise — to compose recognizable object classes
+//! procedurally.
+
+use uhd_lowdisc::rng::Xoshiro256StarStar;
+
+/// A float grayscale canvas.
+#[derive(Debug, Clone)]
+pub struct Canvas {
+    width: usize,
+    height: usize,
+    px: Vec<f32>,
+}
+
+impl Canvas {
+    /// Create a black canvas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "canvas must be non-empty");
+        Canvas { width, height, px: vec![0.0; width * height] }
+    }
+
+    /// Canvas width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Canvas height.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Intensity at (x, y), or 0 outside the canvas.
+    #[must_use]
+    pub fn get(&self, x: i32, y: i32) -> f32 {
+        if x < 0 || y < 0 || x >= self.width as i32 || y >= self.height as i32 {
+            return 0.0;
+        }
+        self.px[y as usize * self.width + x as usize]
+    }
+
+    /// Set intensity at (x, y); out-of-bounds writes are ignored.
+    pub fn set(&mut self, x: i32, y: i32, v: f32) {
+        if x < 0 || y < 0 || x >= self.width as i32 || y >= self.height as i32 {
+            return;
+        }
+        self.px[y as usize * self.width + x as usize] = v;
+    }
+
+    /// `max`-blend intensity at (x, y) (keeps the brighter value).
+    pub fn blend_max(&mut self, x: i32, y: i32, v: f32) {
+        if x < 0 || y < 0 || x >= self.width as i32 || y >= self.height as i32 {
+            return;
+        }
+        let p = &mut self.px[y as usize * self.width + x as usize];
+        if v > *p {
+            *p = v;
+        }
+    }
+
+    /// Draw a thick anti-alias-free line from `(x0, y0)` to `(x1, y1)` in
+    /// pixel coordinates.
+    pub fn draw_line(&mut self, x0: f32, y0: f32, x1: f32, y1: f32, thickness: f32, v: f32) {
+        let dx = x1 - x0;
+        let dy = y1 - y0;
+        let len = (dx * dx + dy * dy).sqrt().max(1e-6);
+        let steps = (len * 2.0).ceil() as usize + 1;
+        let r = thickness / 2.0;
+        for s in 0..steps {
+            let t = s as f32 / (steps - 1).max(1) as f32;
+            let cx = x0 + dx * t;
+            let cy = y0 + dy * t;
+            let lo_x = (cx - r).floor() as i32;
+            let hi_x = (cx + r).ceil() as i32;
+            let lo_y = (cy - r).floor() as i32;
+            let hi_y = (cy + r).ceil() as i32;
+            for y in lo_y..=hi_y {
+                for x in lo_x..=hi_x {
+                    let ddx = x as f32 - cx;
+                    let ddy = y as f32 - cy;
+                    if ddx * ddx + ddy * ddy <= r * r {
+                        self.blend_max(x, y, v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fill an axis-angled ellipse centred at `(cx, cy)` with radii
+    /// `(rx, ry)` rotated by `angle` radians.
+    pub fn fill_ellipse(&mut self, cx: f32, cy: f32, rx: f32, ry: f32, angle: f32, v: f32) {
+        let (sin, cos) = angle.sin_cos();
+        let r = rx.max(ry).ceil() as i32 + 1;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let x = dx as f32;
+                let y = dy as f32;
+                let u = (x * cos + y * sin) / rx.max(1e-6);
+                let w = (-x * sin + y * cos) / ry.max(1e-6);
+                if u * u + w * w <= 1.0 {
+                    self.blend_max((cx + x) as i32, (cy + y) as i32, v);
+                }
+            }
+        }
+    }
+
+    /// Fill an axis-aligned rectangle (inclusive corners, pixel coords).
+    pub fn fill_rect(&mut self, x0: f32, y0: f32, x1: f32, y1: f32, v: f32) {
+        let (x0, x1) = (x0.min(x1), x0.max(x1));
+        let (y0, y1) = (y0.min(y1), y0.max(y1));
+        for y in y0.floor() as i32..=y1.ceil() as i32 {
+            for x in x0.floor() as i32..=x1.ceil() as i32 {
+                self.blend_max(x, y, v);
+            }
+        }
+    }
+
+    /// Fill a horizontal span on row `y` from `x0` to `x1`.
+    pub fn fill_hspan(&mut self, y: i32, x0: f32, x1: f32, v: f32) {
+        for x in x0.floor() as i32..=x1.ceil() as i32 {
+            self.blend_max(x, y, v);
+        }
+    }
+
+    /// One-pass box blur with the given integer radius.
+    pub fn box_blur(&mut self, radius: i32) {
+        if radius <= 0 {
+            return;
+        }
+        let mut out = vec![0.0f32; self.px.len()];
+        for y in 0..self.height as i32 {
+            for x in 0..self.width as i32 {
+                let mut sum = 0.0;
+                let mut n = 0;
+                for dy in -radius..=radius {
+                    for dx in -radius..=radius {
+                        let xx = x + dx;
+                        let yy = y + dy;
+                        if xx >= 0 && yy >= 0 && xx < self.width as i32 && yy < self.height as i32
+                        {
+                            sum += self.px[yy as usize * self.width + xx as usize];
+                            n += 1;
+                        }
+                    }
+                }
+                out[y as usize * self.width + x as usize] = sum / n as f32;
+            }
+        }
+        self.px = out;
+    }
+
+    /// Additive Gaussian-ish noise with standard deviation `sigma`.
+    pub fn add_noise(&mut self, rng: &mut Xoshiro256StarStar, sigma: f32) {
+        for p in &mut self.px {
+            *p += rng.next_gaussian() as f32 * sigma;
+        }
+    }
+
+    /// Multiplicative speckle noise (ultrasound-style).
+    pub fn speckle(&mut self, rng: &mut Xoshiro256StarStar, strength: f32) {
+        for p in &mut self.px {
+            let m = 1.0 + rng.next_gaussian() as f32 * strength;
+            *p *= m.max(0.0);
+        }
+    }
+
+    /// Apply `v → v·gain + offset` to every pixel.
+    pub fn gain_offset(&mut self, gain: f32, offset: f32) {
+        for p in &mut self.px {
+            *p = *p * gain + offset;
+        }
+    }
+
+    /// Vertical gradient from `top` at row 0 to `bottom` at the last row,
+    /// blended additively.
+    pub fn add_vertical_gradient(&mut self, top: f32, bottom: f32) {
+        for y in 0..self.height {
+            let t = y as f32 / (self.height - 1).max(1) as f32;
+            let v = top + (bottom - top) * t;
+            for x in 0..self.width {
+                self.px[y * self.width + x] += v;
+            }
+        }
+    }
+
+    /// Quantize to 8-bit, clamping to [0, 1].
+    #[must_use]
+    pub fn to_u8(&self) -> Vec<u8> {
+        self.px.iter().map(|&p| (p.clamp(0.0, 1.0) * 255.0).round() as u8).collect()
+    }
+
+    /// Mean intensity (for tests).
+    #[must_use]
+    pub fn mean(&self) -> f32 {
+        self.px.iter().sum::<f32>() / self.px.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_marks_pixels_along_path() {
+        let mut c = Canvas::new(16, 16);
+        c.draw_line(2.0, 2.0, 13.0, 13.0, 2.0, 1.0);
+        assert!(c.get(2, 2) > 0.0);
+        assert!(c.get(8, 8) > 0.0);
+        assert!(c.get(13, 13) > 0.0);
+        assert_eq!(c.get(15, 0), 0.0);
+    }
+
+    #[test]
+    fn ellipse_is_filled_and_bounded() {
+        let mut c = Canvas::new(20, 20);
+        c.fill_ellipse(10.0, 10.0, 5.0, 3.0, 0.0, 1.0);
+        assert!(c.get(10, 10) > 0.0);
+        assert!(c.get(14, 10) > 0.0); // inside along x
+        assert_eq!(c.get(10, 15), 0.0); // outside along y
+    }
+
+    #[test]
+    fn rect_fill_covers_corners() {
+        let mut c = Canvas::new(10, 10);
+        c.fill_rect(2.0, 3.0, 6.0, 7.0, 0.8);
+        assert!(c.get(2, 3) > 0.0);
+        assert!(c.get(6, 7) > 0.0);
+        assert_eq!(c.get(8, 8), 0.0);
+    }
+
+    #[test]
+    fn out_of_bounds_writes_are_ignored() {
+        let mut c = Canvas::new(4, 4);
+        c.set(-1, 0, 1.0);
+        c.set(0, 99, 1.0);
+        c.fill_rect(-5.0, -5.0, 2.0, 2.0, 1.0); // partially off-canvas
+        assert!(c.get(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn blur_spreads_and_conserves_roughly() {
+        let mut c = Canvas::new(9, 9);
+        c.set(4, 4, 1.0);
+        let before = c.mean();
+        c.box_blur(1);
+        assert!(c.get(3, 4) > 0.0, "blur must spread");
+        // Interior blur conserves mass; only edges lose a little.
+        assert!((c.mean() - before).abs() < 0.01);
+    }
+
+    #[test]
+    fn to_u8_clamps() {
+        let mut c = Canvas::new(2, 1);
+        c.set(0, 0, 2.0);
+        c.set(1, 0, -1.0);
+        assert_eq!(c.to_u8(), vec![255, 0]);
+    }
+
+    #[test]
+    fn noise_changes_pixels_deterministically() {
+        let mut rng1 = Xoshiro256StarStar::seeded(1);
+        let mut rng2 = Xoshiro256StarStar::seeded(1);
+        let mut a = Canvas::new(8, 8);
+        let mut b = Canvas::new(8, 8);
+        a.add_noise(&mut rng1, 0.1);
+        b.add_noise(&mut rng2, 0.1);
+        assert_eq!(a.to_u8(), b.to_u8());
+    }
+
+    #[test]
+    fn gradient_is_monotone() {
+        let mut c = Canvas::new(4, 8);
+        c.add_vertical_gradient(0.0, 1.0);
+        assert!(c.get(0, 7) > c.get(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_canvas_panics() {
+        let _ = Canvas::new(0, 5);
+    }
+}

@@ -1,0 +1,279 @@
+//! Embedded-platform cost model (ARM1176JZF-S) behind the paper's
+//! Table I and the whole-system energy-efficiency figure of Table III.
+//!
+//! The paper runs low-level C implementations of both encoders on a
+//! 700 MHz single-core ARM1176 with 250 MB of RAM. That board is not
+//! available here, so the reproduction substitutes a cycle/byte cost
+//! model (DESIGN.md §5.4) driven by *exact structural operation counts*
+//! from the instrumented encoders: random draws, bindings, comparisons,
+//! accumulator updates, table bytes. Per-operation cycle costs are
+//! calibrated once against the paper's D = 1K baseline row; every other
+//! number (the uHD rows, the 8K rows, all ratios) follows from the
+//! operation counts.
+
+/// Per-image structural workload of an encoder (mirrors
+/// `uhd_core::EncoderProfile`, duplicated here so `uhd-hw` stays
+/// independent of the core crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadProfile {
+    /// Pixels (features) per image, H.
+    pub pixels: u64,
+    /// Hypervector dimension D.
+    pub dim: u64,
+    /// Scalar comparisons per image.
+    pub comparisons: u64,
+    /// Binding (XOR/multiply) element operations per image.
+    pub bind_ops: u64,
+    /// Bundling accumulator updates per image.
+    pub accumulate_ops: u64,
+    /// Random numbers drawn per training iteration (hypervector table
+    /// (re)generation); zero for the deterministic uHD encoder.
+    pub rng_draws: u64,
+    /// Persistent table bytes (P/L tables or quantized Sobol scalars).
+    pub table_bytes: u64,
+    /// Scratch bytes per image.
+    pub working_bytes: u64,
+}
+
+impl WorkloadProfile {
+    /// Baseline HDC workload at dimension `d` for `h`-pixel images with
+    /// `levels` level hypervectors: dynamic per-image regeneration of the
+    /// P and L tables (the paper's "dynamic and independent training
+    /// target"), double-precision storage as in the authors' C port.
+    #[must_use]
+    pub fn baseline(h: u64, d: u64, levels: u64) -> Self {
+        WorkloadProfile {
+            pixels: h,
+            dim: d,
+            comparisons: 0,
+            bind_ops: h * d,
+            accumulate_ops: h * d,
+            rng_draws: (h + levels) * d,
+            table_bytes: (h + levels) * d * 8,
+            working_bytes: d * 8,
+        }
+    }
+
+    /// uHD workload at dimension `d` for `h`-pixel images: no random
+    /// draws, no bindings; quantized Sobol scalars stored one byte each
+    /// (M = 4 bits padded to byte addressing, as measured on the board).
+    #[must_use]
+    pub fn uhd(h: u64, d: u64) -> Self {
+        WorkloadProfile {
+            pixels: h,
+            dim: d,
+            comparisons: h * d,
+            bind_ops: 0,
+            accumulate_ops: h * d,
+            rng_draws: 0,
+            table_bytes: h * d,
+            working_bytes: d * 4,
+        }
+    }
+}
+
+/// The modelled ARM1176JZF-S platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArmPlatform {
+    /// Core clock in Hz (700 MHz on the paper's board).
+    pub clock_hz: f64,
+    /// Active core power in watts (typical ARM1176 at 700 MHz).
+    pub active_power_w: f64,
+    /// Cycles per pseudo-random draw (library `rand()` + double
+    /// normalization on a soft-float-heavy core).
+    pub cycles_per_rng_draw: f64,
+    /// Cycles per bind (XOR/multiply) element operation.
+    pub cycles_per_bind: f64,
+    /// Cycles per quantized comparison.
+    pub cycles_per_comparison: f64,
+    /// Cycles per accumulator update.
+    pub cycles_per_accumulate: f64,
+    /// Fixed per-image overhead cycles (loop setup, I/O, similarity).
+    pub fixed_cycles_per_image: f64,
+    /// Memory-system energy per byte touched (DRAM + bus), joules.
+    pub energy_per_byte_j: f64,
+}
+
+impl ArmPlatform {
+    /// The calibrated ARM1176JZF-S model (see module docs).
+    #[must_use]
+    pub fn arm1176() -> Self {
+        ArmPlatform {
+            clock_hz: 700.0e6,
+            active_power_w: 0.45,
+            cycles_per_rng_draw: 450.0,
+            cycles_per_bind: 4.0,
+            cycles_per_comparison: 3.5,
+            cycles_per_accumulate: 2.8,
+            fixed_cycles_per_image: 6.0e6,
+            energy_per_byte_j: 5.0e-9,
+        }
+    }
+
+    /// Cycles to process one image (including per-image hypervector
+    /// regeneration for dynamic encoders).
+    #[must_use]
+    pub fn cycles_per_image(&self, w: &WorkloadProfile) -> f64 {
+        w.rng_draws as f64 * self.cycles_per_rng_draw
+            + w.bind_ops as f64 * self.cycles_per_bind
+            + w.comparisons as f64 * self.cycles_per_comparison
+            + w.accumulate_ops as f64 * self.cycles_per_accumulate
+            + self.fixed_cycles_per_image
+    }
+
+    /// Wall-clock runtime per image, seconds (Table I "Runtime").
+    #[must_use]
+    pub fn runtime_s(&self, w: &WorkloadProfile) -> f64 {
+        self.cycles_per_image(w) / self.clock_hz
+    }
+
+    /// Dynamic memory footprint, kilobytes (Table I "Dyn. Mem."):
+    /// persistent tables plus working buffers.
+    #[must_use]
+    pub fn dynamic_memory_kb(&self, w: &WorkloadProfile) -> f64 {
+        (w.table_bytes + w.working_bytes + w.pixels) as f64 / 1024.0
+    }
+
+    /// Core + memory energy per image, joules.
+    #[must_use]
+    pub fn energy_per_image_j(&self, w: &WorkloadProfile) -> f64 {
+        let cpu = self.runtime_s(w) * self.active_power_w;
+        // Every table byte is touched once per image plus the working set.
+        let mem = (w.table_bytes + w.working_bytes) as f64 * self.energy_per_byte_j;
+        cpu + mem
+    }
+
+    /// Whole-system energy-efficiency of `new` over `reference`
+    /// (Table III convention: >1 means `new` is more efficient).
+    #[must_use]
+    pub fn energy_efficiency(&self, reference: &WorkloadProfile, new: &WorkloadProfile) -> f64 {
+        self.energy_per_image_j(reference) / self.energy_per_image_j(new)
+    }
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Hypervector dimension D.
+    pub d: u64,
+    /// Design name ("baseline" or "uhd").
+    pub design: &'static str,
+    /// Modelled runtime per image, seconds.
+    pub runtime_s: f64,
+    /// Modelled dynamic memory, kilobytes.
+    pub dyn_mem_kb: f64,
+    /// Code size, kilobytes (measured constants from the paper's
+    /// deployed binaries; our Rust build differs structurally, so these
+    /// are carried as reference constants).
+    pub code_kb: f64,
+}
+
+/// Paper Table I reference values `(d, baseline/uhd, runtime s, dyn KB)`.
+pub const PAPER_TABLE1: [(u64, &str, f64, f64); 4] = [
+    (1024, "baseline", 0.701, 8496.0),
+    (1024, "uhd", 0.016, 816.0),
+    (8192, "baseline", 5.938, 52401.0),
+    (8192, "uhd", 0.058, 2220.0),
+];
+
+/// Code-size constants reported by the paper (KB): baseline then uHD.
+pub const PAPER_CODE_KB: (f64, f64) = (13.2, 8.2);
+
+/// Generate Table I (runtime / dynamic memory / code size per image) for
+/// the given dimensions with `h`-pixel images.
+#[must_use]
+pub fn table1(dimensions: &[u64], h: u64, platform: &ArmPlatform) -> Vec<Table1Row> {
+    let mut rows = Vec::new();
+    for &d in dimensions {
+        let base = WorkloadProfile::baseline(h, d, 256);
+        let uhd = WorkloadProfile::uhd(h, d);
+        rows.push(Table1Row {
+            d,
+            design: "baseline",
+            runtime_s: platform.runtime_s(&base),
+            dyn_mem_kb: platform.dynamic_memory_kb(&base),
+            code_kb: PAPER_CODE_KB.0,
+        });
+        rows.push(Table1Row {
+            d,
+            design: "uhd",
+            runtime_s: platform.runtime_s(&uhd),
+            dyn_mem_kb: platform.dynamic_memory_kb(&uhd),
+            code_kb: PAPER_CODE_KB.1,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const H: u64 = 784;
+
+    #[test]
+    fn table1_runtime_shape_matches_paper() {
+        let p = ArmPlatform::arm1176();
+        let rows = table1(&[1024, 8192], H, &p);
+        let get = |d: u64, design: &str| {
+            rows.iter().find(|r| r.d == d && r.design == design).unwrap().clone()
+        };
+        // Absolute runtimes within 2x of the board measurements.
+        assert!((get(1024, "baseline").runtime_s / 0.701 - 1.0).abs() < 1.0);
+        assert!((get(1024, "uhd").runtime_s / 0.016 - 1.0).abs() < 1.0);
+        // Speed-ups: paper reports 43.8x at 1K and 102.3x at 8K. Require
+        // the same ordering and >10x at both sizes.
+        let s1 = get(1024, "baseline").runtime_s / get(1024, "uhd").runtime_s;
+        let s8 = get(8192, "baseline").runtime_s / get(8192, "uhd").runtime_s;
+        assert!(s1 > 10.0, "1K speed-up {s1}");
+        assert!(s8 > s1, "speed-up must grow with D: {s1} -> {s8}");
+    }
+
+    #[test]
+    fn table1_memory_shape_matches_paper() {
+        let p = ArmPlatform::arm1176();
+        let base1k = WorkloadProfile::baseline(H, 1024, 256);
+        let uhd1k = WorkloadProfile::uhd(H, 1024);
+        let mem_ratio_1k = p.dynamic_memory_kb(&base1k) / p.dynamic_memory_kb(&uhd1k);
+        // Paper: 8496/816 = 10.4x.
+        assert!((5.0..25.0).contains(&mem_ratio_1k), "ratio {mem_ratio_1k}");
+        // Absolute baseline footprint lands on the paper's 8.5 MB row.
+        let kb = p.dynamic_memory_kb(&base1k);
+        assert!((kb / 8496.0 - 1.0).abs() < 0.1, "baseline 1K mem {kb} KB");
+        // And uHD's on the 816 KB row.
+        let kb = p.dynamic_memory_kb(&uhd1k);
+        assert!((kb / 816.0 - 1.0).abs() < 0.1, "uhd 1K mem {kb} KB");
+    }
+
+    #[test]
+    fn energy_efficiency_is_large_and_grows_with_d() {
+        let p = ArmPlatform::arm1176();
+        let eff1 = p.energy_efficiency(
+            &WorkloadProfile::baseline(H, 1024, 256),
+            &WorkloadProfile::uhd(H, 1024),
+        );
+        let eff8 = p.energy_efficiency(
+            &WorkloadProfile::baseline(H, 8192, 256),
+            &WorkloadProfile::uhd(H, 8192),
+        );
+        // Paper Table III: 31.83x overall. Require the tens regime.
+        assert!(eff1 > 10.0, "efficiency {eff1}");
+        assert!(eff8 > eff1, "efficiency should grow with D");
+    }
+
+    #[test]
+    fn uhd_profile_is_deterministic_and_multiplier_free() {
+        let w = WorkloadProfile::uhd(H, 1024);
+        assert_eq!(w.rng_draws, 0);
+        assert_eq!(w.bind_ops, 0);
+        assert!(w.comparisons > 0);
+    }
+
+    #[test]
+    fn runtime_is_monotone_in_dimension() {
+        let p = ArmPlatform::arm1176();
+        let r1 = p.runtime_s(&WorkloadProfile::uhd(H, 1024));
+        let r8 = p.runtime_s(&WorkloadProfile::uhd(H, 8192));
+        assert!(r8 > r1);
+    }
+}

@@ -1,0 +1,27 @@
+//! Hardware cost models for the uHD reproduction.
+//!
+//! The paper evaluates its circuits with Synopsys Design Compiler on a
+//! 45 nm library and its software on an ARM1176JZF-S board; neither is
+//! available here, so this crate substitutes (DESIGN.md §5):
+//!
+//! * [`netlist`] — gate-level circuits with switching-activity energy,
+//!   area and critical-path accounting over the calibrated
+//!   [`cell_library`];
+//! * [`circuits`] — the paper's datapath blocks (unary comparator,
+//!   binary comparator, counter+comparator generator, UST fetch, LFSR,
+//!   masking-logic and comparator binarizers);
+//! * [`report`] — the three design checkpoints (➊➋➌) and Table II
+//!   (energy and area×delay per hypervector and per image);
+//! * [`embedded`] — the ARM1176 runtime/memory model behind Table I and
+//!   the energy-efficiency ratio of Table III.
+
+#![warn(missing_docs)]
+
+pub mod cell_library;
+pub mod circuits;
+pub mod embedded;
+pub mod netlist;
+pub mod report;
+
+pub use cell_library::{CellKind, CellLibrary, CellParams};
+pub use netlist::{Circuit, CircuitBuilder};

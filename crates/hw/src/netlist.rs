@@ -1,0 +1,418 @@
+//! Gate-level netlists with switching-activity energy accounting.
+//!
+//! A [`Circuit`] is a topologically ordered list of cells whose inputs
+//! reference earlier nodes (primary inputs or gate outputs). Evaluating a
+//! circuit against an input vector produces output values *and* counts
+//! every node toggle relative to the previous evaluation; energy is the
+//! sum over toggles of the toggling cell's per-event energy — the same
+//! switching-activity × cell-energy model a synthesis power report uses.
+
+use crate::cell_library::{CellKind, CellLibrary};
+
+/// Node identifier: index into the circuit's value array.
+pub type NodeId = usize;
+
+/// One combinational or sequential cell instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gate {
+    /// Cell kind (determines function, energy, area, delay).
+    pub kind: CellKind,
+    /// First input node.
+    pub a: NodeId,
+    /// Second input node (ignored by [`CellKind::Inv`], [`CellKind::Dff`]
+    /// and [`CellKind::RomBit`]).
+    pub b: NodeId,
+}
+
+/// A gate-level circuit.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    inputs: usize,
+    gates: Vec<Gate>,
+    outputs: Vec<NodeId>,
+    /// Node values from the previous evaluation (for toggle counting) and
+    /// flip-flop state.
+    state: Vec<bool>,
+    toggles: u64,
+    energy_fj: f64,
+    library: CellLibrary,
+}
+
+/// Incremental circuit builder.
+///
+/// Nodes `0..inputs` are the primary inputs; every `push_*` call appends
+/// a gate whose output becomes a new node.
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    inputs: usize,
+    gates: Vec<Gate>,
+}
+
+impl CircuitBuilder {
+    /// Start a circuit with `inputs` primary inputs.
+    #[must_use]
+    pub fn new(inputs: usize) -> Self {
+        CircuitBuilder { inputs, gates: Vec::new() }
+    }
+
+    fn node_count(&self) -> usize {
+        self.inputs + self.gates.len()
+    }
+
+    fn push(&mut self, kind: CellKind, a: NodeId, b: NodeId) -> NodeId {
+        let id = self.node_count();
+        assert!(a < id && b < id, "gate inputs must reference earlier nodes");
+        self.gates.push(Gate { kind, a, b });
+        id
+    }
+
+    /// Append an inverter.
+    pub fn inv(&mut self, a: NodeId) -> NodeId {
+        self.push(CellKind::Inv, a, a)
+    }
+
+    /// Append a 2-input AND.
+    pub fn and2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(CellKind::And2, a, b)
+    }
+
+    /// Append a 2-input OR.
+    pub fn or2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(CellKind::Or2, a, b)
+    }
+
+    /// Append a 2-input XOR.
+    pub fn xor2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(CellKind::Xor2, a, b)
+    }
+
+    /// Append a 2-input XNOR.
+    pub fn xnor2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(CellKind::Xnor2, a, b)
+    }
+
+    /// Append a D flip-flop whose D input is `a`. Its output is the value
+    /// latched on the *previous* clock (evaluation).
+    pub fn dff(&mut self, a: NodeId) -> NodeId {
+        self.push(CellKind::Dff, a, a)
+    }
+
+    /// Append a D flip-flop whose D input is not known yet (it may be
+    /// computed from this very flip-flop's output, e.g. a toggle bit).
+    /// Bind the input later with [`CircuitBuilder::bind_dff`].
+    pub fn dff_placeholder(&mut self) -> NodeId {
+        let id = self.node_count();
+        // Self-loop: holds its value until bound.
+        self.gates.push(Gate { kind: CellKind::Dff, a: id, b: id });
+        id
+    }
+
+    /// Bind the D input of a placeholder flip-flop. Forward references
+    /// are allowed for flip-flops only: the evaluator reads a flip-flop's
+    /// *previous* state during the combinational pass and latches its D
+    /// at the end of the cycle, when every node value is available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dff` is not a flip-flop node.
+    pub fn bind_dff(&mut self, dff: NodeId, d: NodeId) {
+        assert!(dff >= self.inputs, "cannot bind a primary input");
+        let gate = &mut self.gates[dff - self.inputs];
+        assert!(gate.kind == CellKind::Dff, "bind_dff target must be a flip-flop");
+        gate.a = d;
+        gate.b = d;
+    }
+
+    /// Append a ROM bit-line read sensing node `a` (models the per-bit
+    /// cost of an associative table fetch; logically passes `a` through).
+    pub fn rom_bit(&mut self, a: NodeId) -> NodeId {
+        self.push(CellKind::RomBit, a, a)
+    }
+
+    /// Balanced AND reduction of several nodes (the N-input AND of
+    /// Fig. 4), built from 2-input ANDs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn and_tree(&mut self, nodes: &[NodeId]) -> NodeId {
+        assert!(!nodes.is_empty(), "and_tree needs at least one node");
+        let mut layer: Vec<NodeId> = nodes.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(self.and2(pair[0], pair[1]));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// Balanced OR reduction of several nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn or_tree(&mut self, nodes: &[NodeId]) -> NodeId {
+        assert!(!nodes.is_empty(), "or_tree needs at least one node");
+        let mut layer: Vec<NodeId> = nodes.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(self.or2(pair[0], pair[1]));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// Finalize with the given output nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any output references a nonexistent node.
+    #[must_use]
+    pub fn build(self, outputs: Vec<NodeId>, library: CellLibrary) -> Circuit {
+        let n = self.node_count();
+        for &o in &outputs {
+            assert!(o < n, "output {o} does not exist");
+        }
+        Circuit {
+            inputs: self.inputs,
+            state: vec![false; n],
+            gates: self.gates,
+            outputs,
+            toggles: 0,
+            energy_fj: 0.0,
+            library,
+        }
+    }
+}
+
+impl Circuit {
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of gate instances.
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Total cell area in µm².
+    #[must_use]
+    pub fn area_um2(&self) -> f64 {
+        self.gates.iter().map(|g| self.library.params(g.kind).area_um2).sum()
+    }
+
+    /// Critical-path delay in picoseconds (longest register-free path).
+    #[must_use]
+    pub fn critical_path_ps(&self) -> f64 {
+        // arrival[node] = earliest time the node's value settles.
+        let mut arrival = vec![0.0f64; self.inputs + self.gates.len()];
+        let mut worst = 0.0f64;
+        for (i, g) in self.gates.iter().enumerate() {
+            let id = self.inputs + i;
+            let d = self.library.params(g.kind).delay_ps;
+            // DFF outputs launch at t=0 (register boundary).
+            let t = if g.kind == CellKind::Dff {
+                d
+            } else {
+                arrival[g.a].max(arrival[g.b]) + d
+            };
+            arrival[id] = t;
+            worst = worst.max(t);
+        }
+        worst
+    }
+
+    /// Evaluate one clock cycle: apply `input_values`, settle
+    /// combinational logic, latch flip-flops, count toggles.
+    ///
+    /// Returns the output node values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_values.len() != self.inputs()`.
+    pub fn step(&mut self, input_values: &[bool]) -> Vec<bool> {
+        assert_eq!(input_values.len(), self.inputs, "wrong input width");
+        let mut next = self.state.clone();
+        next[..self.inputs].copy_from_slice(input_values);
+        // Single topological pass: DFFs output their *previous* state.
+        for (i, g) in self.gates.iter().enumerate() {
+            let id = self.inputs + i;
+            let a = next[g.a];
+            let b = next[g.b];
+            next[id] = match g.kind {
+                CellKind::Inv => !a,
+                CellKind::And2 => a & b,
+                CellKind::Or2 => a | b,
+                CellKind::Xor2 => a ^ b,
+                CellKind::Xnor2 => !(a ^ b),
+                CellKind::Nand2 => !(a & b),
+                CellKind::Nor2 => !(a | b),
+                // Output the previously latched value; latch the new D
+                // afterwards (handled below by writing `a` into state).
+                CellKind::Dff => self.state[id],
+                CellKind::RomBit => a,
+            };
+        }
+        // Count toggles and accumulate energy.
+        for (i, g) in self.gates.iter().enumerate() {
+            let id = self.inputs + i;
+            if next[id] != self.state[id] {
+                self.toggles += 1;
+                self.energy_fj += self.library.params(g.kind).energy_fj;
+            }
+        }
+        let outputs = self.outputs.iter().map(|&o| next[o]).collect();
+        // Latch DFFs: their state becomes the D value computed this cycle.
+        for (i, g) in self.gates.iter().enumerate() {
+            let id = self.inputs + i;
+            if g.kind == CellKind::Dff {
+                let d = next[g.a];
+                if d != next[id] {
+                    // The internal master latch switches even though the
+                    // visible output changes next cycle.
+                    self.toggles += 1;
+                    self.energy_fj += self.library.params(CellKind::Dff).energy_fj * 0.5;
+                }
+                next[id] = d;
+            }
+        }
+        self.state = next;
+        outputs
+    }
+
+    /// Total node toggles since construction (or the last reset).
+    #[must_use]
+    pub fn toggles(&self) -> u64 {
+        self.toggles
+    }
+
+    /// Accumulated switching energy in femtojoules.
+    #[must_use]
+    pub fn energy_fj(&self) -> f64 {
+        self.energy_fj
+    }
+
+    /// Reset activity counters (state is preserved).
+    pub fn reset_energy(&mut self) {
+        self.toggles = 0;
+        self.energy_fj = 0.0;
+    }
+
+    /// Reset all state and counters to power-on zero.
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|v| *v = false);
+        self.reset_energy();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> CellLibrary {
+        CellLibrary::nangate45_like()
+    }
+
+    #[test]
+    fn basic_gate_functions() {
+        let mut b = CircuitBuilder::new(2);
+        let and = b.and2(0, 1);
+        let or = b.or2(0, 1);
+        let xor = b.xor2(0, 1);
+        let inv = b.inv(0);
+        let mut c = b.build(vec![and, or, xor, inv], lib());
+        for (x, y) in [(false, false), (false, true), (true, false), (true, true)] {
+            let out = c.step(&[x, y]);
+            assert_eq!(out, vec![x & y, x | y, x ^ y, !x]);
+        }
+    }
+
+    #[test]
+    fn and_tree_reduces_correctly() {
+        let n = 7;
+        let mut b = CircuitBuilder::new(n);
+        let all: Vec<NodeId> = (0..n).collect();
+        let root = b.and_tree(&all);
+        let mut c = b.build(vec![root], lib());
+        let mut input = vec![true; n];
+        assert_eq!(c.step(&input), vec![true]);
+        input[3] = false;
+        assert_eq!(c.step(&input), vec![false]);
+    }
+
+    #[test]
+    fn energy_accumulates_only_on_toggles() {
+        let mut b = CircuitBuilder::new(1);
+        let inv = b.inv(0);
+        let mut c = b.build(vec![inv], lib());
+        let _ = c.step(&[false]); // inv output goes 0 -> 1: one toggle
+        assert_eq!(c.toggles(), 1);
+        let e1 = c.energy_fj();
+        let _ = c.step(&[false]); // stable: no toggle
+        assert_eq!(c.toggles(), 1);
+        assert_eq!(c.energy_fj(), e1);
+        let _ = c.step(&[true]); // toggles back
+        assert_eq!(c.toggles(), 2);
+    }
+
+    #[test]
+    fn dff_delays_by_one_cycle() {
+        let mut b = CircuitBuilder::new(1);
+        let q = b.dff(0);
+        let mut c = b.build(vec![q], lib());
+        assert_eq!(c.step(&[true]), vec![false], "not yet latched");
+        assert_eq!(c.step(&[false]), vec![true], "previous D appears");
+        assert_eq!(c.step(&[false]), vec![false]);
+    }
+
+    #[test]
+    fn area_and_delay_are_positive_and_monotone() {
+        let mut b1 = CircuitBuilder::new(2);
+        let o1 = b1.and2(0, 1);
+        let small = b1.build(vec![o1], lib());
+
+        let mut b2 = CircuitBuilder::new(2);
+        let x = b2.and2(0, 1);
+        let y = b2.or2(x, 0);
+        let z = b2.xor2(y, 1);
+        let big = b2.build(vec![z], lib());
+
+        assert!(big.area_um2() > small.area_um2());
+        assert!(big.critical_path_ps() > small.critical_path_ps());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong input width")]
+    fn wrong_input_width_panics() {
+        let mut b = CircuitBuilder::new(2);
+        let o = b.and2(0, 1);
+        let mut c = b.build(vec![o], lib());
+        let _ = c.step(&[true]);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut b = CircuitBuilder::new(1);
+        let inv = b.inv(0);
+        let mut c = b.build(vec![inv], lib());
+        let _ = c.step(&[true]);
+        c.reset();
+        assert_eq!(c.toggles(), 0);
+        assert_eq!(c.energy_fj(), 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Error types for the `uhd-lowdisc` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or driving low-discrepancy generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LowDiscError {
+    /// A generator was asked for zero dimensions or zero length.
+    EmptyRequest,
+    /// The requested Sobol dimension exceeds what the direction-number
+    /// machinery can supply.
+    DimensionUnsupported {
+        /// The dimension that was requested (0-based).
+        requested: usize,
+        /// The largest dimension index that can be constructed.
+        max: usize,
+    },
+    /// A quantizer was configured with fewer than two levels.
+    InvalidQuantizerLevels {
+        /// The offending level count.
+        levels: u32,
+    },
+    /// An LFSR was requested with an unsupported register width.
+    InvalidLfsrWidth {
+        /// The offending width in bits.
+        width: u32,
+    },
+    /// An LFSR was seeded with the all-zero (lock-up) state.
+    ZeroLfsrSeed,
+    /// A Halton generator was asked for more dimensions than available
+    /// prime bases.
+    HaltonDimensionUnsupported {
+        /// The dimension that was requested (0-based).
+        requested: usize,
+    },
+}
+
+impl fmt::Display for LowDiscError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowDiscError::EmptyRequest => {
+                write!(f, "generator request must have nonzero dimensions and length")
+            }
+            LowDiscError::DimensionUnsupported { requested, max } => write!(
+                f,
+                "sobol dimension {requested} unsupported (maximum constructible is {max})"
+            ),
+            LowDiscError::InvalidQuantizerLevels { levels } => {
+                write!(f, "quantizer needs at least 2 levels, got {levels}")
+            }
+            LowDiscError::InvalidLfsrWidth { width } => {
+                write!(f, "LFSR width must be in 2..=32, got {width}")
+            }
+            LowDiscError::ZeroLfsrSeed => {
+                write!(f, "LFSR seed must be nonzero (all-zero state locks up)")
+            }
+            LowDiscError::HaltonDimensionUnsupported { requested } => {
+                write!(f, "halton dimension {requested} exceeds the embedded prime table")
+            }
+        }
+    }
+}
+
+impl Error for LowDiscError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let cases = [
+            LowDiscError::EmptyRequest,
+            LowDiscError::DimensionUnsupported { requested: 9999, max: 100 },
+            LowDiscError::InvalidQuantizerLevels { levels: 1 },
+            LowDiscError::InvalidLfsrWidth { width: 99 },
+            LowDiscError::ZeroLfsrSeed,
+            LowDiscError::HaltonDimensionUnsupported { requested: 5000 },
+        ];
+        for c in cases {
+            let s = c.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("LFSR"));
+        }
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LowDiscError>();
+    }
+}

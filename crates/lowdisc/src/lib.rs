@@ -1,0 +1,54 @@
+//! Low-discrepancy sequences and supporting number-theoretic machinery for
+//! the uHD reproduction.
+//!
+//! The uHD paper replaces the pseudo-random hypervector generation of
+//! conventional hyperdimensional computing (HDC) with *quasi-random*
+//! low-discrepancy (LD) Sobol sequences. This crate provides every
+//! number-generation substrate the system needs:
+//!
+//! * [`sobol`] — a multi-dimensional Gray-code Sobol sequence generator,
+//!   equivalent in role to the MATLAB `sobolset` generator used by the
+//!   paper. Direction numbers come from an embedded table for low
+//!   dimensions and are derived procedurally (primitive polynomials over
+//!   GF(2) + deterministic initial direction numbers) for arbitrary
+//!   dimensions.
+//! * [`halton`], [`r2`], [`vdc`] — alternative LD families used by the
+//!   ablation studies.
+//! * [`lfsr`] — maximal-length linear-feedback shift registers, the
+//!   hardware random source of the *baseline* HDC design.
+//! * [`quantize`] — the ξ-level quantization applied to Sobol scalars and
+//!   pixel intensities before unary-domain processing (paper Fig. 3(a)).
+//! * [`rng`] — small, deterministic PRNGs (SplitMix64, Xoshiro256**) used
+//!   for the baseline's pseudo-random hypervectors and for synthetic data.
+//! * [`discrepancy`] — star-discrepancy estimators backing the paper's
+//!   quasi- vs pseudo-randomness claims.
+//! * [`gf2`] — polynomial arithmetic over GF(2), including primitivity
+//!   testing, shared by the Sobol and LFSR constructions.
+//!
+//! # Example
+//!
+//! ```
+//! use uhd_lowdisc::sobol::SobolDimension;
+//!
+//! // Dimension 0 of the Sobol set is the van der Corput sequence.
+//! let mut dim = SobolDimension::new(0).unwrap();
+//! let first: Vec<f64> = dim.by_ref().take(4).collect();
+//! assert_eq!(first, vec![0.0, 0.5, 0.75, 0.25]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod discrepancy;
+pub mod error;
+pub mod gf2;
+pub mod halton;
+pub mod lfsr;
+pub mod quantize;
+pub mod r2;
+pub mod rng;
+pub mod sobol;
+pub mod vdc;
+
+pub use error::LowDiscError;
+pub use rng::UniformSource;
+pub use sobol::{SobolDimension, SobolSequence};

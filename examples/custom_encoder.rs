@@ -1,0 +1,119 @@
+//! Building a custom encoder on the public API: a Halton-sequence uHD
+//! variant plus a from-scratch `ImageEncoder` implementation (random
+//! projection), both trained and compared on the same data.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example custom_encoder
+//! ```
+
+use uhd::core::accumulator::BitSliceAccumulator;
+use uhd::core::encoder::uhd::{LdFamily, UhdConfig, UhdEncoder};
+use uhd::core::encoder::{EncoderProfile, ImageEncoder};
+use uhd::core::hypervector::{words_for_dim, Hypervector};
+use uhd::core::model::{HdcModel, LabelledImages};
+use uhd::core::HdcError;
+use uhd::datasets::synth::{generate, SynthSpec, SyntheticKind};
+use uhd::lowdisc::rng::Xoshiro256StarStar;
+
+/// A minimal third-party encoder: every (pixel, level) pair gets an
+/// independent random hypervector — maximal memory, no structure. It
+/// exists to show the trait surface and to illustrate what the paper's
+/// deterministic Sobol construction saves.
+struct RandomProjectionEncoder {
+    dim: u32,
+    pixels: usize,
+    levels: u32,
+    table: Vec<Hypervector>,
+}
+
+impl RandomProjectionEncoder {
+    fn new(dim: u32, pixels: usize, levels: u32, seed: u64) -> Self {
+        let mut rng = Xoshiro256StarStar::seeded(seed);
+        let table = (0..pixels * levels as usize)
+            .map(|_| Hypervector::random(dim, &mut rng))
+            .collect();
+        RandomProjectionEncoder { dim, pixels, levels, table }
+    }
+
+    fn level_of(&self, v: u8) -> usize {
+        (usize::from(v) * self.levels as usize) / 256
+    }
+}
+
+impl ImageEncoder for RandomProjectionEncoder {
+    fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    fn pixels(&self) -> usize {
+        self.pixels
+    }
+
+    fn accumulate(&self, image: &[u8], acc: &mut BitSliceAccumulator) -> Result<(), HdcError> {
+        if image.len() != self.pixels {
+            return Err(HdcError::ImageSizeMismatch { expected: self.pixels, got: image.len() });
+        }
+        for (pixel, &v) in image.iter().enumerate() {
+            let hv = &self.table[pixel * self.levels as usize + self.level_of(v)];
+            acc.add_mask(hv.words());
+        }
+        Ok(())
+    }
+
+    fn profile(&self) -> EncoderProfile {
+        EncoderProfile {
+            name: "random-projection",
+            pixels: self.pixels,
+            dim: self.dim,
+            comparisons_per_image: 0,
+            bind_bitops_per_image: 0,
+            accumulate_ops_per_image: self.pixels as u64 * u64::from(self.dim),
+            rng_draws_per_iteration: self.pixels as u64
+                * u64::from(self.levels)
+                * u64::from(self.dim),
+            table_bytes: self.table.len() as u64 * u64::from(words_for_dim(self.dim) as u32) * 8,
+            working_bytes: u64::from(self.dim) * 4,
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let d = 1024u32;
+    let (train, test) = generate(SynthSpec::new(SyntheticKind::Mnist, 1500, 500, 9))?;
+    let tr = LabelledImages::new(train.images(), train.labels())?;
+    let te = LabelledImages::new(test.images(), test.labels())?;
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    // uHD with a different LD family — one config field away.
+    let halton = UhdEncoder::new(UhdConfig {
+        dim: d,
+        pixels: train.pixels(),
+        levels: 16,
+        family: LdFamily::Halton,
+    })?;
+    // The fully custom trait implementation.
+    let custom = RandomProjectionEncoder::new(d, train.pixels(), 16, 11);
+    // The paper-default Sobol encoder for reference.
+    let sobol = UhdEncoder::new(UhdConfig::new(d, train.pixels()))?;
+
+    for (name, enc) in [
+        ("uHD (sobol, paper default)", &sobol as &dyn ImageEncoder),
+        ("uHD (halton family)", &halton as &dyn ImageEncoder),
+        ("custom random-projection", &custom as &dyn ImageEncoder),
+    ] {
+        let model = HdcModel::train_parallel(enc, tr, train.classes(), threads)?;
+        let acc = model.evaluate_parallel(enc, te, threads)?;
+        let profile = enc.profile();
+        println!(
+            "{name:28} accuracy {:6.2}%   table memory {:>10} bytes   rng draws/iter {:>10}",
+            acc * 100.0,
+            profile.table_bytes,
+            profile.rng_draws_per_iteration
+        );
+    }
+    println!("\nThe deterministic LD encoders match the random-table encoder's accuracy");
+    println!("with orders of magnitude less stored/generated randomness — the paper's point.");
+    Ok(())
+}

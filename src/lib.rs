@@ -1,0 +1,22 @@
+//! # uHD — Unary Processing for Lightweight and Dynamic Hyperdimensional Computing
+//!
+//! Facade crate re-exporting every subsystem of the uHD reproduction
+//! (DATE 2024, Aygun, Moghadam & Najafi). See the workspace `README.md`
+//! and `DESIGN.md` for the architecture and the per-experiment index.
+//!
+//! * [`lowdisc`] — Sobol / Halton / R2 low-discrepancy sequences, LFSRs,
+//!   quantization, deterministic RNG.
+//! * [`bitstream`] — unary (thermometer) bit-stream computing substrate.
+//! * [`core`] — hypervectors, the baseline and uHD encoders, training and
+//!   inference.
+//! * [`hw`] — gate-level energy/area/delay model and the embedded ARM
+//!   cost model.
+//! * [`datasets`] — IDX loading and procedural synthetic datasets.
+
+#![warn(missing_docs)]
+
+pub use uhd_bitstream as bitstream;
+pub use uhd_core as core;
+pub use uhd_datasets as datasets;
+pub use uhd_hw as hw;
+pub use uhd_lowdisc as lowdisc;

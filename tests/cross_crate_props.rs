@@ -1,0 +1,89 @@
+//! Property-based integration tests spanning crates.
+
+use proptest::prelude::*;
+use uhd::bitstream::comparator::unary_geq;
+use uhd::bitstream::UnaryBitstream;
+use uhd::core::accumulator::{BitSliceAccumulator, DenseAccumulator};
+use uhd::core::hypervector::{words_for_dim, Hypervector};
+use uhd::core::similarity::cosine;
+use uhd::lowdisc::quantize::Quantizer;
+use uhd::lowdisc::rng::Xoshiro256StarStar;
+use uhd::lowdisc::sobol::SobolDimension;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Quantize → unary-encode → gate-compare equals the float compare
+    /// of the quantized values, for arbitrary scalars: the full
+    /// Fig. 3(a) → Fig. 4 datapath.
+    #[test]
+    fn quantized_unary_compare_is_faithful(x in 0.0f64..=1.0, s in 0.0f64..=1.0) {
+        let q = Quantizer::new(16).unwrap();
+        let (qx, qs) = (q.quantize_unit(x), q.quantize_unit(s));
+        let ux = UnaryBitstream::encode(qx, 16).unwrap();
+        let us = UnaryBitstream::encode(qs, 16).unwrap();
+        prop_assert_eq!(unary_geq(&ux, &us).unwrap(), qx >= qs);
+    }
+
+    /// Sobol-thresholded hypervectors have exactly balanced populations
+    /// for power-of-two dimensions (stratification), for any dimension
+    /// index and threshold 0.5.
+    #[test]
+    fn sobol_threshold_vectors_are_balanced(dim_index in 0usize..64) {
+        let d = 1024u32;
+        let mut seq = SobolDimension::new(dim_index).unwrap();
+        let mut hv = Hypervector::neg_ones(d);
+        for j in 0..d {
+            if seq.next_value() < 0.5 {
+                hv.set_bit(j, true);
+            }
+        }
+        prop_assert_eq!(hv.count_plus_ones(), d / 2);
+    }
+
+    /// Binding distributes over similarity: bind(a, k) and bind(b, k)
+    /// have the same cosine as a and b (binding is an isometry).
+    #[test]
+    fn binding_is_an_isometry(seed in any::<u64>()) {
+        let mut rng = Xoshiro256StarStar::seeded(seed);
+        let a = Hypervector::random(512, &mut rng);
+        let b = Hypervector::random(512, &mut rng);
+        let k = Hypervector::random(512, &mut rng);
+        let before = cosine(&a, &b).unwrap();
+        let after = cosine(&a.bind(&k).unwrap(), &b.bind(&k).unwrap()).unwrap();
+        prop_assert!((before - after).abs() < 1e-12);
+    }
+
+    /// The carry-save accumulator equals the dense accumulator for any
+    /// mask sequence (full-stack version of the unit property).
+    #[test]
+    fn accumulators_agree(seed in any::<u64>(), dim in 65u32..200, n in 1usize..60) {
+        let mut rng = Xoshiro256StarStar::seeded(seed);
+        let wc = words_for_dim(dim);
+        let mut fast = BitSliceAccumulator::new(dim);
+        let mut slow = DenseAccumulator::new(dim);
+        for _ in 0..n {
+            let mut m: Vec<u64> = (0..wc).map(|_| rng.next_u64()).collect();
+            let rem = dim % 64;
+            if rem != 0 {
+                *m.last_mut().unwrap() &= (1u64 << rem) - 1;
+            }
+            fast.add_mask(&m);
+            slow.add_mask(&m);
+        }
+        prop_assert_eq!(fast.binarize(), slow.binarize());
+    }
+
+    /// Bundling majority: the binarized bundle of any odd set of copies
+    /// of one vector is that vector.
+    #[test]
+    fn bundle_of_copies_is_identity(seed in any::<u64>(), copies in 1usize..8) {
+        let mut rng = Xoshiro256StarStar::seeded(seed);
+        let hv = Hypervector::random(256, &mut rng);
+        let mut acc = BitSliceAccumulator::new(256);
+        for _ in 0..(2 * copies - 1) {
+            acc.add_mask(hv.words());
+        }
+        prop_assert_eq!(acc.binarize(), hv);
+    }
+}

@@ -1,0 +1,106 @@
+//! Cross-crate integration: full train→infer pipelines over synthetic
+//! data for both encoders, exercising every crate together.
+
+use uhd::core::encoder::baseline::{BaselineConfig, BaselineEncoder};
+use uhd::core::encoder::uhd::{UhdConfig, UhdEncoder};
+use uhd::core::model::{HdcModel, InferenceMode, LabelledImages};
+use uhd::datasets::synth::{generate, SynthSpec, SyntheticKind};
+use uhd::lowdisc::rng::Xoshiro256StarStar;
+
+fn mnist(train_n: usize, test_n: usize) -> (uhd::datasets::Dataset, uhd::datasets::Dataset) {
+    generate(SynthSpec::new(SyntheticKind::Mnist, train_n, test_n, 42)).expect("generate")
+}
+
+#[test]
+fn uhd_pipeline_learns_synthetic_mnist() {
+    let (train, test) = mnist(600, 200);
+    let enc = UhdEncoder::new(UhdConfig::new(1024, train.pixels())).unwrap();
+    let tr = LabelledImages::new(train.images(), train.labels()).unwrap();
+    let te = LabelledImages::new(test.images(), test.labels()).unwrap();
+    let model = HdcModel::train(&enc, tr, train.classes()).unwrap();
+    let acc = model.evaluate(&enc, te).unwrap();
+    assert!(acc > 0.5, "uHD accuracy {acc} too low for a learnable task");
+}
+
+#[test]
+fn baseline_pipeline_learns_synthetic_mnist() {
+    let (train, test) = mnist(600, 200);
+    let mut rng = Xoshiro256StarStar::seeded(7);
+    let enc =
+        BaselineEncoder::new(BaselineConfig::paper(1024, train.pixels()), &mut rng).unwrap();
+    let tr = LabelledImages::new(train.images(), train.labels()).unwrap();
+    let te = LabelledImages::new(test.images(), test.labels()).unwrap();
+    let model = HdcModel::train(&enc, tr, train.classes()).unwrap();
+    let acc = model.evaluate(&enc, te).unwrap();
+    assert!(acc > 0.5, "baseline accuracy {acc} too low for a learnable task");
+}
+
+#[test]
+fn uhd_is_deterministic_end_to_end() {
+    let (train, test) = mnist(200, 50);
+    let tr = LabelledImages::new(train.images(), train.labels()).unwrap();
+    let run = || {
+        let enc = UhdEncoder::new(UhdConfig::new(512, train.pixels())).unwrap();
+        let model = HdcModel::train(&enc, tr, train.classes()).unwrap();
+        let preds: Vec<usize> = test
+            .images()
+            .iter()
+            .map(|img| model.classify(&enc, img).unwrap().0)
+            .collect();
+        (model.to_bytes(), preds)
+    };
+    let (bytes_a, preds_a) = run();
+    let (bytes_b, preds_b) = run();
+    assert_eq!(bytes_a, bytes_b, "uHD training must be bit-deterministic");
+    assert_eq!(preds_a, preds_b);
+}
+
+#[test]
+fn baseline_fluctuates_across_iterations_uhd_does_not() {
+    // The core claim behind Table IV / Fig. 6(a): the baseline's accuracy
+    // depends on the random hypervector draw; uHD has no draw to vary.
+    let (train, test) = mnist(400, 200);
+    let tr = LabelledImages::new(train.images(), train.labels()).unwrap();
+    let te = LabelledImages::new(test.images(), test.labels()).unwrap();
+    let mut accs = Vec::new();
+    for seed in 0..4 {
+        let mut rng = Xoshiro256StarStar::seeded(seed);
+        let enc =
+            BaselineEncoder::new(BaselineConfig::paper(512, train.pixels()), &mut rng).unwrap();
+        let model = HdcModel::train(&enc, tr, train.classes()).unwrap();
+        accs.push(model.evaluate(&enc, te).unwrap());
+    }
+    let min = accs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = accs.iter().cloned().fold(0.0f64, f64::max);
+    assert!(max - min > 1e-9, "different draws should give different accuracies: {accs:?}");
+}
+
+#[test]
+fn model_round_trips_through_bytes_and_still_classifies() {
+    let (train, test) = mnist(200, 50);
+    let enc = UhdEncoder::new(UhdConfig::new(512, train.pixels())).unwrap();
+    let tr = LabelledImages::new(train.images(), train.labels()).unwrap();
+    let model = HdcModel::train(&enc, tr, train.classes()).unwrap();
+    let restored = HdcModel::from_bytes(&model.to_bytes()).unwrap();
+    for img in test.images().iter().take(10) {
+        assert_eq!(
+            model.classify(&enc, img).unwrap().0,
+            restored.classify(&enc, img).unwrap().0
+        );
+    }
+}
+
+#[test]
+fn inference_modes_all_run() {
+    let (train, test) = mnist(200, 60);
+    let enc = UhdEncoder::new(UhdConfig::new(512, train.pixels())).unwrap();
+    let tr = LabelledImages::new(train.images(), train.labels()).unwrap();
+    let te = LabelledImages::new(test.images(), test.labels()).unwrap();
+    let model = HdcModel::train(&enc, tr, train.classes()).unwrap();
+    for mode in
+        [InferenceMode::IntegerBoth, InferenceMode::IntegerQuery, InferenceMode::BinarizedQuery]
+    {
+        let acc = model.evaluate_with(&enc, te, mode).unwrap();
+        assert!((0.0..=1.0).contains(&acc), "{mode:?}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Failure injection across the public API: malformed inputs must error,
+//! never panic.
+
+use uhd::bitstream::{BitstreamError, UnaryBitstream, UnaryStreamTable};
+use uhd::core::encoder::uhd::{UhdConfig, UhdEncoder};
+use uhd::core::model::{HdcModel, LabelledImages};
+use uhd::core::{HdcError, ImageEncoder};
+use uhd::datasets::idx::{parse_idx_images, parse_idx_labels};
+use uhd::datasets::DatasetError;
+use uhd::lowdisc::sobol::SobolDimension;
+use uhd::lowdisc::LowDiscError;
+
+#[test]
+fn corrupted_idx_files_error_cleanly() {
+    // Empty, garbage magic, truncated payload, truncated header.
+    assert!(parse_idx_images(&[]).is_err());
+    assert!(parse_idx_labels(&[]).is_err());
+    assert!(matches!(
+        parse_idx_images(&[0xFF; 64]),
+        Err(DatasetError::BadIdxHeader { .. })
+    ));
+    let mut valid = Vec::new();
+    valid.extend_from_slice(&0x0000_0803u32.to_be_bytes());
+    valid.extend_from_slice(&2u32.to_be_bytes());
+    valid.extend_from_slice(&2u32.to_be_bytes());
+    valid.extend_from_slice(&2u32.to_be_bytes());
+    valid.extend_from_slice(&[0u8; 7]); // one byte short of 2 images
+    assert!(matches!(parse_idx_images(&valid), Err(DatasetError::TruncatedIdx { .. })));
+}
+
+#[test]
+fn encoder_rejects_malformed_images() {
+    let enc = UhdEncoder::new(UhdConfig::new(128, 16)).unwrap();
+    assert!(matches!(
+        enc.encode(&[]),
+        Err(HdcError::ImageSizeMismatch { expected: 16, got: 0 })
+    ));
+    assert!(matches!(
+        enc.encode(&vec![0u8; 17]),
+        Err(HdcError::ImageSizeMismatch { expected: 16, got: 17 })
+    ));
+}
+
+#[test]
+fn degenerate_configs_rejected_everywhere() {
+    assert!(UhdEncoder::new(UhdConfig::new(0, 16)).is_err());
+    assert!(UhdEncoder::new(UhdConfig::new(128, 0)).is_err());
+    assert!(matches!(SobolDimension::new(1_000_000), Err(LowDiscError::DimensionUnsupported { .. })));
+    assert!(UnaryBitstream::encode(20, 10).is_err());
+    assert!(UnaryStreamTable::new(0, 16).is_err());
+}
+
+#[test]
+fn stream_table_bounds_checked() {
+    let ust = UnaryStreamTable::new(16, 16).unwrap();
+    assert!(matches!(
+        ust.fetch(99),
+        Err(BitstreamError::TableIndexOutOfRange { index: 99, entries: 16 })
+    ));
+}
+
+#[test]
+fn training_validates_labels_and_shapes() {
+    let enc = UhdEncoder::new(UhdConfig::new(128, 4)).unwrap();
+    let images = vec![vec![0u8; 4]; 6];
+    let bad_labels = vec![0usize, 1, 2, 0, 1, 99];
+    let data = LabelledImages::new(&images, &bad_labels).unwrap();
+    assert!(matches!(
+        HdcModel::train(&enc, data, 3),
+        Err(HdcError::InvalidTrainingData { .. })
+    ));
+    // Ragged image sizes surface as encoder errors, not panics.
+    let mut ragged = images.clone();
+    ragged[3] = vec![0u8; 5];
+    let labels = vec![0usize, 1, 2, 0, 1, 2];
+    let data = LabelledImages::new(&ragged, &labels).unwrap();
+    assert!(matches!(HdcModel::train(&enc, data, 3), Err(HdcError::ImageSizeMismatch { .. })));
+}
+
+#[test]
+fn model_bytes_fuzzing_never_panics() {
+    let enc = UhdEncoder::new(UhdConfig::new(128, 4)).unwrap();
+    let images = vec![vec![10u8; 4], vec![240u8; 4]];
+    let labels = vec![0usize, 1];
+    let data = LabelledImages::new(&images, &labels).unwrap();
+    let model = HdcModel::train(&enc, data, 2).unwrap();
+    let bytes = model.to_bytes();
+    // Truncations at every length and a few corruptions must return Err.
+    for cut in 0..bytes.len().min(64) {
+        let _ = HdcModel::from_bytes(&bytes[..cut]);
+    }
+    let mut corrupt = bytes.clone();
+    corrupt[0] ^= 0xFF;
+    assert!(HdcModel::from_bytes(&corrupt).is_err());
+    let mut oversize = bytes.clone();
+    oversize.extend_from_slice(&[0u8; 9]);
+    assert!(HdcModel::from_bytes(&oversize).is_err());
+}

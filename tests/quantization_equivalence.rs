@@ -1,0 +1,105 @@
+//! Cross-crate invariant: the three uHD encoding paths (plane-table fast
+//! path, gate-faithful unary path through the UST + Fig. 4 comparator,
+//! and the hardware netlist) agree bit-for-bit where they overlap.
+
+use uhd::bitstream::comparator::unary_geq;
+use uhd::bitstream::ust::UnaryStreamTable;
+use uhd::core::encoder::uhd::{UhdConfig, UhdEncoder};
+use uhd::core::ImageEncoder;
+use uhd::hw::cell_library::CellLibrary;
+use uhd::hw::circuits::unary_comparator;
+use uhd::lowdisc::quantize::Quantizer;
+
+#[test]
+fn plane_path_equals_unary_gate_path_on_images() {
+    let pixels = 25;
+    let enc = UhdEncoder::new(UhdConfig::new(256, pixels)).unwrap();
+    let ust = UnaryStreamTable::new(16, 16).unwrap();
+    for seed in 0..5u8 {
+        let image: Vec<u8> =
+            (0..pixels).map(|i| ((i as u32 * 41 + u32::from(seed) * 97) % 256) as u8).collect();
+        let fast = enc.encode(&image).unwrap();
+        let gate = enc.encode_via_unary(&image, &ust).unwrap();
+        assert_eq!(fast, gate, "seed {seed}");
+    }
+}
+
+#[test]
+fn software_comparator_equals_hardware_netlist() {
+    // Every (data, sobol) pair through three implementations: the scalar
+    // rule, the packed word path, and the gate-level netlist.
+    let library = CellLibrary::nangate45_like();
+    let mut circuit = unary_comparator(16, library);
+    let ust = UnaryStreamTable::new(17, 16).unwrap();
+    for a in 0..=16u32 {
+        for b in 0..=16u32 {
+            let sa = ust.fetch(a).unwrap();
+            let sb = ust.fetch(b).unwrap();
+            let word = unary_geq(sa, sb).unwrap();
+            let input: Vec<bool> = sa.iter_bits().chain(sb.iter_bits()).collect();
+            let gate = circuit.step(&input)[0];
+            assert_eq!(word, a >= b, "word path a={a} b={b}");
+            assert_eq!(gate, a >= b, "gate path a={a} b={b}");
+        }
+    }
+}
+
+#[test]
+fn quantizer_matches_paper_worked_example_through_the_stack() {
+    // Fig. 3(a)'s scalars, quantized and round-tripped through the UST.
+    let q = Quantizer::new(16).unwrap();
+    let ust = UnaryStreamTable::new(16, 16).unwrap();
+    let cases = [
+        (0.671875, 10u32),
+        (0.359375, 5),
+        (0.859375, 13),
+        (0.609375, 9),
+        (0.109375, 2),
+        (0.984375, 15),
+        (0.484375, 7),
+    ];
+    for (scalar, expect) in cases {
+        let level = q.quantize_unit(scalar);
+        assert_eq!(level, expect, "scalar {scalar}");
+        assert_eq!(ust.fetch(level).unwrap().decode(), expect);
+    }
+}
+
+#[test]
+fn quantization_preserves_accuracy_relevant_structure() {
+    // Coarse (xi=16) and fine (xi=64) encoders agree on the sign of
+    // every confidently bundled dimension for the same image.
+    use uhd::core::accumulator::BitSliceAccumulator;
+    use uhd::core::encoder::uhd::LdFamily;
+    let pixels = 49;
+    let dim = 2048u32;
+    let coarse = UhdEncoder::new(UhdConfig::new(dim, pixels)).unwrap();
+    let fine = UhdEncoder::new(UhdConfig {
+        dim,
+        pixels,
+        levels: 64,
+        family: LdFamily::sobol(),
+    })
+    .unwrap();
+    let image: Vec<u8> = (0..pixels).map(|i| ((i * 13) % 256) as u8).collect();
+    let mut acc_c = BitSliceAccumulator::new(dim);
+    let mut acc_f = BitSliceAccumulator::new(dim);
+    coarse.accumulate(&image, &mut acc_c).unwrap();
+    fine.accumulate(&image, &mut acc_f).unwrap();
+    let sc = acc_c.bipolar_sums();
+    let sf = acc_f.bipolar_sums();
+    let margin = pixels as i64 / 6;
+    let mut confident = 0;
+    let mut agree = 0;
+    for (a, b) in sc.iter().zip(sf.iter()) {
+        if a.abs() >= margin && b.abs() >= margin {
+            confident += 1;
+            if (a >= &0) == (b >= &0) {
+                agree += 1;
+            }
+        }
+    }
+    assert!(confident > 50, "need confident dims, got {confident}");
+    let frac = f64::from(agree) / f64::from(confident);
+    assert!(frac > 0.9, "cross-quantization agreement {frac}");
+}
