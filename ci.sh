@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# CI gate for the uHD workspace.
+#
+#   ./ci.sh            fmt check, clippy -D warnings, release build,
+#                      full test suite, bench compile check
+#   ./ci.sh --smoke    all of the above plus a fast run of every bench
+#                      binary and example (UHD_BENCH_QUICK + tiny sizes)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+smoke=0
+for arg in "$@"; do
+    case "$arg" in
+        --smoke) smoke=1 ;;
+        *) echo "usage: $0 [--smoke]" >&2; exit 2 ;;
+    esac
+done
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test -q"
+cargo test -q
+
+step "cargo bench --no-run"
+cargo bench --no-run
+
+if [ "$smoke" -eq 1 ]; then
+    # Tiny experiment sizes: exercise every binary end-to-end in seconds.
+    export UHD_TRAIN_N=80 UHD_TEST_N=40 UHD_ITERS=2 UHD_BENCH_QUICK=1
+    for bin in table1 table2 table3 table4 table5 fig6 checkpoints ablation; do
+        step "smoke: $bin"
+        cargo run --release -q -p uhd-bench --bin "$bin" > /dev/null
+    done
+    for ex in quickstart custom_encoder orthogonality_study hardware_report \
+              signal_classification; do
+        step "smoke: example $ex"
+        cargo run --release -q --example "$ex" > /dev/null
+    done
+    step "smoke: criterion benches (quick mode)"
+    cargo bench -q -p uhd-bench > /dev/null
+fi
+
+step "OK"

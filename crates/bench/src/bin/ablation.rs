@@ -17,7 +17,10 @@ fn main() {
     let d = 1024;
     let px = bench.train.pixels();
 
-    println!("Ablation studies (synthetic MNIST, D = {d}, {} train / {} test)", cfg.train_n, cfg.test_n);
+    println!(
+        "Ablation studies (synthetic MNIST, D = {d}, {} train / {} test)",
+        cfg.train_n, cfg.test_n
+    );
 
     println!("\n1. Low-discrepancy family (uHD pipeline, xi = 16):");
     let families = [
@@ -28,29 +31,58 @@ fn main() {
         ("pseudo-random control", LdFamily::Pseudo { seed: 9 }),
     ];
     for (name, family) in families {
-        let enc = UhdEncoder::new(UhdConfig { dim: d, pixels: px, levels: 16, family })
-            .expect("encoder");
+        let enc = UhdEncoder::new(UhdConfig {
+            dim: d,
+            pixels: px,
+            levels: 16,
+            family,
+        })
+        .expect("encoder");
         println!("   {name:28} {:6.2}%", accuracy(&enc, &bench, &cfg) * 100.0);
     }
 
     println!("\n2. Quantization level xi (Sobol uHD):");
     for levels in [4u32, 8, 16, 32, 64] {
-        let enc =
-            UhdEncoder::new(UhdConfig { dim: d, pixels: px, levels, family: LdFamily::sobol() })
-                .expect("encoder");
-        println!("   xi = {levels:<3}  {:6.2}%", accuracy(&enc, &bench, &cfg) * 100.0);
+        let enc = UhdEncoder::new(UhdConfig {
+            dim: d,
+            pixels: px,
+            levels,
+            family: LdFamily::sobol(),
+        })
+        .expect("encoder");
+        println!(
+            "   xi = {levels:<3}  {:6.2}%",
+            accuracy(&enc, &bench, &cfg) * 100.0
+        );
     }
 
     println!("\n3. Baseline level-hypervector scheme (P (x) L pipeline):");
     for (name, scheme, levels) in [
-        ("threshold-draw, 256 levels (paper)", LevelScheme::ThresholdDraw, 256u32),
+        (
+            "threshold-draw, 256 levels (paper)",
+            LevelScheme::ThresholdDraw,
+            256u32,
+        ),
         ("threshold-draw, 16 levels", LevelScheme::ThresholdDraw, 16),
-        ("cumulative-flip, 16 levels", LevelScheme::CumulativeFlip, 16),
-        ("cumulative-flip, 256 levels", LevelScheme::CumulativeFlip, 256),
+        (
+            "cumulative-flip, 16 levels",
+            LevelScheme::CumulativeFlip,
+            16,
+        ),
+        (
+            "cumulative-flip, 256 levels",
+            LevelScheme::CumulativeFlip,
+            256,
+        ),
     ] {
         let mut rng = Xoshiro256StarStar::seeded(5);
         let enc = BaselineEncoder::new(
-            BaselineConfig { dim: d, pixels: px, levels, scheme },
+            BaselineConfig {
+                dim: d,
+                pixels: px,
+                levels,
+                scheme,
+            },
             &mut rng,
         )
         .expect("encoder");
@@ -63,6 +95,12 @@ fn main() {
     let base = BaselineEncoder::new(BaselineConfig::paper(d, px), &mut rng).expect("encoder");
     use uhd_core::ImageEncoder;
     let (pu, pb) = (uhd.profile(), base.profile());
-    println!("   uHD:      {} comparisons, {} bind ops, {} rng draws/iter", pu.comparisons_per_image, pu.bind_bitops_per_image, pu.rng_draws_per_iteration);
-    println!("   baseline: {} comparisons, {} bind ops, {} rng draws/iter", pb.comparisons_per_image, pb.bind_bitops_per_image, pb.rng_draws_per_iteration);
+    println!(
+        "   uHD:      {} comparisons, {} bind ops, {} rng draws/iter",
+        pu.comparisons_per_image, pu.bind_bitops_per_image, pu.rng_draws_per_iteration
+    );
+    println!(
+        "   baseline: {} comparisons, {} bind ops, {} rng draws/iter",
+        pb.comparisons_per_image, pb.bind_bitops_per_image, pb.rng_draws_per_iteration
+    );
 }

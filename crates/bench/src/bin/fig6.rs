@@ -26,11 +26,17 @@ fn main() {
     }
     let mean = accs.iter().sum::<f64>() / accs.len() as f64;
     let var = accs.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / accs.len() as f64;
-    println!("# mean {mean:.2}%, std {:.2} pp — the fluctuation the paper highlights", var.sqrt());
+    println!(
+        "# mean {mean:.2}%, std {:.2} pp — the fluctuation the paper highlights",
+        var.sqrt()
+    );
 
     println!("\nFig. 6(b) — prior-art MNIST points (published):");
     for (name, acc, d, retrain) in FIG6B_PRIOR_ART {
-        println!("  {name}: {acc:.2}% at D={d} ({})", if retrain { "w/ retrain" } else { "w/o retrain" });
+        println!(
+            "  {name}: {acc:.2}% at D={d} ({})",
+            if retrain { "w/ retrain" } else { "w/o retrain" }
+        );
     }
 
     println!("\nFig. 6(c) — uHD single-pass accuracy (no retraining, no NN assistance):");

@@ -16,7 +16,10 @@ fn main() {
     let h = 28 * 28;
 
     println!("Table I — performance on the modelled ARM1176 platform (per image)");
-    println!("{:>6} {:>10} {:>14} {:>14} {:>10}", "D", "design", "runtime (s)", "dyn mem (KB)", "code (KB)");
+    println!(
+        "{:>6} {:>10} {:>14} {:>14} {:>10}",
+        "D", "design", "runtime (s)", "dyn mem (KB)", "code (KB)"
+    );
     let rows = table1(&[1024, 8192], h as u64, &platform);
     for row in &rows {
         println!(
@@ -34,7 +37,10 @@ fn main() {
         let base = platform.runtime_s(&WorkloadProfile::baseline(h as u64, d, 256));
         let uhd = platform.runtime_s(&WorkloadProfile::uhd(h as u64, d));
         let paper = if d == 1024 { 43.8 } else { 102.3 };
-        println!("speed-up at D={d}: modelled {:.1}x (paper {paper}x)", base / uhd);
+        println!(
+            "speed-up at D={d}: modelled {:.1}x (paper {paper}x)",
+            base / uhd
+        );
     }
 
     // Ground the model: wall-clock of the actual Rust encoder on this

@@ -16,13 +16,7 @@ fn main() {
     println!("(per-image rows use the paper's H = {PAPER_IMAGE_FEATURES} features)");
     println!(
         "{:>6} {:>16} {:>16} {:>16} {:>16} {:>14} {:>14}",
-        "D",
-        "uHD pJ/HV",
-        "base pJ/HV",
-        "uHD pJ/img",
-        "base pJ/img",
-        "uHD m²·s",
-        "base m²·s"
+        "D", "uHD pJ/HV", "base pJ/HV", "uHD pJ/img", "base pJ/img", "uHD m²·s", "base m²·s"
     );
     for r in &rows {
         println!(

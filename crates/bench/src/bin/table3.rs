@@ -12,7 +12,10 @@ fn main() {
     let h = 28 * 28u64;
 
     println!("Table III — energy efficiency over baseline architectures");
-    println!("{:>20} {:>28} {:>12}", "framework", "platform", "efficiency");
+    println!(
+        "{:>20} {:>28} {:>12}",
+        "framework", "platform", "efficiency"
+    );
     for (name, plat, eff) in SOTA_EFFICIENCY {
         println!("{name:>20} {plat:>28} {eff:>11.2}x  (published)");
     }
@@ -26,17 +29,33 @@ fn main() {
             &WorkloadProfile::baseline(h, d, 256),
             &WorkloadProfile::uhd(h, d),
         );
-        println!("{:>20} {:>28} {:>11.2}x  (modelled, D={d})", "This work", "ARM Microprocessor", eff);
+        println!(
+            "{:>20} {:>28} {:>11.2}x  (modelled, D={d})",
+            "This work", "ARM Microprocessor", eff
+        );
         effs.push(eff);
     }
     let geo = effs.iter().product::<f64>().powf(1.0 / effs.len() as f64);
-    println!("{:>20} {:>28} {:>11.2}x  (modelled, overall)", "This work", "ARM Microprocessor", geo);
-    println!("{:>20} {:>28} {:>11.2}x  (paper)", "This work", "ARM Microprocessor", 31.83);
+    println!(
+        "{:>20} {:>28} {:>11.2}x  (modelled, overall)",
+        "This work", "ARM Microprocessor", geo
+    );
+    println!(
+        "{:>20} {:>28} {:>11.2}x  (paper)",
+        "This work", "ARM Microprocessor", 31.83
+    );
 
     // The paper's claim under test: this work tops the published list.
-    let best_prior = SOTA_EFFICIENCY.iter().map(|&(_, _, e)| e).fold(0.0f64, f64::max);
+    let best_prior = SOTA_EFFICIENCY
+        .iter()
+        .map(|&(_, _, e)| e)
+        .fold(0.0f64, f64::max);
     println!(
         "\nclaim check: modelled efficiency {geo:.1}x {} the best published row ({best_prior:.1}x)",
-        if geo > best_prior { "EXCEEDS" } else { "does NOT exceed" }
+        if geo > best_prior {
+            "EXCEEDS"
+        } else {
+            "does NOT exceed"
+        }
     );
 }

@@ -5,6 +5,8 @@
 //! Run: `cargo run --release -p uhd-bench --bin table4`
 //! Scale with `UHD_TRAIN_N`, `UHD_TEST_N`, `UHD_ITERS`.
 
+use std::fmt::Write as _;
+
 use uhd_bench::{
     accuracy, baseline_encoder, uhd_encoder, ExperimentConfig, Workbench, PAPER_TABLE4,
     TABLE_DIMENSIONS,
@@ -22,10 +24,16 @@ fn main() {
         cfg.train_n, cfg.test_n, cfg.iterations
     );
 
-    let checkpoints: Vec<usize> =
-        [1usize, 5, 20, 50, 75, 100].iter().copied().filter(|&i| i <= cfg.iterations).collect();
-    let header: Vec<String> = checkpoints.iter().map(|i| format!("i=1..{i}")).collect();
-    println!("{:>6} {} {:>8}", "D", header.iter().map(|h| format!("{h:>9}")).collect::<String>(), "uHD i=1");
+    let checkpoints: Vec<usize> = [1usize, 5, 20, 50, 75, 100]
+        .iter()
+        .copied()
+        .filter(|&i| i <= cfg.iterations)
+        .collect();
+    let header = checkpoints.iter().fold(String::new(), |mut s, i| {
+        let _ = write!(s, "{:>9}", format!("i=1..{i}"));
+        s
+    });
+    println!("{:>6} {header} {:>8}", "D", "uHD i=1");
 
     for &d in &TABLE_DIMENSIONS {
         // Baseline: re-roll P/L tables per iteration, record accuracy.
@@ -36,8 +44,10 @@ fn main() {
         }
         let avg_to = |k: usize| accs[..k].iter().sum::<f64>() / k as f64;
         let uhd = accuracy(&uhd_encoder(d, bench.train.pixels()), &bench, &cfg) * 100.0;
-        let cols: String =
-            checkpoints.iter().map(|&k| format!("{:>9.2}", avg_to(k))).collect();
+        let cols = checkpoints.iter().fold(String::new(), |mut s, &k| {
+            let _ = write!(s, "{:>9.2}", avg_to(k));
+            s
+        });
         println!("{d:>6} {cols} {uhd:>8.2}");
     }
 

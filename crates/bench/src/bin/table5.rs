@@ -21,7 +21,10 @@ fn main() {
     ];
 
     println!("Table V — accuracy (%) of uHD (ours) vs baseline HDC on synthetic analogues");
-    println!("{:>24} {:>16} {:>16} {:>16}", "dataset", "D=1K ours/base", "D=2K ours/base", "D=8K ours/base");
+    println!(
+        "{:>24} {:>16} {:>16} {:>16}",
+        "dataset", "D=1K ours/base", "D=2K ours/base", "D=8K ours/base"
+    );
     for kind in kinds {
         let bench = Workbench::new(kind, &cfg);
         let mut cells = Vec::new();
@@ -36,8 +39,10 @@ fn main() {
 
     println!("\npaper reference (real datasets):");
     for (name, rows) in PAPER_TABLE5 {
-        let cells: Vec<String> =
-            rows.iter().map(|(o, b)| format!("{o:>7.2}/{b:<7.2}")).collect();
+        let cells: Vec<String> = rows
+            .iter()
+            .map(|(o, b)| format!("{o:>7.2}/{b:<7.2}"))
+            .collect();
         println!("{:>24} {} {} {}", name, cells[0], cells[1], cells[2]);
     }
 }

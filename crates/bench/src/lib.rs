@@ -39,14 +39,17 @@ impl ExperimentConfig {
     #[must_use]
     pub fn from_env() -> Self {
         let get = |name: &str, default: usize| {
-            std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
         };
         ExperimentConfig {
             train_n: get("UHD_TRAIN_N", 3000),
             test_n: get("UHD_TEST_N", 1000),
             iterations: get("UHD_ITERS", 12),
             seed: get("UHD_SEED", 42) as u64,
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         }
     }
 }
@@ -69,9 +72,8 @@ impl Workbench {
     /// binaries treat that as a fatal usage error).
     #[must_use]
     pub fn new(kind: SyntheticKind, cfg: &ExperimentConfig) -> Self {
-        let (train, test) =
-            generate(SynthSpec::new(kind, cfg.train_n, cfg.test_n, cfg.seed))
-                .expect("dataset generation failed");
+        let (train, test) = generate(SynthSpec::new(kind, cfg.train_n, cfg.test_n, cfg.seed))
+            .expect("dataset generation failed");
         Workbench { train, test }
     }
 
@@ -101,9 +103,13 @@ pub fn accuracy<E: ImageEncoder + ?Sized>(
     bench: &Workbench,
     cfg: &ExperimentConfig,
 ) -> f64 {
-    let model =
-        HdcModel::train_parallel(encoder, bench.train_data(), bench.train.classes(), cfg.threads)
-            .expect("training failed");
+    let model = HdcModel::train_parallel(
+        encoder,
+        bench.train_data(),
+        bench.train.classes(),
+        cfg.threads,
+    )
+    .expect("training failed");
     model
         .evaluate_parallel_with(
             encoder,
@@ -160,16 +166,28 @@ pub const FIG6B_PRIOR_ART: [(&str, f64, u32, bool); 4] = [
 ];
 
 /// Paper Table IV reference values: `(D, baseline i=1 %, uHD %)`.
-pub const PAPER_TABLE4: [(u32, f64, f64); 3] =
-    [(1024, 82.93, 84.44), (2048, 86.24, 87.04), (8192, 88.30, 88.41)];
+pub const PAPER_TABLE4: [(u32, f64, f64); 3] = [
+    (1024, 82.93, 84.44),
+    (2048, 86.24, 87.04),
+    (8192, 88.30, 88.41),
+];
 
 /// Paper Table V reference values:
 /// `(dataset, [ours/baseline % at D = 1K, 2K, 8K])`.
 pub const PAPER_TABLE5: [(&str, [(f64, f64); 3]); 5] = [
     ("CIFAR-10", [(39.29, 38.21), (40.28, 40.26), (41.97, 41.71)]),
-    ("BloodMNIST", [(53.05, 48.52), (55.86, 51.20), (57.88, 51.82)]),
-    ("BreastMNIST", [(68.59, 68.47), (69.23, 69.11), (71.15, 70.93)]),
-    ("FashionMNIST", [(68.60, 54.19), (70.06, 69.97), (71.37, 70.87)]),
+    (
+        "BloodMNIST",
+        [(53.05, 48.52), (55.86, 51.20), (57.88, 51.82)],
+    ),
+    (
+        "BreastMNIST",
+        [(68.59, 68.47), (69.23, 69.11), (71.15, 70.93)],
+    ),
+    (
+        "FashionMNIST",
+        [(68.60, 54.19), (70.06, 69.97), (71.37, 70.87)],
+    ),
     ("SVHN", [(60.29, 60.06), (61.73, 61.24), (62.87, 62.82)]),
 ];
 

@@ -43,11 +43,19 @@ pub fn unary_geq(data: &UnaryBitstream, sobol: &UnaryBitstream) -> Result<bool, 
         });
     }
     // Stage 1: AND -> minimum of the inputs.
-    let minimum: Vec<u64> =
-        data.words().iter().zip(sobol.words()).map(|(a, b)| a & b).collect();
+    let minimum: Vec<u64> = data
+        .words()
+        .iter()
+        .zip(sobol.words())
+        .map(|(a, b)| a & b)
+        .collect();
     // Stage 2: OR with the inverted sobol stream.
     let sobol_inv = sobol.invert_words();
-    let ored: Vec<u64> = minimum.iter().zip(sobol_inv.iter()).map(|(m, s)| m | s).collect();
+    let ored: Vec<u64> = minimum
+        .iter()
+        .zip(sobol_inv.iter())
+        .map(|(m, s)| m | s)
+        .collect();
     // Stage 3: N-input AND — logic-1 iff every in-range bit is 1.
     let full_words = (data.len() / 64) as usize;
     for (i, w) in ored.iter().enumerate() {
@@ -55,7 +63,11 @@ pub fn unary_geq(data: &UnaryBitstream, sobol: &UnaryBitstream) -> Result<bool, 
             u64::MAX
         } else {
             let rem = data.len() % 64;
-            if rem == 0 { u64::MAX } else { (1u64 << rem) - 1 }
+            if rem == 0 {
+                u64::MAX
+            } else {
+                (1u64 << rem) - 1
+            }
         };
         if *w != expect {
             return Ok(false);
@@ -150,7 +162,39 @@ mod tests {
     fn length_mismatch_rejected() {
         let a = UnaryBitstream::encode(1, 8).unwrap();
         let b = UnaryBitstream::encode(1, 16).unwrap();
-        assert!(matches!(unary_geq(&a, &b), Err(BitstreamError::LengthMismatch { .. })));
+        assert!(matches!(
+            unary_geq(&a, &b),
+            Err(BitstreamError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn edge_cases_zero_full_scale_and_equal_operands() {
+        // The extremes of the 8-bit intensity range at both the paper's
+        // stream length (255) and the power-of-two length (256).
+        for n in [8u32, 255, 256] {
+            let zero = UnaryBitstream::encode(0, n).unwrap();
+            let full = UnaryBitstream::encode(n, n).unwrap();
+            let mid = UnaryBitstream::encode(n / 2, n).unwrap();
+            // 0 >= 0 and full >= full: equal operands always compare true.
+            assert!(unary_geq(&zero, &zero).unwrap(), "0 >= 0, n={n}");
+            assert!(unary_geq(&full, &full).unwrap(), "n >= n, n={n}");
+            assert!(unary_geq(&mid, &mid).unwrap(), "mid >= mid, n={n}");
+            // Zero against full scale, both directions.
+            assert!(!unary_geq(&zero, &full).unwrap(), "0 >= n is false, n={n}");
+            assert!(unary_geq(&full, &zero).unwrap(), "n >= 0, n={n}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_geq_is_reflexive(n in 1u32..300, frac in 0.0f64..=1.0) {
+            let v = (frac * f64::from(n)) as u32;
+            let a = UnaryBitstream::encode(v, n).unwrap();
+            let b = UnaryBitstream::encode(v, n).unwrap();
+            prop_assert!(unary_geq(&a, &b).unwrap());
+            prop_assert!(unary_geq(&b, &a).unwrap());
+        }
     }
 
     proptest! {

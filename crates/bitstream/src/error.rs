@@ -38,14 +38,20 @@ impl fmt::Display for BitstreamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BitstreamError::ValueOverflow { value, length } => {
-                write!(f, "value {value} does not fit in a {length}-bit unary stream")
+                write!(
+                    f,
+                    "value {value} does not fit in a {length}-bit unary stream"
+                )
             }
             BitstreamError::LengthMismatch { left, right } => {
                 write!(f, "unary stream lengths differ: {left} vs {right}")
             }
             BitstreamError::EmptyStream => write!(f, "unary streams must have nonzero length"),
             BitstreamError::TableIndexOutOfRange { index, entries } => {
-                write!(f, "stream table index {index} out of range (table has {entries} entries)")
+                write!(
+                    f,
+                    "stream table index {index} out of range (table has {entries} entries)"
+                )
             }
             BitstreamError::NotThermometer => {
                 write!(f, "bit pattern is not a thermometer (unary) code")
@@ -65,8 +71,11 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<BitstreamError>();
         assert!(!BitstreamError::EmptyStream.to_string().is_empty());
-        assert!(BitstreamError::ValueOverflow { value: 9, length: 4 }
-            .to_string()
-            .contains("9"));
+        assert!(BitstreamError::ValueOverflow {
+            value: 9,
+            length: 4
+        }
+        .to_string()
+        .contains('9'));
     }
 }

@@ -31,8 +31,15 @@ impl CounterComparatorGenerator {
     /// degenerate or implausibly large for the modelled hardware).
     #[must_use]
     pub fn new(width: u32) -> Self {
-        assert!((1..=16).contains(&width), "counter width must be 1..=16, got {width}");
-        CounterComparatorGenerator { width, counter: 0, cycles: 0 }
+        assert!(
+            (1..=16).contains(&width),
+            "counter width must be 1..=16, got {width}"
+        );
+        CounterComparatorGenerator {
+            width,
+            counter: 0,
+            cycles: 0,
+        }
     }
 
     /// Counter width M.
@@ -81,7 +88,7 @@ impl CounterComparatorGenerator {
         }
         // Start from a fresh sweep so the prefix property holds.
         self.counter = 0;
-        let mut bits: Vec<u64> = vec![0; ((n as usize) + 63) / 64];
+        let mut bits: Vec<u64> = vec![0; (n as usize).div_ceil(64)];
         for i in 0..n {
             if self.next_bit(value) {
                 bits[(i / 64) as usize] |= 1u64 << (i % 64);
@@ -119,7 +126,10 @@ mod tests {
     #[test]
     fn overflow_value_rejected() {
         let mut g = CounterComparatorGenerator::new(3);
-        assert!(matches!(g.generate(9), Err(BitstreamError::ValueOverflow { .. })));
+        assert!(matches!(
+            g.generate(9),
+            Err(BitstreamError::ValueOverflow { .. })
+        ));
     }
 
     #[test]

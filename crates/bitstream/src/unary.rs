@@ -49,7 +49,11 @@ impl UnaryBitstream {
             });
         }
         let words = Self::prefix_words(value, length);
-        Ok(UnaryBitstream { words, len: length, value })
+        Ok(UnaryBitstream {
+            words,
+            len: length,
+            value,
+        })
     }
 
     /// Construct from raw packed words, validating the thermometer form.
@@ -72,23 +76,31 @@ impl UnaryBitstream {
         if words != expect {
             return Err(BitstreamError::NotThermometer);
         }
-        Ok(UnaryBitstream { words, len: length, value })
+        Ok(UnaryBitstream {
+            words,
+            len: length,
+            value,
+        })
     }
 
     fn word_count(length: u32) -> usize {
-        ((length as usize) + 63) / 64
+        (length as usize).div_ceil(64)
     }
 
     fn prefix_words(value: u32, length: u32) -> Vec<u64> {
         let n = Self::word_count(length);
         let mut words = vec![0u64; n];
         let mut remaining = value as usize;
-        for w in words.iter_mut() {
+        for w in &mut words {
             if remaining == 0 {
                 break;
             }
             let take = remaining.min(64);
-            *w = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            *w = if take == 64 {
+                u64::MAX
+            } else {
+                (1u64 << take) - 1
+            };
             remaining -= take;
         }
         words
@@ -126,7 +138,11 @@ impl UnaryBitstream {
     /// Panics if `i >= len`.
     #[must_use]
     pub fn bit(&self, i: u32) -> bool {
-        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for length {}",
+            self.len
+        );
         (self.words[(i / 64) as usize] >> (i % 64)) & 1 == 1
     }
 
@@ -235,10 +251,16 @@ mod tests {
 
     #[test]
     fn encode_rejects_bad_requests() {
-        assert_eq!(UnaryBitstream::encode(0, 0).unwrap_err(), BitstreamError::EmptyStream);
+        assert_eq!(
+            UnaryBitstream::encode(0, 0).unwrap_err(),
+            BitstreamError::EmptyStream
+        );
         assert_eq!(
             UnaryBitstream::encode(8, 7).unwrap_err(),
-            BitstreamError::ValueOverflow { value: 8, length: 7 }
+            BitstreamError::ValueOverflow {
+                value: 8,
+                length: 7
+            }
         );
     }
 
@@ -273,9 +295,18 @@ mod tests {
     fn length_mismatch_is_an_error() {
         let a = UnaryBitstream::encode(2, 7).unwrap();
         let b = UnaryBitstream::encode(2, 8).unwrap();
-        assert!(matches!(a.and(&b), Err(BitstreamError::LengthMismatch { .. })));
-        assert!(matches!(a.or(&b), Err(BitstreamError::LengthMismatch { .. })));
-        assert!(matches!(a.saturating_add(&b), Err(BitstreamError::LengthMismatch { .. })));
+        assert!(matches!(
+            a.and(&b),
+            Err(BitstreamError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            a.or(&b),
+            Err(BitstreamError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            a.saturating_add(&b),
+            Err(BitstreamError::LengthMismatch { .. })
+        ));
     }
 
     #[test]
@@ -319,6 +350,45 @@ mod tests {
     fn display_of_full_and_empty() {
         assert_eq!(UnaryBitstream::encode(0, 4).unwrap().to_string(), "0000");
         assert_eq!(UnaryBitstream::encode(4, 4).unwrap().to_string(), "1111");
+    }
+
+    #[test]
+    fn full_intensity_scale_round_trips() {
+        // The paper's pixel datapath uses 8-bit intensities: streams of
+        // length 255 and 256 must handle the extremes exactly.
+        for length in [255u32, 256] {
+            for value in [0u32, 1, 127, 254, 255] {
+                let s = UnaryBitstream::encode(value, length).unwrap();
+                assert_eq!(s.decode(), value, "len={length} value={value}");
+                let ones: u32 = s.words().iter().map(|w| w.count_ones()).sum();
+                assert_eq!(ones, value);
+            }
+        }
+        // 256 overflows a 255-bit stream.
+        assert!(matches!(
+            UnaryBitstream::encode(256, 255),
+            Err(BitstreamError::ValueOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn and_or_with_self_are_identity() {
+        for value in [0u32, 7, 255] {
+            let s = UnaryBitstream::encode(value, 255).unwrap();
+            assert_eq!(s.and(&s).unwrap(), s);
+            assert_eq!(s.or(&s).unwrap(), s);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_and_or_with_equal_operands(length in 1u32..300, frac in 0.0f64..=1.0) {
+            let value = (frac * f64::from(length)) as u32;
+            let s = UnaryBitstream::encode(value, length).unwrap();
+            let t = UnaryBitstream::encode(value, length).unwrap();
+            prop_assert_eq!(s.and(&t).unwrap().decode(), value);
+            prop_assert_eq!(s.or(&t).unwrap().decode(), value);
+        }
     }
 
     proptest! {

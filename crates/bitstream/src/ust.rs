@@ -58,7 +58,11 @@ impl UnaryStreamTable {
         let streams = (0..levels)
             .map(|q| UnaryBitstream::encode(q, stream_length))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(UnaryStreamTable { streams, stream_length, fetches: std::cell::Cell::new(0) })
+        Ok(UnaryStreamTable {
+            streams,
+            stream_length,
+            fetches: std::cell::Cell::new(0),
+        })
     }
 
     /// Number of entries ξ.
@@ -79,10 +83,13 @@ impl UnaryStreamTable {
     ///
     /// [`BitstreamError::TableIndexOutOfRange`] if `q` exceeds the table.
     pub fn fetch(&self, q: u32) -> Result<&UnaryBitstream, BitstreamError> {
-        let s = self.streams.get(q as usize).ok_or(BitstreamError::TableIndexOutOfRange {
-            index: u64::from(q),
-            entries: u64::from(self.levels()),
-        })?;
+        let s = self
+            .streams
+            .get(q as usize)
+            .ok_or(BitstreamError::TableIndexOutOfRange {
+                index: u64::from(q),
+                entries: u64::from(self.levels()),
+            })?;
         self.fetches.set(self.fetches.get() + 1);
         Ok(s)
     }
@@ -132,7 +139,10 @@ mod tests {
         let ust = UnaryStreamTable::new(16, 16).unwrap();
         assert!(matches!(
             ust.fetch(16),
-            Err(BitstreamError::TableIndexOutOfRange { index: 16, entries: 16 })
+            Err(BitstreamError::TableIndexOutOfRange {
+                index: 16,
+                entries: 16
+            })
         ));
     }
 
@@ -170,7 +180,11 @@ mod tests {
         let ust = UnaryStreamTable::new(16, 16).unwrap();
         let mut gen = CounterComparatorGenerator::new(4);
         for q in 0..16 {
-            assert_eq!(ust.fetch(q).unwrap(), &gen.generate(q).unwrap(), "level {q}");
+            assert_eq!(
+                ust.fetch(q).unwrap(),
+                &gen.generate(q).unwrap(),
+                "level {q}"
+            );
         }
     }
 }

@@ -37,7 +37,11 @@ impl DenseAccumulator {
     #[must_use]
     pub fn new(dim: u32) -> Self {
         assert!(dim > 0, "accumulator dimension must be nonzero");
-        DenseAccumulator { counts: vec![0; dim as usize], dim, total: 0 }
+        DenseAccumulator {
+            counts: vec![0; dim as usize],
+            dim,
+            total: 0,
+        }
     }
 
     /// Dimension D.
@@ -58,7 +62,11 @@ impl DenseAccumulator {
     ///
     /// Panics if `words.len() != words_for_dim(dim)`.
     pub fn add_mask(&mut self, words: &[u64]) {
-        assert_eq!(words.len(), words_for_dim(self.dim), "mask word count mismatch");
+        assert_eq!(
+            words.len(),
+            words_for_dim(self.dim),
+            "mask word count mismatch"
+        );
         for i in 0..self.dim {
             if (words[(i / 64) as usize] >> (i % 64)) & 1 == 1 {
                 self.counts[i as usize] += 1;
@@ -74,7 +82,10 @@ impl DenseAccumulator {
     /// [`HdcError::DimensionMismatch`] if dimensions differ.
     pub fn add_hypervector(&mut self, hv: &Hypervector) -> Result<(), HdcError> {
         if hv.dim() != self.dim {
-            return Err(HdcError::DimensionMismatch { left: self.dim, right: hv.dim() });
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim,
+                right: hv.dim(),
+            });
         }
         self.add_mask(hv.words());
         Ok(())
@@ -89,7 +100,10 @@ impl DenseAccumulator {
     /// Per-dimension bipolar sums `2·count − total`.
     #[must_use]
     pub fn bipolar_sums(&self) -> Vec<i64> {
-        self.counts.iter().map(|&c| 2 * c - self.total as i64).collect()
+        self.counts
+            .iter()
+            .map(|&c| 2 * c - self.total as i64)
+            .collect()
     }
 
     /// Binarize: +1 where the bipolar sum is ≥ 0 (count ≥ total/2).
@@ -143,7 +157,11 @@ impl BitSliceAccumulator {
     #[must_use]
     pub fn new(dim: u32) -> Self {
         assert!(dim > 0, "accumulator dimension must be nonzero");
-        BitSliceAccumulator { planes: vec![vec![0u64; words_for_dim(dim)]], dim, total: 0 }
+        BitSliceAccumulator {
+            planes: vec![vec![0u64; words_for_dim(dim)]],
+            dim,
+            total: 0,
+        }
     }
 
     /// Dimension D.
@@ -173,8 +191,8 @@ impl BitSliceAccumulator {
     pub fn add_mask(&mut self, words: &[u64]) {
         let wc = words_for_dim(self.dim);
         assert_eq!(words.len(), wc, "mask word count mismatch");
-        for col in 0..wc {
-            let mut carry = words[col];
+        for (col, &word) in words.iter().enumerate() {
+            let mut carry = word;
             let mut k = 0;
             while carry != 0 {
                 if k == self.planes.len() {
@@ -197,13 +215,16 @@ impl BitSliceAccumulator {
     /// [`HdcError::DimensionMismatch`] if dimensions differ.
     pub fn merge(&mut self, other: &BitSliceAccumulator) -> Result<(), HdcError> {
         if other.dim != self.dim {
-            return Err(HdcError::DimensionMismatch { left: self.dim, right: other.dim });
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim,
+                right: other.dim,
+            });
         }
         // Ripple-add every plane of `other` at its weight.
         let wc = words_for_dim(self.dim);
         for (weight, plane) in other.planes.iter().enumerate() {
-            for col in 0..wc {
-                let mut carry = plane[col];
+            for (col, &plane_word) in plane.iter().enumerate() {
+                let mut carry = plane_word;
                 let mut k = weight;
                 while carry != 0 {
                     while self.planes.len() <= k {
@@ -261,7 +282,10 @@ impl BitSliceAccumulator {
     /// Per-dimension bipolar sums `2·count − total`.
     #[must_use]
     pub fn bipolar_sums(&self) -> Vec<i64> {
-        self.counts().iter().map(|&c| 2 * c as i64 - self.total as i64).collect()
+        self.counts()
+            .iter()
+            .map(|&c| 2 * c as i64 - self.total as i64)
+            .collect()
     }
 
     /// Reset to the zero state, keeping the allocated planes.
@@ -279,27 +303,15 @@ impl BitSliceAccumulator {
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    use uhd_lowdisc::rng::Xoshiro256StarStar;
-
-    fn random_mask(rng: &mut Xoshiro256StarStar, words: usize, dim: u32) -> Vec<u64> {
-        let mut m: Vec<u64> = (0..words).map(|_| rng.next_u64()).collect();
-        let rem = dim % 64;
-        if rem != 0 {
-            let last = m.last_mut().unwrap();
-            *last &= (1u64 << rem) - 1;
-        }
-        m
-    }
+    use uhd_testutil::{fixture_rng, random_masks};
 
     #[test]
     fn bit_slice_matches_dense_on_random_masks() {
         let dim = 200u32;
-        let words = words_for_dim(dim);
-        let mut rng = Xoshiro256StarStar::seeded(42);
+        let mut rng = fixture_rng("accumulator_vs_dense");
         let mut dense = DenseAccumulator::new(dim);
         let mut sliced = BitSliceAccumulator::new(dim);
-        for _ in 0..500 {
-            let m = random_mask(&mut rng, words, dim);
+        for m in random_masks(500, dim, &mut rng) {
             dense.add_mask(&m);
             sliced.add_mask(&m);
         }
@@ -334,10 +346,8 @@ mod tests {
     #[test]
     fn merge_equals_sequential_addition() {
         let dim = 130u32;
-        let words = words_for_dim(dim);
-        let mut rng = Xoshiro256StarStar::seeded(7);
-        let masks: Vec<Vec<u64>> =
-            (0..60).map(|_| random_mask(&mut rng, words, dim)).collect();
+        let mut rng = fixture_rng("accumulator_merge");
+        let masks = random_masks(60, dim, &mut rng);
         let mut whole = BitSliceAccumulator::new(dim);
         for m in &masks {
             whole.add_mask(m);
@@ -384,7 +394,10 @@ mod tests {
     fn merge_dimension_mismatch_errors() {
         let mut a = BitSliceAccumulator::new(64);
         let b = BitSliceAccumulator::new(65);
-        assert!(matches!(a.merge(&b), Err(HdcError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.merge(&b),
+            Err(HdcError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
@@ -405,7 +418,7 @@ mod tests {
 
     #[test]
     fn dense_add_hypervector_counts_plus_ones() {
-        let mut rng = Xoshiro256StarStar::seeded(9);
+        let mut rng = fixture_rng("dense_add_hypervector");
         let hv = Hypervector::random(100, &mut rng);
         let mut acc = DenseAccumulator::new(100);
         acc.add_hypervector(&hv).unwrap();
@@ -421,12 +434,10 @@ mod tests {
             seed in any::<u64>(),
             n_masks in 1usize..120,
         ) {
-            let words = words_for_dim(dim);
-            let mut rng = Xoshiro256StarStar::seeded(seed);
+            let mut rng = uhd_lowdisc::rng::Xoshiro256StarStar::seeded(seed);
             let mut dense = DenseAccumulator::new(dim);
             let mut sliced = BitSliceAccumulator::new(dim);
-            for _ in 0..n_masks {
-                let m = random_mask(&mut rng, words, dim);
+            for m in random_masks(n_masks, dim, &mut rng) {
                 dense.add_mask(&m);
                 sliced.add_mask(&m);
             }

@@ -33,7 +33,12 @@ impl BaselineConfig {
     /// Convenience constructor with the default level scheme.
     #[must_use]
     pub fn new(dim: u32, pixels: usize, levels: u32) -> Self {
-        BaselineConfig { dim, pixels, levels, scheme: LevelScheme::default() }
+        BaselineConfig {
+            dim,
+            pixels,
+            levels,
+            scheme: LevelScheme::default(),
+        }
     }
 
     /// The paper-literal baseline: level hypervectors built by the
@@ -43,18 +48,29 @@ impl BaselineConfig {
     /// Tables IV and V.
     #[must_use]
     pub fn paper(dim: u32, pixels: usize) -> Self {
-        BaselineConfig { dim, pixels, levels: 256, scheme: LevelScheme::ThresholdDraw }
+        BaselineConfig {
+            dim,
+            pixels,
+            levels: 256,
+            scheme: LevelScheme::ThresholdDraw,
+        }
     }
 
     fn validate(&self) -> Result<(), HdcError> {
         if self.dim == 0 {
-            return Err(HdcError::InvalidConfig { reason: "dimension must be nonzero".into() });
+            return Err(HdcError::InvalidConfig {
+                reason: "dimension must be nonzero".into(),
+            });
         }
         if self.pixels == 0 {
-            return Err(HdcError::InvalidConfig { reason: "pixel count must be nonzero".into() });
+            return Err(HdcError::InvalidConfig {
+                reason: "pixel count must be nonzero".into(),
+            });
         }
         if self.levels < 2 {
-            return Err(HdcError::InvalidConfig { reason: "need at least 2 levels".into() });
+            return Err(HdcError::InvalidConfig {
+                reason: "need at least 2 levels".into(),
+            });
         }
         Ok(())
     }
@@ -80,12 +96,17 @@ impl BaselineEncoder {
         source: &mut S,
     ) -> Result<Self, HdcError> {
         config.validate()?;
-        let positions =
-            (0..config.pixels).map(|_| Hypervector::random(config.dim, source)).collect();
-        let levels =
-            generate_level_hypervectors(config.dim, config.levels, config.scheme, source);
+        let positions = (0..config.pixels)
+            .map(|_| Hypervector::random(config.dim, source))
+            .collect();
+        let levels = generate_level_hypervectors(config.dim, config.levels, config.scheme, source);
         let quantizer = Quantizer::new(config.levels)?;
-        Ok(BaselineEncoder { config, positions, levels, quantizer })
+        Ok(BaselineEncoder {
+            config,
+            positions,
+            levels,
+            quantizer,
+        })
     }
 
     /// Re-roll the P and L tables in place — one iteration of the
@@ -144,7 +165,11 @@ impl ImageEncoder for BaselineEncoder {
         let mut scratch = vec![0u64; wc];
         let tail_mask = {
             let rem = self.config.dim % 64;
-            if rem == 0 { u64::MAX } else { (1u64 << rem) - 1 }
+            if rem == 0 {
+                u64::MAX
+            } else {
+                (1u64 << rem) - 1
+            }
         };
         for (pixel, &intensity) in image.iter().enumerate() {
             let level = self.level_of(intensity) as usize;
@@ -241,7 +266,10 @@ mod tests {
         let image = vec![0u8; 15];
         assert!(matches!(
             enc.encode(&image),
-            Err(HdcError::ImageSizeMismatch { expected: 16, got: 15 })
+            Err(HdcError::ImageSizeMismatch {
+                expected: 16,
+                got: 15
+            })
         ));
     }
 
@@ -250,7 +278,7 @@ mod tests {
         let enc = small_encoder(5);
         let mut acc = BitSliceAccumulator::new(128);
         assert!(matches!(
-            enc.accumulate(&vec![0u8; 16], &mut acc),
+            enc.accumulate(&[0u8; 16], &mut acc),
             Err(HdcError::DimensionMismatch { .. })
         ));
     }

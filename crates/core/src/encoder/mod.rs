@@ -93,7 +93,10 @@ pub trait ImageEncoder: Send + Sync {
 /// Validate an image length against an encoder's pixel count.
 pub(crate) fn check_image(pixels: usize, image: &[u8]) -> Result<(), HdcError> {
     if image.len() != pixels {
-        return Err(HdcError::ImageSizeMismatch { expected: pixels, got: image.len() });
+        return Err(HdcError::ImageSizeMismatch {
+            expected: pixels,
+            got: image.len(),
+        });
     }
     Ok(())
 }
@@ -101,7 +104,10 @@ pub(crate) fn check_image(pixels: usize, image: &[u8]) -> Result<(), HdcError> {
 /// Validate an accumulator dimension against an encoder's dimension.
 pub(crate) fn check_acc(dim: u32, acc: &BitSliceAccumulator) -> Result<(), HdcError> {
     if acc.dim() != dim {
-        return Err(HdcError::DimensionMismatch { left: dim, right: acc.dim() });
+        return Err(HdcError::DimensionMismatch {
+            left: dim,
+            right: acc.dim(),
+        });
     }
     Ok(())
 }

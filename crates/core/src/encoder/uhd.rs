@@ -68,7 +68,10 @@ impl LdFamily {
     /// `sobolset` convention) and a per-pixel de-phasing stride.
     #[must_use]
     pub fn sobol() -> Self {
-        LdFamily::Sobol { skip_base: 1000, skip_stride: 63 }
+        LdFamily::Sobol {
+            skip_base: 1000,
+            skip_stride: 63,
+        }
     }
 
     /// Sobol with index-aligned dimensions (no skip, no stride) — the
@@ -76,13 +79,19 @@ impl LdFamily {
     /// alignment correlations it suffers from.
     #[must_use]
     pub fn sobol_aligned() -> Self {
-        LdFamily::Sobol { skip_base: 0, skip_stride: 0 }
+        LdFamily::Sobol {
+            skip_base: 0,
+            skip_stride: 0,
+        }
     }
 
     /// Materialize the first `len` sequence values for `pixel`.
     fn values(&self, pixel: usize, len: usize) -> Result<Vec<f64>, HdcError> {
         match *self {
-            LdFamily::Sobol { skip_base, skip_stride } => {
+            LdFamily::Sobol {
+                skip_base,
+                skip_stride,
+            } => {
                 let mut d = SobolDimension::new(pixel)?;
                 d.seek(skip_base + pixel as u64 * skip_stride);
                 Ok(d.take_values(len))
@@ -119,18 +128,29 @@ impl UhdConfig {
     /// Paper-default configuration: Sobol sequences, ξ = 16.
     #[must_use]
     pub fn new(dim: u32, pixels: usize) -> Self {
-        UhdConfig { dim, pixels, levels: 16, family: LdFamily::sobol() }
+        UhdConfig {
+            dim,
+            pixels,
+            levels: 16,
+            family: LdFamily::sobol(),
+        }
     }
 
     fn validate(&self) -> Result<(), HdcError> {
         if self.dim == 0 {
-            return Err(HdcError::InvalidConfig { reason: "dimension must be nonzero".into() });
+            return Err(HdcError::InvalidConfig {
+                reason: "dimension must be nonzero".into(),
+            });
         }
         if self.pixels == 0 {
-            return Err(HdcError::InvalidConfig { reason: "pixel count must be nonzero".into() });
+            return Err(HdcError::InvalidConfig {
+                reason: "pixel count must be nonzero".into(),
+            });
         }
         if self.levels < 2 {
-            return Err(HdcError::InvalidConfig { reason: "need at least 2 levels".into() });
+            return Err(HdcError::InvalidConfig {
+                reason: "need at least 2 levels".into(),
+            });
         }
         Ok(())
     }
@@ -185,7 +205,13 @@ impl UhdEncoder {
                 }
             }
         }
-        Ok(UhdEncoder { config, quantizer, planes, sobol_q, words: wc })
+        Ok(UhdEncoder {
+            config,
+            quantizer,
+            planes,
+            sobol_q,
+            words: wc,
+        })
     }
 
     /// The encoder configuration.
@@ -247,9 +273,7 @@ impl UhdEncoder {
         let mut mask = vec![0u64; wc];
         for (pixel, &v) in image.iter().enumerate() {
             let data = ust.fetch(self.level_of(v))?;
-            for w in mask.iter_mut() {
-                *w = 0;
-            }
+            mask.fill(0);
             for j in 0..self.config.dim as usize {
                 let sobol = ust.fetch(self.sobol_level(pixel, j))?;
                 if unary_geq(data, sobol)? {
@@ -322,10 +346,14 @@ impl UhdExactEncoder {
     /// Same conditions as [`UhdEncoder::new`].
     pub fn new(dim: u32, pixels: usize, family: LdFamily) -> Result<Self, HdcError> {
         if dim == 0 {
-            return Err(HdcError::InvalidConfig { reason: "dimension must be nonzero".into() });
+            return Err(HdcError::InvalidConfig {
+                reason: "dimension must be nonzero".into(),
+            });
         }
         if pixels == 0 {
-            return Err(HdcError::InvalidConfig { reason: "pixel count must be nonzero".into() });
+            return Err(HdcError::InvalidConfig {
+                reason: "pixel count must be nonzero".into(),
+            });
         }
         let mut fractions = vec![0u32; pixels * dim as usize];
         for pixel in 0..pixels {
@@ -335,7 +363,11 @@ impl UhdExactEncoder {
                     (s * 4_294_967_296.0).min(4_294_967_295.0) as u32;
             }
         }
-        Ok(UhdExactEncoder { dim, pixels, fractions })
+        Ok(UhdExactEncoder {
+            dim,
+            pixels,
+            fractions,
+        })
     }
 }
 
@@ -356,9 +388,7 @@ impl ImageEncoder for UhdExactEncoder {
         for (pixel, &v) in image.iter().enumerate() {
             // x >= s  <=>  v/255 >= fr/2^32  <=>  v·2^32 >= fr·255.
             let lhs = u64::from(v) << 32;
-            for w in mask.iter_mut() {
-                *w = 0;
-            }
+            mask.fill(0);
             let base = pixel * self.dim as usize;
             for j in 0..self.dim as usize {
                 if lhs >= u64::from(self.fractions[base + j]) * 255 {
@@ -392,14 +422,31 @@ mod tests {
     use super::*;
 
     fn tiny_config() -> UhdConfig {
-        UhdConfig { dim: 128, pixels: 9, levels: 16, family: LdFamily::sobol() }
+        UhdConfig {
+            dim: 128,
+            pixels: 9,
+            levels: 16,
+            family: LdFamily::sobol(),
+        }
     }
 
     #[test]
     fn rejects_degenerate_configs() {
-        assert!(UhdEncoder::new(UhdConfig { dim: 0, ..tiny_config() }).is_err());
-        assert!(UhdEncoder::new(UhdConfig { pixels: 0, ..tiny_config() }).is_err());
-        assert!(UhdEncoder::new(UhdConfig { levels: 1, ..tiny_config() }).is_err());
+        assert!(UhdEncoder::new(UhdConfig {
+            dim: 0,
+            ..tiny_config()
+        })
+        .is_err());
+        assert!(UhdEncoder::new(UhdConfig {
+            pixels: 0,
+            ..tiny_config()
+        })
+        .is_err());
+        assert!(UhdEncoder::new(UhdConfig {
+            levels: 1,
+            ..tiny_config()
+        })
+        .is_err());
     }
 
     #[test]
@@ -459,8 +506,11 @@ mod tests {
     fn wrong_image_size_errors() {
         let enc = UhdEncoder::new(tiny_config()).unwrap();
         assert!(matches!(
-            enc.encode(&vec![0u8; 8]),
-            Err(HdcError::ImageSizeMismatch { expected: 9, got: 8 })
+            enc.encode(&[0u8; 8]),
+            Err(HdcError::ImageSizeMismatch {
+                expected: 9,
+                got: 8
+            })
         ));
     }
 
@@ -475,10 +525,16 @@ mod tests {
     #[test]
     fn families_produce_different_encoders() {
         let sobol = UhdEncoder::new(tiny_config()).unwrap();
-        let halton =
-            UhdEncoder::new(UhdConfig { family: LdFamily::Halton, ..tiny_config() }).unwrap();
+        let halton = UhdEncoder::new(UhdConfig {
+            family: LdFamily::Halton,
+            ..tiny_config()
+        })
+        .unwrap();
         let image = vec![100u8; 9];
-        assert_ne!(sobol.encode(&image).unwrap(), halton.encode(&image).unwrap());
+        assert_ne!(
+            sobol.encode(&image).unwrap(),
+            halton.encode(&image).unwrap()
+        );
     }
 
     #[test]
@@ -490,8 +546,13 @@ mod tests {
         // paper's "quantization does not affect accuracy" claim).
         let dim = 2048u32;
         let pixels = 25usize;
-        let q = UhdEncoder::new(UhdConfig { dim, pixels, levels: 16, family: LdFamily::sobol() })
-            .unwrap();
+        let q = UhdEncoder::new(UhdConfig {
+            dim,
+            pixels,
+            levels: 16,
+            family: LdFamily::sobol(),
+        })
+        .unwrap();
         let e = UhdExactEncoder::new(dim, pixels, LdFamily::sobol()).unwrap();
         let image: Vec<u8> = (0..pixels).map(|i| (i * 10 % 256) as u8).collect();
         let hq = q.encode(&image).unwrap();
@@ -509,7 +570,10 @@ mod tests {
                 }
             }
         }
-        assert!(confident > 300, "test needs confident dimensions, got {confident}");
+        assert!(
+            confident > 300,
+            "test needs confident dimensions, got {confident}"
+        );
         let frac = agree as f64 / confident as f64;
         assert!(frac > 0.9, "agreement on confident dims {frac}");
     }
@@ -525,7 +589,10 @@ mod tests {
 
     #[test]
     fn pseudo_family_is_seed_deterministic() {
-        let cfg = |seed| UhdConfig { family: LdFamily::Pseudo { seed }, ..tiny_config() };
+        let cfg = |seed| UhdConfig {
+            family: LdFamily::Pseudo { seed },
+            ..tiny_config()
+        };
         let a = UhdEncoder::new(cfg(5)).unwrap();
         let b = UhdEncoder::new(cfg(5)).unwrap();
         let c = UhdEncoder::new(cfg(6)).unwrap();

@@ -35,7 +35,7 @@ pub struct Hypervector {
 #[inline]
 #[must_use]
 pub fn words_for_dim(dim: u32) -> usize {
-    ((dim as usize) + 63) / 64
+    (dim as usize).div_ceil(64)
 }
 
 impl Hypervector {
@@ -47,7 +47,10 @@ impl Hypervector {
     #[must_use]
     pub fn neg_ones(dim: u32) -> Self {
         assert!(dim > 0, "hypervector dimension must be nonzero");
-        Hypervector { words: vec![0u64; words_for_dim(dim)], dim }
+        Hypervector {
+            words: vec![0u64; words_for_dim(dim)],
+            dim,
+        }
     }
 
     /// The all-(+1) vector (every bit 1).
@@ -134,7 +137,11 @@ impl Hypervector {
     /// Panics if `i >= dim`.
     #[must_use]
     pub fn bit(&self, i: u32) -> bool {
-        assert!(i < self.dim, "dimension {i} out of range for D={}", self.dim);
+        assert!(
+            i < self.dim,
+            "dimension {i} out of range for D={}",
+            self.dim
+        );
         (self.words[(i / 64) as usize] >> (i % 64)) & 1 == 1
     }
 
@@ -144,7 +151,11 @@ impl Hypervector {
     ///
     /// Panics if `i >= dim`.
     pub fn set_bit(&mut self, i: u32, plus_one: bool) {
-        assert!(i < self.dim, "dimension {i} out of range for D={}", self.dim);
+        assert!(
+            i < self.dim,
+            "dimension {i} out of range for D={}",
+            self.dim
+        );
         let w = &mut self.words[(i / 64) as usize];
         if plus_one {
             *w |= 1u64 << (i % 64);
@@ -170,9 +181,16 @@ impl Hypervector {
     /// [`HdcError::DimensionMismatch`] if dimensions differ.
     pub fn bind(&self, other: &Self) -> Result<Self, HdcError> {
         self.check_dim(other)?;
-        let words: Vec<u64> =
-            self.words.iter().zip(&other.words).map(|(a, b)| !(a ^ b)).collect();
-        let mut hv = Hypervector { words, dim: self.dim };
+        let words: Vec<u64> = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| !(a ^ b))
+            .collect();
+        let mut hv = Hypervector {
+            words,
+            dim: self.dim,
+        };
         hv.mask_tail();
         Ok(hv)
     }
@@ -181,7 +199,10 @@ impl Hypervector {
     #[must_use]
     pub fn negate(&self) -> Self {
         let words: Vec<u64> = self.words.iter().map(|w| !w).collect();
-        let mut hv = Hypervector { words, dim: self.dim };
+        let mut hv = Hypervector {
+            words,
+            dim: self.dim,
+        };
         hv.mask_tail();
         hv
     }
@@ -220,7 +241,12 @@ impl Hypervector {
     /// [`HdcError::DimensionMismatch`] if dimensions differ.
     pub fn hamming(&self, other: &Self) -> Result<u32, HdcError> {
         self.check_dim(other)?;
-        Ok(self.words.iter().zip(&other.words).map(|(a, b)| (a ^ b).count_ones()).sum())
+        Ok(self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum())
     }
 
     /// Circular shift of dimensions by `k` positions (the *permutation*
@@ -243,7 +269,10 @@ impl Hypervector {
 
     fn check_dim(&self, other: &Self) -> Result<(), HdcError> {
         if self.dim != other.dim {
-            return Err(HdcError::DimensionMismatch { left: self.dim, right: other.dim });
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim,
+                right: other.dim,
+            });
         }
         Ok(())
     }
@@ -295,7 +324,13 @@ mod tests {
     fn bind_dimension_mismatch() {
         let a = Hypervector::ones(64);
         let b = Hypervector::ones(65);
-        assert!(matches!(a.bind(&b), Err(HdcError::DimensionMismatch { left: 64, right: 65 })));
+        assert!(matches!(
+            a.bind(&b),
+            Err(HdcError::DimensionMismatch {
+                left: 64,
+                right: 65
+            })
+        ));
     }
 
     #[test]
@@ -353,10 +388,16 @@ mod tests {
 
     #[test]
     fn from_words_validates() {
-        assert!(matches!(Hypervector::from_words(vec![], 0), Err(HdcError::DimensionZero)));
+        assert!(matches!(
+            Hypervector::from_words(vec![], 0),
+            Err(HdcError::DimensionZero)
+        ));
         assert!(matches!(
             Hypervector::from_words(vec![0, 0], 64),
-            Err(HdcError::WordCountMismatch { expected: 1, got: 2 })
+            Err(HdcError::WordCountMismatch {
+                expected: 1,
+                got: 2
+            })
         ));
         let hv = Hypervector::from_words(vec![u64::MAX], 10).unwrap();
         assert_eq!(hv.count_plus_ones(), 10, "tail bits must be cleared");

@@ -67,7 +67,9 @@ impl<'a> LabelledImages<'a> {
     /// length or are empty.
     pub fn new(images: &'a [Vec<u8>], labels: &'a [usize]) -> Result<Self, HdcError> {
         if images.is_empty() {
-            return Err(HdcError::InvalidTrainingData { reason: "no images".into() });
+            return Err(HdcError::InvalidTrainingData {
+                reason: "no images".into(),
+            });
         }
         if images.len() != labels.len() {
             return Err(HdcError::InvalidTrainingData {
@@ -108,10 +110,13 @@ impl HdcModel {
         classes: usize,
     ) -> Result<Self, HdcError> {
         if classes == 0 {
-            return Err(HdcError::InvalidConfig { reason: "need at least one class".into() });
+            return Err(HdcError::InvalidConfig {
+                reason: "need at least one class".into(),
+            });
         }
-        let mut accs: Vec<BitSliceAccumulator> =
-            (0..classes).map(|_| BitSliceAccumulator::new(encoder.dim())).collect();
+        let mut accs: Vec<BitSliceAccumulator> = (0..classes)
+            .map(|_| BitSliceAccumulator::new(encoder.dim()))
+            .collect();
         for (image, &label) in data.images.iter().zip(data.labels.iter()) {
             if label >= classes {
                 return Err(HdcError::InvalidTrainingData {
@@ -120,7 +125,7 @@ impl HdcModel {
             }
             encoder.accumulate(image, &mut accs[label])?;
         }
-        Self::from_accumulators(accs, encoder.dim())
+        Self::from_accumulators(&accs, encoder.dim())
     }
 
     /// Multi-threaded single-pass training (bit-identical to
@@ -136,7 +141,9 @@ impl HdcModel {
         threads: usize,
     ) -> Result<Self, HdcError> {
         if classes == 0 {
-            return Err(HdcError::InvalidConfig { reason: "need at least one class".into() });
+            return Err(HdcError::InvalidConfig {
+                reason: "need at least one class".into(),
+            });
         }
         let threads = threads.max(1).min(data.len());
         if threads == 1 {
@@ -151,7 +158,7 @@ impl HdcModel {
         }
         let chunk = data.len().div_ceil(threads);
         let results: Vec<Result<Vec<BitSliceAccumulator>, HdcError>> =
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for t in 0..threads {
                     let lo = t * chunk;
@@ -161,7 +168,7 @@ impl HdcModel {
                     }
                     let images = &data.images[lo..hi];
                     let labels = &data.labels[lo..hi];
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         let mut accs: Vec<BitSliceAccumulator> = (0..classes)
                             .map(|_| BitSliceAccumulator::new(encoder.dim()))
                             .collect();
@@ -171,25 +178,25 @@ impl HdcModel {
                         Ok(accs)
                     }));
                 }
-                handles.into_iter().map(|h| h.join().expect("training thread panicked")).collect()
-            })
-            .expect("training scope panicked");
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("training thread panicked"))
+                    .collect()
+            });
 
-        let mut merged: Vec<BitSliceAccumulator> =
-            (0..classes).map(|_| BitSliceAccumulator::new(encoder.dim())).collect();
+        let mut merged: Vec<BitSliceAccumulator> = (0..classes)
+            .map(|_| BitSliceAccumulator::new(encoder.dim()))
+            .collect();
         for r in results {
             let accs = r?;
             for (m, a) in merged.iter_mut().zip(accs.iter()) {
                 m.merge(a)?;
             }
         }
-        Self::from_accumulators(merged, encoder.dim())
+        Self::from_accumulators(&merged, encoder.dim())
     }
 
-    fn from_accumulators(
-        accs: Vec<BitSliceAccumulator>,
-        dim: u32,
-    ) -> Result<Self, HdcError> {
+    fn from_accumulators(accs: &[BitSliceAccumulator], dim: u32) -> Result<Self, HdcError> {
         let mut class_hvs = Vec::with_capacity(accs.len());
         let mut class_sums = Vec::with_capacity(accs.len());
         for (c, acc) in accs.iter().enumerate() {
@@ -201,7 +208,11 @@ impl HdcModel {
             class_hvs.push(acc.binarize());
             class_sums.push(acc.bipolar_sums());
         }
-        Ok(HdcModel { class_hvs, class_sums, dim })
+        Ok(HdcModel {
+            class_hvs,
+            class_sums,
+            dim,
+        })
     }
 
     /// Build a model directly from per-class bipolar sums (used by the
@@ -212,7 +223,9 @@ impl HdcModel {
     /// [`HdcError::InvalidTrainingData`] for empty input or ragged sums.
     pub fn from_class_sums(class_sums: Vec<Vec<i64>>, dim: u32) -> Result<Self, HdcError> {
         if class_sums.is_empty() {
-            return Err(HdcError::InvalidTrainingData { reason: "no classes".into() });
+            return Err(HdcError::InvalidTrainingData {
+                reason: "no classes".into(),
+            });
         }
         let mut class_hvs = Vec::with_capacity(class_sums.len());
         for sums in &class_sums {
@@ -229,7 +242,11 @@ impl HdcModel {
             }
             class_hvs.push(hv);
         }
-        Ok(HdcModel { class_hvs, class_sums, dim })
+        Ok(HdcModel {
+            class_hvs,
+            class_sums,
+            dim,
+        })
     }
 
     /// Hypervector dimension D.
@@ -385,7 +402,7 @@ impl HdcModel {
             return self.evaluate_with(encoder, data, mode);
         }
         let chunk = data.len().div_ceil(threads);
-        let counts: Vec<Result<usize, HdcError>> = crossbeam::thread::scope(|scope| {
+        let counts: Vec<Result<usize, HdcError>> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..threads {
                 let lo = t * chunk;
@@ -396,7 +413,7 @@ impl HdcModel {
                 let images = &data.images[lo..hi];
                 let labels = &data.labels[lo..hi];
                 let model = &*self;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut correct = 0usize;
                     for (image, &label) in images.iter().zip(labels.iter()) {
                         if model.classify_with(encoder, image, mode)?.0 == label {
@@ -406,9 +423,11 @@ impl HdcModel {
                     Ok(correct)
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("eval thread panicked")).collect()
-        })
-        .expect("eval scope panicked");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("eval thread panicked"))
+                .collect()
+        });
         let mut correct = 0usize;
         for c in counts {
             correct += c?;
@@ -445,7 +464,9 @@ impl HdcModel {
     ///
     /// [`HdcError::InvalidConfig`] for malformed or truncated input.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, HdcError> {
-        let bad = |reason: &str| HdcError::InvalidConfig { reason: reason.into() };
+        let bad = |reason: &str| HdcError::InvalidConfig {
+            reason: reason.into(),
+        };
         if bytes.len() < 16 || &bytes[0..4] != b"UHDM" {
             return Err(bad("missing UHDM header"));
         }
@@ -487,7 +508,11 @@ impl HdcModel {
             }
             class_sums.push(sums);
         }
-        Ok(HdcModel { class_hvs, class_sums, dim })
+        Ok(HdcModel {
+            class_hvs,
+            class_sums,
+            dim,
+        })
     }
 }
 

@@ -74,10 +74,15 @@ mod tests {
     #[test]
     fn random_set_is_nearly_orthogonal() {
         let mut rng = Xoshiro256StarStar::seeded(1);
-        let set: Vec<Hypervector> =
-            (0..12).map(|_| Hypervector::random(4096, &mut rng)).collect();
+        let set: Vec<Hypervector> = (0..12)
+            .map(|_| Hypervector::random(4096, &mut rng))
+            .collect();
         let stats = orthogonality_stats(&set).unwrap();
-        assert!(stats.mean_abs_cosine < 0.05, "mean |cos| {}", stats.mean_abs_cosine);
+        assert!(
+            stats.mean_abs_cosine < 0.05,
+            "mean |cos| {}",
+            stats.mean_abs_cosine
+        );
         assert!((stats.mean_balance - 0.5).abs() < 0.05);
         assert_eq!(stats.count, 12);
     }

@@ -40,7 +40,9 @@ pub fn retrain(
     epochs: usize,
 ) -> Result<(HdcModel, Vec<RetrainEpoch>), HdcError> {
     if encodings.is_empty() {
-        return Err(HdcError::InvalidTrainingData { reason: "no encodings".into() });
+        return Err(HdcError::InvalidTrainingData {
+            reason: "no encodings".into(),
+        });
     }
     if encodings.len() != labels.len() {
         return Err(HdcError::InvalidTrainingData {
@@ -58,7 +60,10 @@ pub fn retrain(
     let dim = model.dim();
     for e in encodings {
         if e.dim() != dim {
-            return Err(HdcError::DimensionMismatch { left: dim, right: e.dim() });
+            return Err(HdcError::DimensionMismatch {
+                left: dim,
+                right: e.dim(),
+            });
         }
     }
 
@@ -71,10 +76,19 @@ pub fn retrain(
             let (pred, _) = current.classify_encoded(enc)?;
             if pred != label {
                 mistakes += 1;
-                for i in 0..dim as usize {
+                // `pred != label`, so split the class rows to update both
+                // in one zipped pass.
+                let (lo, hi) = (label.min(pred), label.max(pred));
+                let (head, tail) = sums.split_at_mut(hi);
+                let (label_row, pred_row) = if label < pred {
+                    (&mut head[lo], &mut tail[0])
+                } else {
+                    (&mut tail[0], &mut head[lo])
+                };
+                for (i, (l, p)) in label_row.iter_mut().zip(pred_row.iter_mut()).enumerate() {
                     let delta = if enc.bit(i as u32) { 1i64 } else { -1 };
-                    sums[label][i] += delta;
-                    sums[pred][i] -= delta;
+                    *l += delta;
+                    *p -= delta;
                 }
                 // Re-binarize lazily: rebuild the model once per epoch for
                 // determinism (batch update), matching AdaptHD's batched
@@ -82,7 +96,10 @@ pub fn retrain(
             }
         }
         current = HdcModel::from_class_sums(sums.clone(), dim)?;
-        history.push(RetrainEpoch { mistakes, samples: encodings.len() });
+        history.push(RetrainEpoch {
+            mistakes,
+            samples: encodings.len(),
+        });
         if mistakes == 0 {
             break;
         }
@@ -130,8 +147,7 @@ mod tests {
         let model = HdcModel::train(&enc, data, 3).unwrap();
         let before = model.evaluate(&enc, data).unwrap();
 
-        let encodings: Vec<_> =
-            images.iter().map(|img| enc.encode(img).unwrap()).collect();
+        let encodings: Vec<_> = images.iter().map(|img| enc.encode(img).unwrap()).collect();
         let (refined, history) = retrain(&model, &encodings, &labels, 10).unwrap();
         let after = refined.evaluate(&enc, data).unwrap();
         assert!(!history.is_empty());

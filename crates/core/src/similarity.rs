@@ -41,7 +41,10 @@ pub fn cosine(a: &Hypervector, b: &Hypervector) -> Result<f64, HdcError> {
 /// [`HdcError::DimensionMismatch`] if lengths differ.
 pub fn cosine_int(a: &[i64], b: &[i64]) -> Result<f64, HdcError> {
     if a.len() != b.len() {
-        return Err(HdcError::DimensionMismatch { left: a.len() as u32, right: b.len() as u32 });
+        return Err(HdcError::DimensionMismatch {
+            left: a.len() as u32,
+            right: b.len() as u32,
+        });
     }
     let mut dot = 0f64;
     let mut na = 0f64;
@@ -74,10 +77,7 @@ pub fn hamming_similarity(a: &Hypervector, b: &Hypervector) -> Result<f64, HdcEr
 /// * [`HdcError::ModelUntrained`] if `candidates` is empty.
 /// * [`HdcError::DimensionMismatch`] if any candidate disagrees in
 ///   dimension.
-pub fn classify(
-    query: &Hypervector,
-    candidates: &[Hypervector],
-) -> Result<(usize, f64), HdcError> {
+pub fn classify(query: &Hypervector, candidates: &[Hypervector]) -> Result<(usize, f64), HdcError> {
     if candidates.is_empty() {
         return Err(HdcError::ModelUntrained);
     }
@@ -146,8 +146,9 @@ mod tests {
     #[test]
     fn classify_picks_most_similar() {
         let mut rng = Xoshiro256StarStar::seeded(4);
-        let classes: Vec<Hypervector> =
-            (0..5).map(|_| Hypervector::random(2048, &mut rng)).collect();
+        let classes: Vec<Hypervector> = (0..5)
+            .map(|_| Hypervector::random(2048, &mut rng))
+            .collect();
         // A query near class 3: flip a small fraction of its bits.
         let mut query = classes[3].clone();
         for i in 0..100 {

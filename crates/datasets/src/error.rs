@@ -40,10 +40,16 @@ impl fmt::Display for DatasetError {
         match self {
             DatasetError::BadIdxHeader { reason } => write!(f, "bad IDX header: {reason}"),
             DatasetError::TruncatedIdx { expected, got } => {
-                write!(f, "truncated IDX payload: expected {expected} bytes, got {got}")
+                write!(
+                    f,
+                    "truncated IDX payload: expected {expected} bytes, got {got}"
+                )
             }
             DatasetError::CountMismatch { images, labels } => {
-                write!(f, "image/label count mismatch: {images} images vs {labels} labels")
+                write!(
+                    f,
+                    "image/label count mismatch: {images} images vs {labels} labels"
+                )
             }
             DatasetError::InvalidSpec { reason } => write!(f, "invalid dataset spec: {reason}"),
             DatasetError::Io(e) => write!(f, "dataset i/o error: {e}"),
@@ -72,7 +78,9 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = DatasetError::BadIdxHeader { reason: "nope".into() };
+        let e = DatasetError::BadIdxHeader {
+            reason: "nope".into(),
+        };
         assert!(e.to_string().contains("nope"));
         assert!(e.source().is_none());
         let io = DatasetError::from(std::io::Error::other("disk on fire"));

@@ -29,7 +29,9 @@ pub struct IdxImages {
 /// [`DatasetError::TruncatedIdx`] for short payloads.
 pub fn parse_idx_images(bytes: &[u8]) -> Result<IdxImages, DatasetError> {
     if bytes.len() < 16 {
-        return Err(DatasetError::BadIdxHeader { reason: "file shorter than header".into() });
+        return Err(DatasetError::BadIdxHeader {
+            reason: "file shorter than header".into(),
+        });
     }
     let magic = u32::from_be_bytes(bytes[0..4].try_into().expect("sliced"));
     if magic != 0x0000_0803 {
@@ -41,11 +43,16 @@ pub fn parse_idx_images(bytes: &[u8]) -> Result<IdxImages, DatasetError> {
     let rows = u32::from_be_bytes(bytes[8..12].try_into().expect("sliced")) as usize;
     let cols = u32::from_be_bytes(bytes[12..16].try_into().expect("sliced")) as usize;
     if rows == 0 || cols == 0 {
-        return Err(DatasetError::BadIdxHeader { reason: "zero image geometry".into() });
+        return Err(DatasetError::BadIdxHeader {
+            reason: "zero image geometry".into(),
+        });
     }
     let expected = 16 + count * rows * cols;
     if bytes.len() < expected {
-        return Err(DatasetError::TruncatedIdx { expected, got: bytes.len() });
+        return Err(DatasetError::TruncatedIdx {
+            expected,
+            got: bytes.len(),
+        });
     }
     let mut images = Vec::with_capacity(count);
     for i in 0..count {
@@ -63,7 +70,9 @@ pub fn parse_idx_images(bytes: &[u8]) -> Result<IdxImages, DatasetError> {
 /// [`DatasetError::TruncatedIdx`] for short payloads.
 pub fn parse_idx_labels(bytes: &[u8]) -> Result<Vec<u8>, DatasetError> {
     if bytes.len() < 8 {
-        return Err(DatasetError::BadIdxHeader { reason: "file shorter than header".into() });
+        return Err(DatasetError::BadIdxHeader {
+            reason: "file shorter than header".into(),
+        });
     }
     let magic = u32::from_be_bytes(bytes[0..4].try_into().expect("sliced"));
     if magic != 0x0000_0801 {
@@ -74,7 +83,10 @@ pub fn parse_idx_labels(bytes: &[u8]) -> Result<Vec<u8>, DatasetError> {
     let count = u32::from_be_bytes(bytes[4..8].try_into().expect("sliced")) as usize;
     let expected = 8 + count;
     if bytes.len() < expected {
-        return Err(DatasetError::TruncatedIdx { expected, got: bytes.len() });
+        return Err(DatasetError::TruncatedIdx {
+            expected,
+            got: bytes.len(),
+        });
     }
     Ok(bytes[8..8 + count].to_vec())
 }
@@ -152,20 +164,32 @@ mod tests {
     fn rejects_wrong_magic() {
         let mut bytes = idx3(1, 1, 1, &[0]);
         bytes[3] = 0x01; // corrupt the magic
-        assert!(matches!(parse_idx_images(&bytes), Err(DatasetError::BadIdxHeader { .. })));
+        assert!(matches!(
+            parse_idx_images(&bytes),
+            Err(DatasetError::BadIdxHeader { .. })
+        ));
         let mut lab = idx1(&[0]);
         lab[3] = 0x03;
-        assert!(matches!(parse_idx_labels(&lab), Err(DatasetError::BadIdxHeader { .. })));
+        assert!(matches!(
+            parse_idx_labels(&lab),
+            Err(DatasetError::BadIdxHeader { .. })
+        ));
     }
 
     #[test]
     fn rejects_truncation() {
         let mut bytes = idx3(2, 2, 2, &[1, 2, 3, 4, 5, 6, 7, 8]);
         bytes.truncate(bytes.len() - 1);
-        assert!(matches!(parse_idx_images(&bytes), Err(DatasetError::TruncatedIdx { .. })));
+        assert!(matches!(
+            parse_idx_images(&bytes),
+            Err(DatasetError::TruncatedIdx { .. })
+        ));
         let mut lab = idx1(&[1, 2, 3]);
         lab.truncate(lab.len() - 2);
-        assert!(matches!(parse_idx_labels(&lab), Err(DatasetError::TruncatedIdx { .. })));
+        assert!(matches!(
+            parse_idx_labels(&lab),
+            Err(DatasetError::TruncatedIdx { .. })
+        ));
     }
 
     #[test]

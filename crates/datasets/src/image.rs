@@ -30,16 +30,25 @@ impl Dataset {
         labels: Vec<usize>,
     ) -> Result<Self, DatasetError> {
         if width == 0 || height == 0 {
-            return Err(DatasetError::InvalidSpec { reason: "zero image geometry".into() });
+            return Err(DatasetError::InvalidSpec {
+                reason: "zero image geometry".into(),
+            });
         }
         if classes == 0 {
-            return Err(DatasetError::InvalidSpec { reason: "zero classes".into() });
+            return Err(DatasetError::InvalidSpec {
+                reason: "zero classes".into(),
+            });
         }
         if images.is_empty() {
-            return Err(DatasetError::InvalidSpec { reason: "no images".into() });
+            return Err(DatasetError::InvalidSpec {
+                reason: "no images".into(),
+            });
         }
         if images.len() != labels.len() {
-            return Err(DatasetError::CountMismatch { images: images.len(), labels: labels.len() });
+            return Err(DatasetError::CountMismatch {
+                images: images.len(),
+                labels: labels.len(),
+            });
         }
         let pixels = width * height;
         for (i, img) in images.iter().enumerate() {
@@ -56,7 +65,14 @@ impl Dataset {
                 });
             }
         }
-        Ok(Dataset { name: name.into(), width, height, classes, images, labels })
+        Ok(Dataset {
+            name: name.into(),
+            width,
+            height,
+            classes,
+            images,
+            labels,
+        })
     }
 
     /// Dataset name (e.g. `"synthetic-mnist"`).

@@ -100,7 +100,9 @@ mod tests {
     use crate::synth::{generate, SynthSpec, SyntheticKind};
 
     fn sample() -> Dataset {
-        generate(SynthSpec::new(SyntheticKind::Mnist, 100, 10, 3)).unwrap().0
+        generate(SynthSpec::new(SyntheticKind::Mnist, 100, 10, 3))
+            .unwrap()
+            .0
     }
 
     #[test]
@@ -124,8 +126,11 @@ mod tests {
         let d = sample();
         let (train, test) = stratified_split(&d, 0.8, 1).unwrap();
         assert_eq!(train.len() + test.len(), d.len());
-        for (c, (&tr, &te)) in
-            train.class_counts().iter().zip(test.class_counts().iter()).enumerate()
+        for (c, (&tr, &te)) in train
+            .class_counts()
+            .iter()
+            .zip(test.class_counts().iter())
+            .enumerate()
         {
             assert_eq!(tr, 8, "class {c}");
             assert_eq!(te, 2, "class {c}");
@@ -137,6 +142,9 @@ mod tests {
         let d = sample();
         assert!(stratified_split(&d, 0.0, 1).is_err());
         assert!(stratified_split(&d, 1.0, 1).is_err());
-        assert!(stratified_split(&d, 0.01, 1).is_err(), "would empty the train side");
+        assert!(
+            stratified_split(&d, 0.01, 1).is_err(),
+            "would empty the train side"
+        );
     }
 }

@@ -12,7 +12,9 @@ use uhd_lowdisc::rng::Xoshiro256StarStar;
 pub fn render_fashion(class: usize, size: usize, rng: &mut Xoshiro256StarStar) -> Vec<u8> {
     let mut c = Canvas::new(size, size);
     let s = size as f32;
-    let j = |rng: &mut Xoshiro256StarStar, lo: f32, hi: f32| rng.next_range(lo.into(), hi.into()) as f32;
+    let j = |rng: &mut Xoshiro256StarStar, lo: f32, hi: f32| {
+        rng.next_range(lo.into(), hi.into()) as f32
+    };
     let ink = j(rng, 0.55, 0.8);
     let dx = j(rng, -2.8, 2.8);
     let dy = j(rng, -2.8, 2.8);
@@ -46,7 +48,12 @@ pub fn render_fashion(class: usize, size: usize, rng: &mut Xoshiro256StarStar) -
             for r in 0..=rows {
                 let t = r as f32 / rows as f32;
                 let half = 0.10 + 0.22 * t;
-                c.fill_hspan((y(top_y) + r as f32) as i32, x(0.5 - half), x(0.5 + half), ink);
+                c.fill_hspan(
+                    (y(top_y) + r as f32) as i32,
+                    x(0.5 - half),
+                    x(0.5 + half),
+                    ink,
+                );
             }
         }
         // Coat: long torso, long sleeves, centre opening.

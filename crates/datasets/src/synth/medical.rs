@@ -28,7 +28,14 @@ pub fn render_blood(class: usize, size: usize, rng: &mut Xoshiro256StarStar) -> 
     let cy = s * 0.5 + rng.next_range(-2.0, 2.0) as f32;
     // Cytoplasm.
     let ecc = rng.next_range(0.85, 1.0) as f32;
-    c.fill_ellipse(cx, cy, cell_r, cell_r * ecc, rng.next_range(0.0, 3.14) as f32, 0.55);
+    c.fill_ellipse(
+        cx,
+        cy,
+        cell_r,
+        cell_r * ecc,
+        rng.next_range(0.0, std::f64::consts::PI) as f32,
+        0.55,
+    );
 
     // Nucleus lobes.
     for k in 0..nuclei {
@@ -142,9 +149,7 @@ mod tests {
         let benign = render_breast(0, 28, &mut rng);
         let malignant = render_breast(1, 28, &mut rng);
         // Malignant adds a posterior shadow, darkening the lower half.
-        let lower = |img: &[u8]| {
-            img[392..].iter().map(|&p| u64::from(p)).sum::<u64>()
-        };
+        let lower = |img: &[u8]| img[392..].iter().map(|&p| u64::from(p)).sum::<u64>();
         assert!(lower(&malignant) < lower(&benign));
     }
 

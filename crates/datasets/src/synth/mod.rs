@@ -110,7 +110,12 @@ impl SynthSpec {
     /// Convenience constructor.
     #[must_use]
     pub fn new(kind: SyntheticKind, train: usize, test: usize, seed: u64) -> Self {
-        SynthSpec { kind, train, test, seed }
+        SynthSpec {
+            kind,
+            train,
+            test,
+            seed,
+        }
     }
 }
 
@@ -141,11 +146,7 @@ pub fn generate(spec: SynthSpec) -> Result<(Dataset, Dataset), DatasetError> {
     Ok((train, test))
 }
 
-fn generate_split(
-    kind: SyntheticKind,
-    n: usize,
-    seed: u64,
-) -> Result<Dataset, DatasetError> {
+fn generate_split(kind: SyntheticKind, n: usize, seed: u64) -> Result<Dataset, DatasetError> {
     let classes = kind.classes();
     let mut rng = Xoshiro256StarStar::seeded(seed);
     let mut images = Vec::with_capacity(n);
@@ -161,7 +162,14 @@ fn generate_split(
         images.swap(i, j);
         labels.swap(i, j);
     }
-    Dataset::new(kind.name(), kind.side(), kind.side(), classes, images, labels)
+    Dataset::new(
+        kind.name(),
+        kind.side(),
+        kind.side(),
+        classes,
+        images,
+        labels,
+    )
 }
 
 #[cfg(test)]
@@ -177,16 +185,18 @@ mod tests {
             assert_eq!(test.len(), kind.classes());
             assert_eq!(train.pixels(), kind.side() * kind.side());
             let counts = train.class_counts();
-            assert!(counts.iter().all(|&c| c == 3), "{:?}: {counts:?}", kind);
+            assert!(counts.iter().all(|&c| c == 3), "{kind:?}: {counts:?}");
         }
     }
 
     #[test]
     fn train_and_test_do_not_share_images() {
-        let (train, test) =
-            generate(SynthSpec::new(SyntheticKind::Mnist, 30, 30, 7)).unwrap();
+        let (train, test) = generate(SynthSpec::new(SyntheticKind::Mnist, 30, 30, 7)).unwrap();
         for t in test.images() {
-            assert!(!train.images().contains(t), "test image duplicated in train");
+            assert!(
+                !train.images().contains(t),
+                "test image duplicated in train"
+            );
         }
     }
 

@@ -100,7 +100,12 @@ pub fn render_cifar(class: usize, size: usize, rng: &mut Xoshiro256StarStar) -> 
             for r in 0..rows {
                 let t = r as f32 / rows as f32;
                 let half = 0.3 - 0.08 * t;
-                c.fill_hspan((y(0.58) + r as f32) as i32, x(0.5 - half), x(0.5 + half), body);
+                c.fill_hspan(
+                    (y(0.58) + r as f32) as i32,
+                    x(0.5 - half),
+                    x(0.5 + half),
+                    body,
+                );
             }
             c.fill_rect(x(0.42), y(0.42), x(0.62), y(0.58), body * 0.9);
             c.draw_line(x(0.52), y(0.42), x(0.52), y(0.22), 1.4, body);
@@ -149,7 +154,11 @@ pub fn render_svhn(class: usize, size: usize, rng: &mut Xoshiro256StarStar) -> V
         for dx in 0..dsz {
             let v = f32::from(digit_px[dy * dsz + dx]) / 255.0;
             if v > 0.3 {
-                c.blend_max((inset + dx) as i32, (inset + dy) as i32, digit_bright.min(1.0));
+                c.blend_max(
+                    (inset + dx) as i32,
+                    (inset + dy) as i32,
+                    digit_bright.min(1.0),
+                );
             }
         }
     }
@@ -157,7 +166,11 @@ pub fn render_svhn(class: usize, size: usize, rng: &mut Xoshiro256StarStar) -> V
     // Distractor digit fragment at a side (SVHN crops contain neighbours).
     let distractor = digits::render_digit((class + 3) % 10, size / 2, rng);
     let dd = size / 2;
-    let side = if rng.next_bool(0.5) { -(dd as i32) * 2 / 3 } else { size as i32 - dd as i32 / 3 };
+    let side = if rng.next_bool(0.5) {
+        -(dd as i32) * 2 / 3
+    } else {
+        size as i32 - dd as i32 / 3
+    };
     for dy in 0..dd {
         for dx in 0..dd {
             let v = f32::from(distractor[dy * dd + dx]) / 255.0;
@@ -199,8 +212,8 @@ mod tests {
             .flat_map(|y| (12..20).map(move |x| (x, y)))
             .map(|(x, y)| u64::from(img[y * 32 + x]))
             .sum();
-        let corner: u64 =
-            (0..8).flat_map(|y| (0..8).map(move |x| (x, y)))
+        let corner: u64 = (0..8)
+            .flat_map(|y| (0..8).map(move |x| (x, y)))
             .map(|(x, y)| u64::from(img[y * 32 + x]))
             .sum();
         assert!(centre > corner, "centre {centre} vs corner {corner}");

@@ -24,7 +24,11 @@ impl Canvas {
     #[must_use]
     pub fn new(width: usize, height: usize) -> Self {
         assert!(width > 0 && height > 0, "canvas must be non-empty");
-        Canvas { width, height, px: vec![0.0; width * height] }
+        Canvas {
+            width,
+            height,
+            px: vec![0.0; width * height],
+        }
     }
 
     /// Canvas width.
@@ -145,8 +149,7 @@ impl Canvas {
                     for dx in -radius..=radius {
                         let xx = x + dx;
                         let yy = y + dy;
-                        if xx >= 0 && yy >= 0 && xx < self.width as i32 && yy < self.height as i32
-                        {
+                        if xx >= 0 && yy >= 0 && xx < self.width as i32 && yy < self.height as i32 {
                             sum += self.px[yy as usize * self.width + xx as usize];
                             n += 1;
                         }
@@ -195,7 +198,10 @@ impl Canvas {
     /// Quantize to 8-bit, clamping to [0, 1].
     #[must_use]
     pub fn to_u8(&self) -> Vec<u8> {
-        self.px.iter().map(|&p| (p.clamp(0.0, 1.0) * 255.0).round() as u8).collect()
+        self.px
+            .iter()
+            .map(|&p| (p.clamp(0.0, 1.0) * 255.0).round() as u8)
+            .collect()
     }
 
     /// Mean intensity (for tests).

@@ -68,18 +68,54 @@ impl CellLibrary {
         CellLibrary {
             // Energy values are per output toggle; delays are typical
             // FO4-loaded propagation delays at nominal voltage.
-            inv: CellParams { energy_fj: 0.35, area_um2: 0.53, delay_ps: 12.0 },
-            and2: CellParams { energy_fj: 0.75, area_um2: 1.06, delay_ps: 28.0 },
-            or2: CellParams { energy_fj: 0.75, area_um2: 1.06, delay_ps: 28.0 },
-            xor2: CellParams { energy_fj: 1.40, area_um2: 1.60, delay_ps: 40.0 },
-            xnor2: CellParams { energy_fj: 1.40, area_um2: 1.60, delay_ps: 40.0 },
-            nand2: CellParams { energy_fj: 0.55, area_um2: 0.80, delay_ps: 22.0 },
-            nor2: CellParams { energy_fj: 0.55, area_um2: 0.80, delay_ps: 22.0 },
-            dff: CellParams { energy_fj: 2.80, area_um2: 4.50, delay_ps: 90.0 },
+            inv: CellParams {
+                energy_fj: 0.35,
+                area_um2: 0.53,
+                delay_ps: 12.0,
+            },
+            and2: CellParams {
+                energy_fj: 0.75,
+                area_um2: 1.06,
+                delay_ps: 28.0,
+            },
+            or2: CellParams {
+                energy_fj: 0.75,
+                area_um2: 1.06,
+                delay_ps: 28.0,
+            },
+            xor2: CellParams {
+                energy_fj: 1.40,
+                area_um2: 1.60,
+                delay_ps: 40.0,
+            },
+            xnor2: CellParams {
+                energy_fj: 1.40,
+                area_um2: 1.60,
+                delay_ps: 40.0,
+            },
+            nand2: CellParams {
+                energy_fj: 0.55,
+                area_um2: 0.80,
+                delay_ps: 22.0,
+            },
+            nor2: CellParams {
+                energy_fj: 0.55,
+                area_um2: 0.80,
+                delay_ps: 22.0,
+            },
+            dff: CellParams {
+                energy_fj: 2.80,
+                area_um2: 4.50,
+                delay_ps: 90.0,
+            },
             // Reading one pre-stored bit from a small ROM/BRAM macro:
             // bit-line + sense amortized per bit. Calibrated against
             // checkpoint ①: fetching one 16-bit unary stream ≈ 0.77 fJ.
-            rom_bit: CellParams { energy_fj: 0.048, area_um2: 0.25, delay_ps: 6.0 },
+            rom_bit: CellParams {
+                energy_fj: 0.048,
+                area_um2: 0.25,
+                delay_ps: 6.0,
+            },
         }
     }
 
@@ -125,7 +161,10 @@ mod tests {
             CellKind::RomBit,
         ] {
             let p = lib.params(kind);
-            assert!(p.energy_fj > 0.0 && p.area_um2 > 0.0 && p.delay_ps > 0.0, "{kind:?}");
+            assert!(
+                p.energy_fj > 0.0 && p.area_um2 > 0.0 && p.delay_ps > 0.0,
+                "{kind:?}"
+            );
         }
     }
 

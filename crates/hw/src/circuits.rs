@@ -86,9 +86,8 @@ pub fn counter_comparator_generator(m: usize, library: CellLibrary) -> Circuit {
     // Comparator: counter < value  ⇔  NOT(counter >= value): reuse the
     // borrow construction with a = counter, b = value.
     let mut borrow: Option<NodeId> = None;
-    for i in 0..m {
-        let ai = qs[i];
-        let bi = i; // primary input value bit
+    for (bi, &ai) in qs.iter().enumerate() {
+        // `bi` doubles as the primary-input node id for value bit i.
         let na = b.inv(ai);
         borrow = Some(match borrow {
             None => b.and2(na, bi),
@@ -131,8 +130,10 @@ pub fn lfsr_circuit(w: usize, taps: u32, library: CellLibrary) -> Circuit {
     // Create the registers first as placeholders, then bind shift inputs.
     let qs: Vec<NodeId> = (0..w).map(|_| b.dff_placeholder()).collect();
     // Feedback = XOR of tapped bits.
-    let tapped: Vec<NodeId> =
-        (0..w).filter(|&i| (taps >> i) & 1 == 1).map(|i| qs[i]).collect();
+    let tapped: Vec<NodeId> = (0..w)
+        .filter(|&i| (taps >> i) & 1 == 1)
+        .map(|i| qs[i])
+        .collect();
     assert!(!tapped.is_empty(), "taps must select at least one bit");
     let mut fb = tapped[0];
     for &t in &tapped[1..] {
@@ -159,7 +160,10 @@ pub fn lfsr_circuit(w: usize, taps: u32, library: CellLibrary) -> Circuit {
 pub fn masking_binarizer(h: usize, library: CellLibrary) -> Circuit {
     assert!(h >= 2 && h % 2 == 0, "H must be even and >= 2");
     let tob = h / 2;
-    assert!(tob.is_power_of_two(), "masking logic requires a power-of-two TOB");
+    assert!(
+        tob.is_power_of_two(),
+        "masking logic requires a power-of-two TOB"
+    );
     let bits = (usize::BITS - h.leading_zeros()) as usize; // counts up to H
     let mut b = CircuitBuilder::new(1);
     // Increment-when-input counter.
@@ -391,8 +395,8 @@ mod tests {
             assert!(!out[0]);
         }
         let _ = c.step(&[true]); // 16th one enters the counter
-        // The registered counter makes the decision visible one cycle
-        // later — same latency as the real Fig. 5 datapath.
+                                 // The registered counter makes the decision visible one cycle
+                                 // later — same latency as the real Fig. 5 datapath.
         let out = c.step(&[false]);
         assert!(out[0]);
         // Sticky thereafter.
@@ -405,8 +409,10 @@ mod tests {
         let h = 16;
         let mut a = masking_binarizer(h, lib());
         let mut m = comparator_binarizer(h, lib());
-        let pattern = [true, true, false, true, false, true, true, true, true, false, true, true,
-            false, false, true, true];
+        let pattern = [
+            true, true, false, true, false, true, true, true, true, false, true, true, false,
+            false, true, true,
+        ];
         let mut decided_a = Vec::new();
         let mut decided_m = Vec::new();
         for &bit in &pattern {

@@ -216,7 +216,10 @@ mod tests {
         let p = ArmPlatform::arm1176();
         let rows = table1(&[1024, 8192], H, &p);
         let get = |d: u64, design: &str| {
-            rows.iter().find(|r| r.d == d && r.design == design).unwrap().clone()
+            rows.iter()
+                .find(|r| r.d == d && r.design == design)
+                .unwrap()
+                .clone()
         };
         // Absolute runtimes within 2x of the board measurements.
         assert!((get(1024, "baseline").runtime_s / 0.701 - 1.0).abs() < 1.0);

@@ -52,7 +52,10 @@ impl CircuitBuilder {
     /// Start a circuit with `inputs` primary inputs.
     #[must_use]
     pub fn new(inputs: usize) -> Self {
-        CircuitBuilder { inputs, gates: Vec::new() }
+        CircuitBuilder {
+            inputs,
+            gates: Vec::new(),
+        }
     }
 
     fn node_count(&self) -> usize {
@@ -103,7 +106,11 @@ impl CircuitBuilder {
     pub fn dff_placeholder(&mut self) -> NodeId {
         let id = self.node_count();
         // Self-loop: holds its value until bound.
-        self.gates.push(Gate { kind: CellKind::Dff, a: id, b: id });
+        self.gates.push(Gate {
+            kind: CellKind::Dff,
+            a: id,
+            b: id,
+        });
         id
     }
 
@@ -118,7 +125,10 @@ impl CircuitBuilder {
     pub fn bind_dff(&mut self, dff: NodeId, d: NodeId) {
         assert!(dff >= self.inputs, "cannot bind a primary input");
         let gate = &mut self.gates[dff - self.inputs];
-        assert!(gate.kind == CellKind::Dff, "bind_dff target must be a flip-flop");
+        assert!(
+            gate.kind == CellKind::Dff,
+            "bind_dff target must be a flip-flop"
+        );
         gate.a = d;
         gate.b = d;
     }
@@ -213,7 +223,10 @@ impl Circuit {
     /// Total cell area in µm².
     #[must_use]
     pub fn area_um2(&self) -> f64 {
-        self.gates.iter().map(|g| self.library.params(g.kind).area_um2).sum()
+        self.gates
+            .iter()
+            .map(|g| self.library.params(g.kind).area_um2)
+            .sum()
     }
 
     /// Critical-path delay in picoseconds (longest register-free path).

@@ -274,9 +274,11 @@ pub fn table2(dimensions: &[u32], features: u32, library: &CellLibrary) -> Vec<T
         let bcmp = circuits::binary_comparator(w as usize, library.clone());
         let gen = circuits::counter_comparator_generator(4, library.clone());
         let base_area_m2 = (lfsr.area_um2() + bcmp.area_um2() + gen.area_um2()) * 1e-12;
-        let base_cycle_s =
-            lfsr.critical_path_ps().max(bcmp.critical_path_ps()).max(gen.critical_path_ps())
-                * 1e-12;
+        let base_cycle_s = lfsr
+            .critical_path_ps()
+            .max(bcmp.critical_path_ps())
+            .max(gen.critical_path_ps())
+            * 1e-12;
 
         // Energy per bit: uHD = calibrated fetch; baseline = calibrated
         // conventional generation, with the width penalty of the wider
@@ -331,8 +333,14 @@ mod tests {
     #[test]
     fn checkpoint1_uhd_matches_paper_and_wins() {
         let r = checkpoint1_generation(&lib());
-        assert!((r.uhd_fj - r.paper_uhd_fj).abs() < 1e-9, "calibration anchors uHD");
-        assert!(r.baseline_fj > r.uhd_fj * 10.0, "conventional generation must be >10x");
+        assert!(
+            (r.uhd_fj - r.paper_uhd_fj).abs() < 1e-9,
+            "calibration anchors uHD"
+        );
+        assert!(
+            r.baseline_fj > r.uhd_fj * 10.0,
+            "conventional generation must be >10x"
+        );
     }
 
     #[test]
@@ -346,7 +354,10 @@ mod tests {
     fn checkpoint3_masking_logic_wins() {
         let r = checkpoint3_binarization(1024, &lib());
         assert!((r.uhd_fj - r.paper_uhd_fj).abs() < 1e-6);
-        assert!(r.baseline_fj > r.uhd_fj, "comparator binarizer must cost more");
+        assert!(
+            r.baseline_fj > r.uhd_fj,
+            "comparator binarizer must cost more"
+        );
         // The paper reports about 2x; ours should be within [1.2, 6].
         let ratio = r.measured_ratio();
         assert!((1.2..6.0).contains(&ratio), "ratio {ratio}");
@@ -358,7 +369,11 @@ mod tests {
         assert_eq!(rows.len(), 3);
         for row in &rows {
             // uHD wins on energy and area-delay at every D.
-            assert!(row.baseline_per_hv_pj > row.uhd_per_hv_pj * 50.0, "D={}", row.d);
+            assert!(
+                row.baseline_per_hv_pj > row.uhd_per_hv_pj * 50.0,
+                "D={}",
+                row.d
+            );
             assert!(row.baseline_area_delay > row.uhd_area_delay, "D={}", row.d);
             // Per-image = features x per-HV.
             let expect = row.uhd_per_hv_pj * f64::from(PAPER_IMAGE_FEATURES);
@@ -368,7 +383,10 @@ mod tests {
         let uhd_scale = rows[2].uhd_per_hv_pj / rows[0].uhd_per_hv_pj;
         assert!((uhd_scale - 8.0).abs() < 1e-6, "uhd scale {uhd_scale}");
         let base_scale = rows[2].baseline_per_hv_pj / rows[0].baseline_per_hv_pj;
-        assert!(base_scale > 8.0, "baseline scale {base_scale} must be superlinear");
+        assert!(
+            base_scale > 8.0,
+            "baseline scale {base_scale} must be superlinear"
+        );
     }
 
     #[test]

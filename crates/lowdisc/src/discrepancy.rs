@@ -81,7 +81,9 @@ pub fn star_discrepancy_2d(points: &[(f64, f64)]) -> f64 {
             let count = points.iter().filter(|p| p.0 < x && p.1 < y).count() as f64;
             let count_closed = points.iter().filter(|p| p.0 <= x && p.1 <= y).count() as f64;
             let area = x * y;
-            worst = worst.max((count / n - area).abs()).max((count_closed / n - area).abs());
+            worst = worst
+                .max((count / n - area).abs())
+                .max((count_closed / n - area).abs());
             j += sy;
         }
         i += sx;
@@ -107,7 +109,11 @@ pub fn mean(points: &[f64]) -> f64 {
 /// Panics if lengths differ.
 #[must_use]
 pub fn correlation(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "correlation inputs must have equal length");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "correlation inputs must have equal length"
+    );
     let n = a.len();
     if n == 0 {
         return 0.0;
@@ -167,11 +173,9 @@ mod tests {
         let n = 512;
         let mut d0 = SobolDimension::new(0).unwrap();
         let mut d1 = SobolDimension::new(1).unwrap();
-        let sobol: Vec<(f64, f64)> =
-            (0..n).map(|_| (d0.next_value(), d1.next_value())).collect();
+        let sobol: Vec<(f64, f64)> = (0..n).map(|_| (d0.next_value(), d1.next_value())).collect();
         let mut rng = Xoshiro256StarStar::seeded(18);
-        let random: Vec<(f64, f64)> =
-            (0..n).map(|_| (rng.next_unit(), rng.next_unit())).collect();
+        let random: Vec<(f64, f64)> = (0..n).map(|_| (rng.next_unit(), rng.next_unit())).collect();
         let ds = star_discrepancy_2d(&sobol);
         let dr = star_discrepancy_2d(&random);
         assert!(ds * 2.0 < dr, "sobol D*={ds} vs random D*={dr}");
@@ -179,7 +183,7 @@ mod tests {
 
     #[test]
     fn correlation_of_identical_series_is_one() {
-        let a: Vec<f64> = (0..64).map(|i| f64::from(i)).collect();
+        let a: Vec<f64> = (0..64).map(f64::from).collect();
         assert!((correlation(&a, &a) - 1.0).abs() < 1e-12);
     }
 

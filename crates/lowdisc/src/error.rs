@@ -41,7 +41,10 @@ impl fmt::Display for LowDiscError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LowDiscError::EmptyRequest => {
-                write!(f, "generator request must have nonzero dimensions and length")
+                write!(
+                    f,
+                    "generator request must have nonzero dimensions and length"
+                )
             }
             LowDiscError::DimensionUnsupported { requested, max } => write!(
                 f,
@@ -57,7 +60,10 @@ impl fmt::Display for LowDiscError {
                 write!(f, "LFSR seed must be nonzero (all-zero state locks up)")
             }
             LowDiscError::HaltonDimensionUnsupported { requested } => {
-                write!(f, "halton dimension {requested} exceeds the embedded prime table")
+                write!(
+                    f,
+                    "halton dimension {requested} exceeds the embedded prime table"
+                )
             }
         }
     }
@@ -73,7 +79,10 @@ mod tests {
     fn display_is_nonempty_and_lowercase() {
         let cases = [
             LowDiscError::EmptyRequest,
-            LowDiscError::DimensionUnsupported { requested: 9999, max: 100 },
+            LowDiscError::DimensionUnsupported {
+                requested: 9999,
+                max: 100,
+            },
             LowDiscError::InvalidQuantizerLevels { levels: 1 },
             LowDiscError::InvalidLfsrWidth { width: 99 },
             LowDiscError::ZeroLfsrSeed,

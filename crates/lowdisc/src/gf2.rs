@@ -18,7 +18,7 @@
 #[must_use]
 pub fn degree(p: u64) -> u32 {
     assert!(p != 0, "zero polynomial has no degree");
-    63 - p.leading_zeros()
+    p.ilog2()
 }
 
 /// Carry-less product of two GF(2) polynomials (no reduction).
@@ -47,7 +47,7 @@ pub fn reduce(mut a: u128, m: u64) -> u64 {
     assert!(m != 0, "modulus must be nonzero");
     let dm = degree(m);
     while a >> dm != 0 {
-        let da = 127 - a.leading_zeros();
+        let da = a.ilog2();
         a ^= (m as u128) << (da - dm);
     }
     a as u64
@@ -128,7 +128,11 @@ pub fn gcd_poly(mut a: u64, mut b: u64) -> u64 {
 }
 
 fn degree_or_zero(p: u64) -> u32 {
-    if p == 0 { 0 } else { degree(p) }
+    if p == 0 {
+        0
+    } else {
+        degree(p)
+    }
 }
 
 /// Distinct prime factors of `n` by trial division.
@@ -204,7 +208,9 @@ impl PrimitivePolynomials {
     /// Create an enumerator starting from `x + 1`.
     #[must_use]
     pub fn new() -> Self {
-        PrimitivePolynomials { next_candidate: 0b11 }
+        PrimitivePolynomials {
+            next_candidate: 0b11,
+        }
     }
 }
 
@@ -279,13 +285,13 @@ mod tests {
     fn known_primitives_accepted() {
         // Classic primitive polynomials.
         for p in [
-            0b11u64,          // x + 1
-            0b111,            // x^2 + x + 1
-            0b1011,           // x^3 + x + 1
-            0b1101,           // x^3 + x^2 + 1
-            0b10011,          // x^4 + x + 1
-            0b100101,         // x^5 + x^2 + 1
-            0b1100000000101,  // one of the degree-12 primitives? verified below differently
+            0b11u64,         // x + 1
+            0b111,           // x^2 + x + 1
+            0b1011,          // x^3 + x + 1
+            0b1101,          // x^3 + x^2 + 1
+            0b10011,         // x^4 + x + 1
+            0b100101,        // x^5 + x^2 + 1
+            0b1100000000101, // one of the degree-12 primitives? verified below differently
         ] {
             if p == 0b1100000000101 {
                 continue; // not hand-verified; covered by enumeration tests
@@ -313,8 +319,18 @@ mod tests {
         // n=2: phi(3)/2 = 1; n=3: phi(7)/3 = 2; n=4: phi(15)/4 = 2;
         // n=5: phi(31)/5 = 6; n=6: phi(63)/6 = 6; n=7: phi(127)/7 = 18;
         // n=8: phi(255)/8 = 16.
-        let expected = [(2u32, 1usize), (3, 2), (4, 2), (5, 6), (6, 6), (7, 18), (8, 16)];
-        let polys: Vec<u64> = PrimitivePolynomials::new().take(1 + 1 + 2 + 2 + 6 + 6 + 18 + 16).collect();
+        let expected = [
+            (2u32, 1usize),
+            (3, 2),
+            (4, 2),
+            (5, 6),
+            (6, 6),
+            (7, 18),
+            (8, 16),
+        ];
+        let polys: Vec<u64> = PrimitivePolynomials::new()
+            .take(1 + 1 + 2 + 2 + 6 + 6 + 18 + 16)
+            .collect();
         for (deg, count) in expected {
             let found = polys.iter().filter(|&&p| degree(p) == deg).count();
             assert_eq!(found, count, "degree {deg}");

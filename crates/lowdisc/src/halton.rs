@@ -59,8 +59,7 @@ impl HaltonDimension {
     /// Returns [`LowDiscError::HaltonDimensionUnsupported`] beyond the
     /// embedded prime table (1024 dimensions).
     pub fn new(dim: usize) -> Result<Self, LowDiscError> {
-        let base =
-            prime(dim).ok_or(LowDiscError::HaltonDimensionUnsupported { requested: dim })?;
+        let base = prime(dim).ok_or(LowDiscError::HaltonDimensionUnsupported { requested: dim })?;
         Ok(HaltonDimension { base, index: 0 })
     }
 
@@ -109,7 +108,9 @@ impl HaltonSequence {
         if dimensions == 0 {
             return Err(LowDiscError::EmptyRequest);
         }
-        let dims = (0..dimensions).map(HaltonDimension::new).collect::<Result<Vec<_>, _>>()?;
+        let dims = (0..dimensions)
+            .map(HaltonDimension::new)
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(HaltonSequence { dims })
     }
 
@@ -121,7 +122,10 @@ impl HaltonSequence {
 
     /// The next point.
     pub fn next_point(&mut self) -> Vec<f64> {
-        self.dims.iter_mut().map(|d| d.next().expect("infinite")).collect()
+        self.dims
+            .iter_mut()
+            .map(|d| d.next().expect("infinite"))
+            .collect()
     }
 }
 
@@ -131,8 +135,9 @@ mod tests {
 
     #[test]
     fn dimension_bases_are_primes_in_order() {
-        let bases: Vec<u64> =
-            (0..8).map(|d| HaltonDimension::new(d).unwrap().base()).collect();
+        let bases: Vec<u64> = (0..8)
+            .map(|d| HaltonDimension::new(d).unwrap().base())
+            .collect();
         assert_eq!(bases, vec![2, 3, 5, 7, 11, 13, 17, 19]);
     }
 
@@ -148,7 +153,10 @@ mod tests {
 
     #[test]
     fn rejects_zero_and_oversized_dimensions() {
-        assert!(matches!(HaltonSequence::new(0), Err(LowDiscError::EmptyRequest)));
+        assert!(matches!(
+            HaltonSequence::new(0),
+            Err(LowDiscError::EmptyRequest)
+        ));
         assert!(HaltonDimension::new(1023).is_ok());
         assert!(matches!(
             HaltonDimension::new(1024),

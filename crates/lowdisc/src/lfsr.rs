@@ -67,11 +67,19 @@ impl Lfsr {
         // state bit i holds x^(i). Feedback = parity of state & taps where
         // taps are the coefficients of x^0..x^(n-1).
         let taps = (poly & u64::from(u32::MAX)) as u32 & mask;
-        Ok(Lfsr { width, taps, state: seed & mask })
+        Ok(Lfsr {
+            width,
+            taps,
+            state: seed & mask,
+        })
     }
 
     fn mask_for(width: u32) -> u32 {
-        if width == 32 { u32::MAX } else { (1u32 << width) - 1 }
+        if width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << width) - 1
+        }
     }
 
     /// Register width in bits.
@@ -151,11 +159,20 @@ mod tests {
 
     #[test]
     fn rejects_bad_widths_and_zero_seed() {
-        assert!(matches!(Lfsr::new(1, 1), Err(LowDiscError::InvalidLfsrWidth { width: 1 })));
-        assert!(matches!(Lfsr::new(33, 1), Err(LowDiscError::InvalidLfsrWidth { width: 33 })));
+        assert!(matches!(
+            Lfsr::new(1, 1),
+            Err(LowDiscError::InvalidLfsrWidth { width: 1 })
+        ));
+        assert!(matches!(
+            Lfsr::new(33, 1),
+            Err(LowDiscError::InvalidLfsrWidth { width: 33 })
+        ));
         assert!(matches!(Lfsr::new(8, 0), Err(LowDiscError::ZeroLfsrSeed)));
         // Seed whose in-mask bits are zero is also rejected.
-        assert!(matches!(Lfsr::new(4, 0xF0), Err(LowDiscError::ZeroLfsrSeed)));
+        assert!(matches!(
+            Lfsr::new(4, 0xF0),
+            Err(LowDiscError::ZeroLfsrSeed)
+        ));
     }
 
     #[test]

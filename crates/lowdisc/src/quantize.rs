@@ -85,7 +85,11 @@ impl Quantizer {
     /// Panics if `q >= levels`.
     #[must_use]
     pub fn dequantize(&self, q: u32) -> f64 {
-        assert!(q < self.levels, "quantized value {q} out of range for {} levels", self.levels);
+        assert!(
+            q < self.levels,
+            "quantized value {q} out of range for {} levels",
+            self.levels
+        );
         f64::from(q) / f64::from(self.levels - 1)
     }
 }

@@ -35,7 +35,9 @@ impl R2Sequence {
             return Err(LowDiscError::EmptyRequest);
         }
         let phi = plastic_constant(dimensions as u32);
-        let alphas = (1..=dimensions).map(|j| phi.powi(-(j as i32)).fract()).collect();
+        let alphas = (1..=dimensions)
+            .map(|j| phi.powi(-(j as i32)).fract())
+            .collect();
         Ok(R2Sequence { alphas, index: 0 })
     }
 
@@ -76,7 +78,11 @@ impl R2Dimension {
         let phi = plastic_constant(1);
         let alpha = (1.0 / phi).fract();
         let offset = ((dim as f64 + 1.0) * (1.0 / phi / phi)).fract();
-        R2Dimension { alpha, offset, index: 0 }
+        R2Dimension {
+            alpha,
+            offset,
+            index: 0,
+        }
     }
 
     /// Restart from the first point.
@@ -147,6 +153,9 @@ mod tests {
 
     #[test]
     fn rejects_zero_dimensions() {
-        assert!(matches!(R2Sequence::new(0), Err(LowDiscError::EmptyRequest)));
+        assert!(matches!(
+            R2Sequence::new(0),
+            Err(LowDiscError::EmptyRequest)
+        ));
     }
 }

@@ -72,7 +72,10 @@ const EXTENSION_SEED: u64 = 0x5EB0_1D00_2311_0778;
 /// Compute the 32 direction vectors (`V[j] = v_j · 2^32`) for a dimension.
 fn direction_vectors(dim: usize) -> Result<[u32; SOBOL_BITS as usize], LowDiscError> {
     if dim > MAX_DIMENSION {
-        return Err(LowDiscError::DimensionUnsupported { requested: dim, max: MAX_DIMENSION });
+        return Err(LowDiscError::DimensionUnsupported {
+            requested: dim,
+            max: MAX_DIMENSION,
+        });
     }
     let mut v = [0u32; SOBOL_BITS as usize];
     if dim == 0 {
@@ -109,19 +112,27 @@ fn direction_vectors(dim: usize) -> Result<[u32; SOBOL_BITS as usize], LowDiscEr
 fn dimension_parameters(dim: usize) -> Result<(u32, u32, Vec<u32>), LowDiscError> {
     if let Some((s, a, m)) = JOE_KUO.get(dim - 1) {
         let poly = (1u64 << s) | (u64::from(*a) << 1) | 1;
-        debug_assert!(gf2::is_primitive(poly), "embedded Joe-Kuo polynomial must be primitive");
+        debug_assert!(
+            gf2::is_primitive(poly),
+            "embedded Joe-Kuo polynomial must be primitive"
+        );
         return Ok((*s, *a, m.to_vec()));
     }
     // Procedural tail: polynomial number `dim` in the global enumeration
     // (index 0 is x+1, used by dimension 1).
     let polys = gf2::first_primitive_polynomials(dim);
-    let poly = *polys
-        .last()
-        .filter(|_| polys.len() == dim)
-        .ok_or(LowDiscError::DimensionUnsupported { requested: dim, max: MAX_DIMENSION })?;
+    let poly =
+        *polys
+            .last()
+            .filter(|_| polys.len() == dim)
+            .ok_or(LowDiscError::DimensionUnsupported {
+                requested: dim,
+                max: MAX_DIMENSION,
+            })?;
     let s = gf2::degree(poly);
     let a = ((poly >> 1) & ((1 << (s - 1)) - 1)) as u32;
-    let mut rng = SplitMix64::new(EXTENSION_SEED ^ (dim as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng =
+        SplitMix64::new(EXTENSION_SEED ^ (dim as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut m = Vec::with_capacity(s as usize);
     for j in 1..=s {
         let mask = (1u64 << j) - 1;
@@ -164,7 +175,12 @@ impl SobolDimension {
     /// Returns [`LowDiscError::DimensionUnsupported`] if `dim` exceeds
     /// [`MAX_DIMENSION`].
     pub fn new(dim: usize) -> Result<Self, LowDiscError> {
-        Ok(SobolDimension { dim, v: direction_vectors(dim)?, x: 0, index: 0 })
+        Ok(SobolDimension {
+            dim,
+            v: direction_vectors(dim)?,
+            x: 0,
+            index: 0,
+        })
     }
 
     /// The 0-based dimension index this generator was built for.
@@ -218,7 +234,9 @@ impl SobolDimension {
 
     /// Collect the next `n` points into a vector.
     pub fn take_values(&mut self, n: usize) -> Vec<f64> {
-        (0..n).map(|_| fraction_to_unit(self.next_fraction())).collect()
+        (0..n)
+            .map(|_| fraction_to_unit(self.next_fraction()))
+            .collect()
     }
 }
 
@@ -274,7 +292,9 @@ impl SobolSequence {
         if dimensions == 0 {
             return Err(LowDiscError::EmptyRequest);
         }
-        let dims = (0..dimensions).map(SobolDimension::new).collect::<Result<Vec<_>, _>>()?;
+        let dims = (0..dimensions)
+            .map(SobolDimension::new)
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(SobolSequence { dims })
     }
 
@@ -286,7 +306,10 @@ impl SobolSequence {
 
     /// Produce the next point (one coordinate per dimension).
     pub fn next_point(&mut self) -> Vec<f64> {
-        self.dims.iter_mut().map(|d| fraction_to_unit(d.next_fraction())).collect()
+        self.dims
+            .iter_mut()
+            .map(|d| fraction_to_unit(d.next_fraction()))
+            .collect()
     }
 
     /// Fill `out` with the next point. `out.len()` must equal
@@ -296,7 +319,11 @@ impl SobolSequence {
     ///
     /// Panics if `out.len() != self.dimensions()`.
     pub fn next_point_into(&mut self, out: &mut [f64]) {
-        assert_eq!(out.len(), self.dims.len(), "output slice has wrong dimension count");
+        assert_eq!(
+            out.len(),
+            self.dims.len(),
+            "output slice has wrong dimension count"
+        );
         for (slot, d) in out.iter_mut().zip(self.dims.iter_mut()) {
             *slot = fraction_to_unit(d.next_fraction());
         }
@@ -359,7 +386,10 @@ mod tests {
                 );
                 cells[cell] = true;
             }
-            assert!(cells.iter().all(|&c| c), "dimension {dim}: not all cells covered");
+            assert!(
+                cells.iter().all(|&c| c),
+                "dimension {dim}: not all cells covered"
+            );
         }
     }
 
@@ -388,7 +418,10 @@ mod tests {
 
     #[test]
     fn sequence_rejects_zero_dimensions() {
-        assert_eq!(SobolSequence::new(0).unwrap_err(), LowDiscError::EmptyRequest);
+        assert_eq!(
+            SobolSequence::new(0).unwrap_err(),
+            LowDiscError::EmptyRequest
+        );
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Tolerance-aware floating-point comparison.
+
+/// `true` when `a` and `b` differ by at most `tol` absolutely.
+#[must_use]
+pub fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// `true` when `a` and `b` differ by at most `tol` relative to the
+/// larger magnitude (absolute near zero).
+#[must_use]
+pub fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= tol * scale
+}
+
+/// Panic with a diagnostic when `a` and `b` are not within `tol`.
+///
+/// # Panics
+///
+/// Panics when the absolute difference exceeds `tol`.
+pub fn assert_close(a: f64, b: f64, tol: f64) {
+    assert!(
+        close(a, b, tol),
+        "values differ beyond tolerance: {a} vs {b} (|Δ| = {}, tol = {tol})",
+        (a - b).abs()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_is_symmetric() {
+        assert!(close(1.0, 1.0 + 1e-13, 1e-12));
+        assert!(close(1.0 + 1e-13, 1.0, 1e-12));
+        assert!(!close(1.0, 1.1, 1e-12));
+    }
+
+    #[test]
+    fn rel_close_scales() {
+        assert!(rel_close(1e9, 1e9 + 10.0, 1e-6));
+        assert!(!rel_close(1.0, 2.0, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond tolerance")]
+    fn assert_close_panics() {
+        assert_close(0.0, 1.0, 0.5);
+    }
+}

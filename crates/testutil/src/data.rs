@@ -1,0 +1,65 @@
+//! Synthetic-dataset builders sized for tests.
+
+use uhd_core::model::LabelledImages;
+use uhd_datasets::image::Dataset;
+use uhd_datasets::synth::{generate, SynthSpec, SyntheticKind};
+
+/// The dataset seed every fixture uses unless a test needs to vary it.
+pub const TINY_SEED: u64 = 42;
+
+/// A small synthetic-MNIST train/test pair (`train_n`/`test_n` images)
+/// at [`TINY_SEED`], the workhorse fixture of the integration suites.
+///
+/// # Panics
+///
+/// Panics when generation fails (a fixture bug, fatal in tests).
+#[must_use]
+pub fn tiny_mnist(train_n: usize, test_n: usize) -> (Dataset, Dataset) {
+    tiny_dataset(SyntheticKind::Mnist, train_n, test_n)
+}
+
+/// A small train/test pair of any synthetic kind at [`TINY_SEED`].
+///
+/// # Panics
+///
+/// Panics when generation fails (a fixture bug, fatal in tests).
+#[must_use]
+pub fn tiny_dataset(kind: SyntheticKind, train_n: usize, test_n: usize) -> (Dataset, Dataset) {
+    generate(SynthSpec::new(kind, train_n, test_n, TINY_SEED))
+        .expect("synthetic fixture generation failed")
+}
+
+/// Labelled view over a dataset split — the boilerplate every
+/// integration test repeats before training.
+///
+/// # Panics
+///
+/// Panics when the split is malformed (a fixture bug, fatal in tests).
+#[must_use]
+pub fn tiny_labelled(split: &Dataset) -> LabelledImages<'_> {
+    LabelledImages::new(split.images(), split.labels())
+        .expect("synthetic split is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_mnist_has_expected_geometry() {
+        let (train, test) = tiny_mnist(50, 20);
+        assert_eq!(train.pixels(), 28 * 28);
+        assert_eq!(train.classes(), 10);
+        assert_eq!(test.len(), 20);
+        let view = tiny_labelled(&train);
+        assert_eq!(view.len(), 50);
+    }
+
+    #[test]
+    fn tiny_mnist_is_deterministic() {
+        let (a, _) = tiny_mnist(30, 10);
+        let (b, _) = tiny_mnist(30, 10);
+        assert_eq!(a.images(), b.images());
+        assert_eq!(a.labels(), b.labels());
+    }
+}

@@ -1,0 +1,23 @@
+//! Shared test fixtures for the uHD workspace.
+//!
+//! Unit, property and integration tests across the workspace need the
+//! same three ingredients over and over: seeded deterministic
+//! randomness, small synthetic datasets, and tolerance-aware numeric
+//! comparison. This crate centralizes them so individual test modules
+//! stop re-deriving fixtures (and stop drifting apart in the seeds and
+//! sizes they pick).
+//!
+//! * [`rng`] — canonical seeded RNG constructors and mask/image
+//!   generators;
+//! * [`data`] — synthetic-dataset builders sized for tests;
+//! * [`approx`] — absolute/relative tolerance comparison helpers.
+
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod data;
+pub mod rng;
+
+pub use approx::{assert_close, close, rel_close};
+pub use data::{tiny_labelled, tiny_mnist, TINY_SEED};
+pub use rng::{fixture_rng, random_image, random_masks};

@@ -1,0 +1,77 @@
+//! Canonical seeded randomness for tests.
+
+use uhd_lowdisc::rng::Xoshiro256StarStar;
+
+/// The workspace-wide fixture seed. Tests that just need "some"
+/// determinism should use this so failures reproduce identically
+/// everywhere.
+pub const FIXTURE_SEED: u64 = 0x5EED_u64;
+
+/// A deterministic RNG for a named fixture; distinct labels give
+/// decorrelated streams with stable seeds.
+#[must_use]
+pub fn fixture_rng(label: &str) -> Xoshiro256StarStar {
+    let mut h: u64 = FIXTURE_SEED ^ 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    Xoshiro256StarStar::seeded(h)
+}
+
+/// A pseudo-random grayscale image of `pixels` bytes.
+#[must_use]
+pub fn random_image(pixels: usize, rng: &mut Xoshiro256StarStar) -> Vec<u8> {
+    (0..pixels).map(|_| (rng.next_u64() & 0xff) as u8).collect()
+}
+
+/// `n` random bit-masks of `words` 64-bit words each, with the bits of
+/// the final word truncated to `dim % 64` when `dim` is not a multiple
+/// of 64 — the exact shape accumulator tests feed to `add_mask`.
+#[must_use]
+pub fn random_masks(n: usize, dim: u32, rng: &mut Xoshiro256StarStar) -> Vec<Vec<u64>> {
+    let words = (dim as usize).div_ceil(64);
+    let rem = dim % 64;
+    (0..n)
+        .map(|_| {
+            let mut m: Vec<u64> = (0..words).map(|_| rng.next_u64()).collect();
+            if rem != 0 {
+                if let Some(last) = m.last_mut() {
+                    *last &= (1u64 << rem) - 1;
+                }
+            }
+            m
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_rng_is_deterministic() {
+        let a: Vec<u64> = {
+            let mut r = fixture_rng("x");
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = fixture_rng("x");
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut other = fixture_rng("y");
+        assert_ne!(a[0], other.next_u64());
+    }
+
+    #[test]
+    fn masks_respect_dimension() {
+        let mut rng = fixture_rng("masks");
+        let masks = random_masks(8, 70, &mut rng);
+        assert_eq!(masks.len(), 8);
+        for m in &masks {
+            assert_eq!(m.len(), 2);
+            assert_eq!(m[1] >> 6, 0, "bits beyond dim 70 must be clear");
+        }
+    }
+}

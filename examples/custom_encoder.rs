@@ -34,7 +34,12 @@ impl RandomProjectionEncoder {
         let table = (0..pixels * levels as usize)
             .map(|_| Hypervector::random(dim, &mut rng))
             .collect();
-        RandomProjectionEncoder { dim, pixels, levels, table }
+        RandomProjectionEncoder {
+            dim,
+            pixels,
+            levels,
+            table,
+        }
     }
 
     fn level_of(&self, v: u8) -> usize {
@@ -53,7 +58,10 @@ impl ImageEncoder for RandomProjectionEncoder {
 
     fn accumulate(&self, image: &[u8], acc: &mut BitSliceAccumulator) -> Result<(), HdcError> {
         if image.len() != self.pixels {
-            return Err(HdcError::ImageSizeMismatch { expected: self.pixels, got: image.len() });
+            return Err(HdcError::ImageSizeMismatch {
+                expected: self.pixels,
+                got: image.len(),
+            });
         }
         for (pixel, &v) in image.iter().enumerate() {
             let hv = &self.table[pixel * self.levels as usize + self.level_of(v)];
@@ -84,7 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (train, test) = generate(SynthSpec::new(SyntheticKind::Mnist, 1500, 500, 9))?;
     let tr = LabelledImages::new(train.images(), train.labels())?;
     let te = LabelledImages::new(test.images(), test.labels())?;
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
 
     // uHD with a different LD family — one config field away.
     let halton = UhdEncoder::new(UhdConfig {

@@ -9,9 +9,7 @@
 
 use uhd::hw::cell_library::CellLibrary;
 use uhd::hw::circuits;
-use uhd::hw::report::{
-    checkpoint1_generation, checkpoint2_comparison, checkpoint3_binarization,
-};
+use uhd::hw::report::{checkpoint1_generation, checkpoint2_comparison, checkpoint3_binarization};
 
 fn main() {
     let library = CellLibrary::nangate45_like();

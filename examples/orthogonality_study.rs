@@ -26,8 +26,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== orthogonality of 32 generated hypervectors (D = 8192) ==");
     // Pseudo-random hypervectors: the baseline's generation rule.
     let mut rng = Xoshiro256StarStar::seeded(3);
-    let random_set: Vec<Hypervector> =
-        (0..32).map(|_| Hypervector::random(8192, &mut rng)).collect();
+    let random_set: Vec<Hypervector> = (0..32)
+        .map(|_| Hypervector::random(8192, &mut rng))
+        .collect();
     let r = orthogonality_stats(&random_set)?;
 
     // Sobol-thresholded hypervectors: dimension d's sequence compared
@@ -47,10 +48,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect::<Result<_, _>>()?;
     let s = orthogonality_stats(&sobol_set)?;
 
-    println!("  pseudo-random: mean |cos| {:.4}, worst pair {:.4}, balance dev {:.4}",
-        r.mean_abs_cosine, r.max_abs_cosine, r.max_balance_deviation);
-    println!("  sobol:         mean |cos| {:.4}, worst pair {:.4}, balance dev {:.4}",
-        s.mean_abs_cosine, s.max_abs_cosine, s.max_balance_deviation);
+    println!(
+        "  pseudo-random: mean |cos| {:.4}, worst pair {:.4}, balance dev {:.4}",
+        r.mean_abs_cosine, r.max_abs_cosine, r.max_balance_deviation
+    );
+    println!(
+        "  sobol:         mean |cos| {:.4}, worst pair {:.4}, balance dev {:.4}",
+        s.mean_abs_cosine, s.max_abs_cosine, s.max_balance_deviation
+    );
 
     println!("\nSobol-generated vectors are exactly balanced by stratification —");
     println!("each dimension's first 2^k values hit every dyadic cell exactly once —");

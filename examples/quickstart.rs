@@ -20,11 +20,22 @@ use uhd::lowdisc::rng::Xoshiro256StarStar;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dim = 1024u32;
     let (train, test) = generate(SynthSpec::new(SyntheticKind::Mnist, 3000, 1000, 42))?;
-    println!("dataset: {} ({} train / {} test, {}x{} px, {} classes)",
-        train.name(), train.len(), test.len(), train.width(), train.height(), train.classes());
-    println!("a training sample (class {}):\n{}", train.labels()[0], train.ascii_art(0));
+    println!(
+        "dataset: {} ({} train / {} test, {}x{} px, {} classes)",
+        train.name(),
+        train.len(),
+        test.len(),
+        train.width(),
+        train.height(),
+        train.classes()
+    );
+    println!(
+        "a training sample (class {}):\n{}",
+        train.labels()[0],
+        train.ascii_art(0)
+    );
 
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let train_data = LabelledImages::new(train.images(), train.labels())?;
     let test_data = LabelledImages::new(test.images(), test.labels())?;
 
@@ -37,17 +48,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Baseline: pseudo-random P and L hypervectors ---
     let mut rng = Xoshiro256StarStar::seeded(7);
-    let base_encoder =
-        BaselineEncoder::new(BaselineConfig::paper(dim, train.pixels()), &mut rng)?;
+    let base_encoder = BaselineEncoder::new(BaselineConfig::paper(dim, train.pixels()), &mut rng)?;
     let t0 = std::time::Instant::now();
-    let base_model =
-        HdcModel::train_parallel(&base_encoder, train_data, train.classes(), threads)?;
+    let base_model = HdcModel::train_parallel(&base_encoder, train_data, train.classes(), threads)?;
     let base_train_time = t0.elapsed();
     let base_acc = base_model.evaluate_parallel(&base_encoder, test_data, threads)?;
 
     println!("D = {dim}");
-    println!("  uHD      accuracy: {:6.2} %   (train {uhd_train_time:?})", uhd_acc * 100.0);
-    println!("  baseline accuracy: {:6.2} %   (train {base_train_time:?})", base_acc * 100.0);
+    println!(
+        "  uHD      accuracy: {:6.2} %   (train {uhd_train_time:?})",
+        uhd_acc * 100.0
+    );
+    println!(
+        "  baseline accuracy: {:6.2} %   (train {base_train_time:?})",
+        base_acc * 100.0
+    );
 
     // Classify one image explicitly to show the API surface.
     let (pred, score) = uhd_model.classify(&uhd_encoder, &test.images()[0])?;

@@ -67,6 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("uHD D=2048 single-pass accuracy: {:.2}%", acc * 100.0);
 
     let (pred, score) = model.classify(&encoder, &test_x[0])?;
-    println!("first test signal: true {}, predicted {pred} (cosine {score:.3})", test_y[0]);
+    println!(
+        "first test signal: true {}, predicted {pred} (cosine {score:.3})",
+        test_y[0]
+    );
     Ok(())
 }

@@ -4,7 +4,7 @@ use proptest::prelude::*;
 use uhd::bitstream::comparator::unary_geq;
 use uhd::bitstream::UnaryBitstream;
 use uhd::core::accumulator::{BitSliceAccumulator, DenseAccumulator};
-use uhd::core::hypervector::{words_for_dim, Hypervector};
+use uhd::core::hypervector::Hypervector;
 use uhd::core::similarity::cosine;
 use uhd::lowdisc::quantize::Quantizer;
 use uhd::lowdisc::rng::Xoshiro256StarStar;
@@ -59,15 +59,9 @@ proptest! {
     #[test]
     fn accumulators_agree(seed in any::<u64>(), dim in 65u32..200, n in 1usize..60) {
         let mut rng = Xoshiro256StarStar::seeded(seed);
-        let wc = words_for_dim(dim);
         let mut fast = BitSliceAccumulator::new(dim);
         let mut slow = DenseAccumulator::new(dim);
-        for _ in 0..n {
-            let mut m: Vec<u64> = (0..wc).map(|_| rng.next_u64()).collect();
-            let rem = dim % 64;
-            if rem != 0 {
-                *m.last_mut().unwrap() &= (1u64 << rem) - 1;
-            }
+        for m in uhd_testutil::random_masks(n, dim, &mut rng) {
             fast.add_mask(&m);
             slow.add_mask(&m);
         }

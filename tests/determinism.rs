@@ -1,0 +1,70 @@
+//! Deterministic reproducibility across the full stack: identical seeds
+//! must give bit-identical datasets, encoders, and class hypervectors.
+
+use uhd::core::encoder::baseline::{BaselineConfig, BaselineEncoder};
+use uhd::core::encoder::uhd::{UhdConfig, UhdEncoder};
+use uhd::core::model::HdcModel;
+use uhd::datasets::synth::{generate, SynthSpec, SyntheticKind};
+use uhd::lowdisc::rng::Xoshiro256StarStar;
+use uhd_testutil::tiny_labelled as labelled;
+
+/// One full uHD training run on freshly generated synthetic MNIST.
+fn uhd_run(seed: u64) -> HdcModel {
+    let (train, _) =
+        generate(SynthSpec::new(SyntheticKind::Mnist, 300, 50, seed)).expect("generate");
+    let enc = UhdEncoder::new(UhdConfig::new(1024, train.pixels())).unwrap();
+    HdcModel::train(&enc, labelled(&train), train.classes()).unwrap()
+}
+
+/// One full baseline training run where every random draw flows from a
+/// single `Xoshiro256StarStar::seeded` stream.
+fn baseline_run(seed: u64) -> HdcModel {
+    let (train, _) =
+        generate(SynthSpec::new(SyntheticKind::Mnist, 300, 50, seed)).expect("generate");
+    let mut rng = Xoshiro256StarStar::seeded(seed);
+    let enc = BaselineEncoder::new(BaselineConfig::paper(1024, train.pixels()), &mut rng).unwrap();
+    HdcModel::train(&enc, labelled(&train), train.classes()).unwrap()
+}
+
+#[test]
+fn uhd_class_hypervectors_are_bit_identical_across_runs() {
+    let (a, b) = (uhd_run(42), uhd_run(42));
+    assert_eq!(
+        a.class_hypervectors(),
+        b.class_hypervectors(),
+        "two seeded uHD runs must produce bit-identical class hypervectors"
+    );
+    assert_eq!(a.class_sums(), b.class_sums());
+    assert_eq!(a.to_bytes(), b.to_bytes());
+}
+
+#[test]
+fn baseline_class_hypervectors_are_bit_identical_across_runs() {
+    let (a, b) = (baseline_run(42), baseline_run(42));
+    assert_eq!(
+        a.class_hypervectors(),
+        b.class_hypervectors(),
+        "two Xoshiro256** seeded baseline runs must be bit-identical"
+    );
+    assert_eq!(a.to_bytes(), b.to_bytes());
+}
+
+#[test]
+fn different_seeds_change_the_baseline_model() {
+    let (a, b) = (baseline_run(42), baseline_run(43));
+    assert_ne!(
+        a.to_bytes(),
+        b.to_bytes(),
+        "distinct seeds must give distinct baseline models"
+    );
+}
+
+#[test]
+fn rng_streams_are_reproducible_and_seed_sensitive() {
+    let take = |seed: u64| -> Vec<u64> {
+        let mut r = Xoshiro256StarStar::seeded(seed);
+        (0..16).map(|_| r.next_u64()).collect()
+    };
+    assert_eq!(take(7), take(7));
+    assert_ne!(take(7), take(8));
+}

@@ -3,42 +3,36 @@
 
 use uhd::core::encoder::baseline::{BaselineConfig, BaselineEncoder};
 use uhd::core::encoder::uhd::{UhdConfig, UhdEncoder};
-use uhd::core::model::{HdcModel, InferenceMode, LabelledImages};
-use uhd::datasets::synth::{generate, SynthSpec, SyntheticKind};
+use uhd::core::model::{HdcModel, InferenceMode};
 use uhd::lowdisc::rng::Xoshiro256StarStar;
-
-fn mnist(train_n: usize, test_n: usize) -> (uhd::datasets::Dataset, uhd::datasets::Dataset) {
-    generate(SynthSpec::new(SyntheticKind::Mnist, train_n, test_n, 42)).expect("generate")
-}
+use uhd_testutil::{tiny_labelled as labelled, tiny_mnist as mnist};
 
 #[test]
 fn uhd_pipeline_learns_synthetic_mnist() {
     let (train, test) = mnist(600, 200);
     let enc = UhdEncoder::new(UhdConfig::new(1024, train.pixels())).unwrap();
-    let tr = LabelledImages::new(train.images(), train.labels()).unwrap();
-    let te = LabelledImages::new(test.images(), test.labels()).unwrap();
-    let model = HdcModel::train(&enc, tr, train.classes()).unwrap();
-    let acc = model.evaluate(&enc, te).unwrap();
+    let model = HdcModel::train(&enc, labelled(&train), train.classes()).unwrap();
+    let acc = model.evaluate(&enc, labelled(&test)).unwrap();
     assert!(acc > 0.5, "uHD accuracy {acc} too low for a learnable task");
 }
 
 #[test]
 fn baseline_pipeline_learns_synthetic_mnist() {
     let (train, test) = mnist(600, 200);
-    let mut rng = Xoshiro256StarStar::seeded(7);
-    let enc =
-        BaselineEncoder::new(BaselineConfig::paper(1024, train.pixels()), &mut rng).unwrap();
-    let tr = LabelledImages::new(train.images(), train.labels()).unwrap();
-    let te = LabelledImages::new(test.images(), test.labels()).unwrap();
-    let model = HdcModel::train(&enc, tr, train.classes()).unwrap();
-    let acc = model.evaluate(&enc, te).unwrap();
-    assert!(acc > 0.5, "baseline accuracy {acc} too low for a learnable task");
+    let mut rng = uhd_testutil::fixture_rng("baseline_pipeline");
+    let enc = BaselineEncoder::new(BaselineConfig::paper(1024, train.pixels()), &mut rng).unwrap();
+    let model = HdcModel::train(&enc, labelled(&train), train.classes()).unwrap();
+    let acc = model.evaluate(&enc, labelled(&test)).unwrap();
+    assert!(
+        acc > 0.5,
+        "baseline accuracy {acc} too low for a learnable task"
+    );
 }
 
 #[test]
 fn uhd_is_deterministic_end_to_end() {
     let (train, test) = mnist(200, 50);
-    let tr = LabelledImages::new(train.images(), train.labels()).unwrap();
+    let tr = labelled(&train);
     let run = || {
         let enc = UhdEncoder::new(UhdConfig::new(512, train.pixels())).unwrap();
         let model = HdcModel::train(&enc, tr, train.classes()).unwrap();
@@ -60,8 +54,8 @@ fn baseline_fluctuates_across_iterations_uhd_does_not() {
     // The core claim behind Table IV / Fig. 6(a): the baseline's accuracy
     // depends on the random hypervector draw; uHD has no draw to vary.
     let (train, test) = mnist(400, 200);
-    let tr = LabelledImages::new(train.images(), train.labels()).unwrap();
-    let te = LabelledImages::new(test.images(), test.labels()).unwrap();
+    let tr = labelled(&train);
+    let te = labelled(&test);
     let mut accs = Vec::new();
     for seed in 0..4 {
         let mut rng = Xoshiro256StarStar::seeded(seed);
@@ -70,17 +64,19 @@ fn baseline_fluctuates_across_iterations_uhd_does_not() {
         let model = HdcModel::train(&enc, tr, train.classes()).unwrap();
         accs.push(model.evaluate(&enc, te).unwrap());
     }
-    let min = accs.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = accs.iter().cloned().fold(0.0f64, f64::max);
-    assert!(max - min > 1e-9, "different draws should give different accuracies: {accs:?}");
+    let min = accs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = accs.iter().copied().fold(0.0f64, f64::max);
+    assert!(
+        max - min > 1e-9,
+        "different draws should give different accuracies: {accs:?}"
+    );
 }
 
 #[test]
 fn model_round_trips_through_bytes_and_still_classifies() {
     let (train, test) = mnist(200, 50);
     let enc = UhdEncoder::new(UhdConfig::new(512, train.pixels())).unwrap();
-    let tr = LabelledImages::new(train.images(), train.labels()).unwrap();
-    let model = HdcModel::train(&enc, tr, train.classes()).unwrap();
+    let model = HdcModel::train(&enc, labelled(&train), train.classes()).unwrap();
     let restored = HdcModel::from_bytes(&model.to_bytes()).unwrap();
     for img in test.images().iter().take(10) {
         assert_eq!(
@@ -94,12 +90,13 @@ fn model_round_trips_through_bytes_and_still_classifies() {
 fn inference_modes_all_run() {
     let (train, test) = mnist(200, 60);
     let enc = UhdEncoder::new(UhdConfig::new(512, train.pixels())).unwrap();
-    let tr = LabelledImages::new(train.images(), train.labels()).unwrap();
-    let te = LabelledImages::new(test.images(), test.labels()).unwrap();
-    let model = HdcModel::train(&enc, tr, train.classes()).unwrap();
-    for mode in
-        [InferenceMode::IntegerBoth, InferenceMode::IntegerQuery, InferenceMode::BinarizedQuery]
-    {
+    let te = labelled(&test);
+    let model = HdcModel::train(&enc, labelled(&train), train.classes()).unwrap();
+    for mode in [
+        InferenceMode::IntegerBoth,
+        InferenceMode::IntegerQuery,
+        InferenceMode::BinarizedQuery,
+    ] {
         let acc = model.evaluate_with(&enc, te, mode).unwrap();
         assert!((0.0..=1.0).contains(&acc), "{mode:?}");
     }

@@ -25,7 +25,10 @@ fn corrupted_idx_files_error_cleanly() {
     valid.extend_from_slice(&2u32.to_be_bytes());
     valid.extend_from_slice(&2u32.to_be_bytes());
     valid.extend_from_slice(&[0u8; 7]); // one byte short of 2 images
-    assert!(matches!(parse_idx_images(&valid), Err(DatasetError::TruncatedIdx { .. })));
+    assert!(matches!(
+        parse_idx_images(&valid),
+        Err(DatasetError::TruncatedIdx { .. })
+    ));
 }
 
 #[test]
@@ -33,11 +36,17 @@ fn encoder_rejects_malformed_images() {
     let enc = UhdEncoder::new(UhdConfig::new(128, 16)).unwrap();
     assert!(matches!(
         enc.encode(&[]),
-        Err(HdcError::ImageSizeMismatch { expected: 16, got: 0 })
+        Err(HdcError::ImageSizeMismatch {
+            expected: 16,
+            got: 0
+        })
     ));
     assert!(matches!(
-        enc.encode(&vec![0u8; 17]),
-        Err(HdcError::ImageSizeMismatch { expected: 16, got: 17 })
+        enc.encode(&[0u8; 17]),
+        Err(HdcError::ImageSizeMismatch {
+            expected: 16,
+            got: 17
+        })
     ));
 }
 
@@ -45,7 +54,10 @@ fn encoder_rejects_malformed_images() {
 fn degenerate_configs_rejected_everywhere() {
     assert!(UhdEncoder::new(UhdConfig::new(0, 16)).is_err());
     assert!(UhdEncoder::new(UhdConfig::new(128, 0)).is_err());
-    assert!(matches!(SobolDimension::new(1_000_000), Err(LowDiscError::DimensionUnsupported { .. })));
+    assert!(matches!(
+        SobolDimension::new(1_000_000),
+        Err(LowDiscError::DimensionUnsupported { .. })
+    ));
     assert!(UnaryBitstream::encode(20, 10).is_err());
     assert!(UnaryStreamTable::new(0, 16).is_err());
 }
@@ -55,7 +67,10 @@ fn stream_table_bounds_checked() {
     let ust = UnaryStreamTable::new(16, 16).unwrap();
     assert!(matches!(
         ust.fetch(99),
-        Err(BitstreamError::TableIndexOutOfRange { index: 99, entries: 16 })
+        Err(BitstreamError::TableIndexOutOfRange {
+            index: 99,
+            entries: 16
+        })
     ));
 }
 
@@ -74,7 +89,10 @@ fn training_validates_labels_and_shapes() {
     ragged[3] = vec![0u8; 5];
     let labels = vec![0usize, 1, 2, 0, 1, 2];
     let data = LabelledImages::new(&ragged, &labels).unwrap();
-    assert!(matches!(HdcModel::train(&enc, data, 3), Err(HdcError::ImageSizeMismatch { .. })));
+    assert!(matches!(
+        HdcModel::train(&enc, data, 3),
+        Err(HdcError::ImageSizeMismatch { .. })
+    ));
 }
 
 #[test]

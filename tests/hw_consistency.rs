@@ -68,7 +68,10 @@ fn efficiency_beats_every_published_row() {
         &WorkloadProfile::uhd(h, 1024),
     );
     let best_published = 12.60; // Semi-HD
-    assert!(eff > best_published, "efficiency {eff} must top {best_published}");
+    assert!(
+        eff > best_published,
+        "efficiency {eff} must top {best_published}"
+    );
 }
 
 #[test]
@@ -77,6 +80,12 @@ fn memory_model_matches_paper_1k_row() {
     let h = 784u64;
     let base = p.dynamic_memory_kb(&WorkloadProfile::baseline(h, 1024, 256));
     let ours = p.dynamic_memory_kb(&WorkloadProfile::uhd(h, 1024));
-    assert!((base / 8496.0 - 1.0).abs() < 0.15, "baseline 1K {base} KB vs paper 8496");
-    assert!((ours / 816.0 - 1.0).abs() < 0.15, "uHD 1K {ours} KB vs paper 816");
+    assert!(
+        (base / 8496.0 - 1.0).abs() < 0.15,
+        "baseline 1K {base} KB vs paper 8496"
+    );
+    assert!(
+        (ours / 816.0 - 1.0).abs() < 0.15,
+        "uHD 1K {ours} KB vs paper 816"
+    );
 }

@@ -16,8 +16,9 @@ fn plane_path_equals_unary_gate_path_on_images() {
     let enc = UhdEncoder::new(UhdConfig::new(256, pixels)).unwrap();
     let ust = UnaryStreamTable::new(16, 16).unwrap();
     for seed in 0..5u8 {
-        let image: Vec<u8> =
-            (0..pixels).map(|i| ((i as u32 * 41 + u32::from(seed) * 97) % 256) as u8).collect();
+        let image: Vec<u8> = (0..pixels)
+            .map(|i| ((i as u32 * 41 + u32::from(seed) * 97) % 256) as u8)
+            .collect();
         let fast = enc.encode(&image).unwrap();
         let gate = enc.encode_via_unary(&image, &ust).unwrap();
         assert_eq!(fast, gate, "seed {seed}");

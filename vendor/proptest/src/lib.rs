@@ -1,0 +1,214 @@
+//! Offline stand-in for the crates.io [`proptest`] package.
+//!
+//! The uHD build environment has no registry access, so this crate
+//! re-implements the *subset* of proptest's API that the workspace's
+//! property tests use:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(..)]` header and `pat in strategy` arguments);
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`];
+//! * range strategies (`lo..hi`, `lo..=hi`) over the primitive integer
+//!   and float types, and [`any`]`::<T>()` for full-domain sampling;
+//! * [`ProptestConfig`] with [`ProptestConfig::with_cases`].
+//!
+//! Sampling is deterministic: the RNG is seeded from the test's module
+//! path and name, so failures reproduce across runs. There is no
+//! shrinking — a failing case panics with the sampled values still in
+//! scope, which the assertion message can surface.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+pub mod prelude;
+pub mod strategy;
+
+pub use strategy::{any, Any, Arbitrary, Strategy};
+
+/// Execution parameters for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest defaults to 256; that is cheap for every
+        // property in this workspace, so keep parity.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic SplitMix64 generator backing all strategy sampling.
+///
+/// SplitMix64 passes BigCrush for this use (fixture generation) and is
+/// seedable from a single `u64`, which lets each test derive its stream
+/// from a stable hash of its own name.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed the generator from an arbitrary label (test name).
+    #[must_use]
+    pub fn deterministic(label: &str) -> Self {
+        // FNV-1a over the label gives a stable, well-mixed seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "below() requires a non-zero bound");
+        // Multiply-shift bounded sampling (Lemire); bias is < 2^-64 per
+        // draw, far below what property tests can observe.
+
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Defines one or more property tests.
+///
+/// Mirrors proptest's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u32..100, f in 0.0f64..=1.0) {
+///         prop_assert!(f <= 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    // Surface the sampled inputs if the body panics.
+                    let __inputs = format!(
+                        concat!("case ", "{}", $(" ", stringify!($arg), " = {:?}",)*),
+                        __case $(, &$arg)*
+                    );
+                    let _ = &__inputs;
+                    $crate::__run_case(&__inputs, move || $body);
+                }
+            }
+        )*
+    };
+}
+
+/// Runs one sampled case, annotating any panic with the sampled inputs.
+#[doc(hidden)]
+pub fn __run_case<F: FnOnce() + std::panic::UnwindSafe>(inputs: &str, body: F) {
+    if let Err(payload) = std::panic::catch_unwind(body) {
+        eprintln!("proptest failure on {inputs}");
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Property-test assertion; accepts everything [`assert!`] does.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property-test equality assertion; accepts everything [`assert_eq!`] does.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property-test inequality assertion; accepts everything [`assert_ne!`] does.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_label() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        let mut c = TestRng::deterministic("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::deterministic("bound");
+        for _ in 0..10_000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn unit_is_in_range() {
+        let mut rng = TestRng::deterministic("unit");
+        for _ in 0..10_000 {
+            let u = rng.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_round_trip(x in 0u32..10, f in 0.0f64..=1.0, s in crate::any::<u64>()) {
+            prop_assert!(x < 10);
+            prop_assert!((0.0..=1.0).contains(&f));
+            let _ = s;
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! One-stop import mirroring `proptest::prelude`.
+
+pub use crate::strategy::{any, Any, Arbitrary, Strategy};
+pub use crate::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};

@@ -1,0 +1,207 @@
+//! Value-generation strategies: ranges over primitives and [`any`].
+
+use crate::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random values of one type.
+///
+/// The stand-in keeps proptest's name but not its shrinking machinery:
+/// `sample` draws one value per test case directly.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value from the strategy.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types that can be sampled uniformly from their full domain via
+/// [`any`].
+pub trait Arbitrary: Sized {
+    /// Draw a value uniformly from the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Full-domain strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Uniform strategy over the full domain of `T` (proptest's
+/// `any::<T>()`).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($ty:ty),*) => {
+        $(
+            impl Arbitrary for $ty {
+                #[allow(clippy::cast_lossless)]
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*
+    };
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! arbitrary_int {
+    ($($ty:ty as $uty:ty),*) => {
+        $(
+            impl Arbitrary for $ty {
+                #[allow(clippy::cast_lossless, clippy::cast_possible_wrap)]
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    (rng.next_u64() as $uty) as $ty
+                }
+            }
+        )*
+    };
+}
+
+arbitrary_int!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+// Full-domain float sampling draws raw bit patterns, so infinities and
+// NaNs appear with their natural density — matching proptest's
+// `any::<f64>()` contract that tests must tolerate non-finite values.
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f32::from_bits((rng.next_u64() >> 32) as u32)
+    }
+}
+
+macro_rules! range_strategy_uint {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                #[allow(clippy::cast_lossless)]
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $ty
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+
+                #[allow(clippy::cast_lossless)]
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    lo + rng.below(span + 1) as $ty
+                }
+            }
+        )*
+    };
+}
+
+range_strategy_uint!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        // Include the upper endpoint by stretching the 53-bit lattice by
+        // one step; clamping keeps the result exact at the ends.
+        let step = 1.0 / (1u64 << 53) as f64;
+        let u = (rng.unit_f64() * (1.0 + step)).min(1.0);
+        lo + u * (hi - lo)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        let u = ((rng.unit_f64() * (1.0 + f64::from(f32::EPSILON))).min(1.0)) as f32;
+        lo + u * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uint_range_stays_in_bounds() {
+        let mut rng = TestRng::deterministic("uint_range");
+        let s = 65u32..200;
+        for _ in 0..10_000 {
+            let v = s.sample(&mut rng);
+            assert!((65..200).contains(&v));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_bounds_eventually() {
+        let mut rng = TestRng::deterministic("incl");
+        let s = 0u8..=3;
+        let mut seen = [false; 4];
+        for _ in 0..10_000 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn f64_inclusive_in_bounds() {
+        let mut rng = TestRng::deterministic("f64");
+        let s = 0.0f64..=1.0;
+        for _ in 0..10_000 {
+            let v = s.sample(&mut rng);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}
