@@ -1,0 +1,151 @@
+//! Serving throughput: batched + sharded `uhd-serve` engine vs the
+//! serial per-image loop, swept over batch size × shard count, emitted
+//! as JSON.
+//!
+//! Run: `cargo run --release -p uhd-bench --bin throughput`
+//!
+//! Two serial baselines are measured on the same synthetic workload:
+//!
+//! * `serial_classify` — the status-quo path this engine replaces: one
+//!   image at a time through `HdcModel::classify` (default integer
+//!   cosine over the class sums);
+//! * `serial_binarized` — one image at a time through the binarized
+//!   query path, i.e. the same decisions the engine produces, but
+//!   without batching, sharding, or the transposed class store.
+//!
+//! The sweep then serves the identical image stream through
+//! `ServeEngine` for every (shards, max_batch) combination. Honours
+//! `UHD_BENCH_QUICK=1` plus the usual `UHD_TRAIN_N` / `UHD_TEST_N` /
+//! `UHD_SEED` sizing.
+
+use std::time::Instant;
+use uhd_bench::{uhd_encoder, ExperimentConfig, Workbench};
+use uhd_core::model::{HdcModel, InferenceMode};
+use uhd_datasets::synth::SyntheticKind;
+use uhd_serve::{ServeConfig, ServeEngine};
+
+struct SweepPoint {
+    shards: usize,
+    max_batch: usize,
+    images_per_sec: f64,
+    mean_batch: f64,
+    largest_batch: u64,
+}
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let quick = std::env::var("UHD_BENCH_QUICK").is_ok();
+    let d = if quick { 512 } else { 2048 };
+    let queries = if quick { 400 } else { 2000 };
+
+    let bench = Workbench::new(SyntheticKind::Mnist, &cfg);
+    let encoder = uhd_encoder(d, bench.train.pixels());
+    let model = HdcModel::train_parallel(
+        &encoder,
+        bench.train_data(),
+        bench.train.classes(),
+        cfg.threads,
+    )
+    .expect("training failed");
+
+    // The served workload: the test split cycled up to `queries` images.
+    let images: Vec<Vec<u8>> = bench
+        .test
+        .images()
+        .iter()
+        .cycle()
+        .take(queries)
+        .cloned()
+        .collect();
+
+    // --- Serial baseline 1: the per-image loop the engine replaces. ---
+    let t0 = Instant::now();
+    for image in &images {
+        let _ = model.classify(&encoder, image).expect("classify");
+    }
+    let serial_classify_ips = images.len() as f64 / t0.elapsed().as_secs_f64();
+
+    // --- Serial baseline 2: per-image binarized query (same decisions
+    // as the engine, no batching/sharding). ---
+    let t0 = Instant::now();
+    for image in &images {
+        let _ = model
+            .classify_with(&encoder, image, InferenceMode::BinarizedQuery)
+            .expect("classify");
+    }
+    let serial_binarized_ips = images.len() as f64 / t0.elapsed().as_secs_f64();
+
+    // --- The sweep: batch size × shard count through the engine. ---
+    let hw_threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let mut shard_opts = vec![1usize, 2];
+    if hw_threads > 2 {
+        shard_opts.push(hw_threads);
+    }
+    let batch_opts: &[usize] = if quick { &[8, 64] } else { &[1, 8, 64] };
+
+    let mut points = Vec::new();
+    for &shards in &shard_opts {
+        for &max_batch in batch_opts {
+            let images_ref = &images;
+            let (elapsed, stats) = ServeEngine::serve(
+                ServeConfig::new(shards, max_batch),
+                &encoder,
+                model.clone(),
+                |engine| {
+                    let t0 = Instant::now();
+                    let responses = engine.classify_many(images_ref).expect("serve");
+                    assert_eq!(responses.len(), images_ref.len());
+                    (t0.elapsed(), engine.stats())
+                },
+            )
+            .expect("engine start");
+            points.push(SweepPoint {
+                shards,
+                max_batch,
+                images_per_sec: images.len() as f64 / elapsed.as_secs_f64(),
+                mean_batch: stats.mean_batch(),
+                largest_batch: stats.largest_batch,
+            });
+        }
+    }
+
+    let best = points
+        .iter()
+        .max_by(|a, b| a.images_per_sec.total_cmp(&b.images_per_sec))
+        .expect("sweep is nonempty");
+
+    // --- JSON report. ---
+    println!("{{");
+    println!(
+        "  \"workload\": {{\"dataset\": \"synthetic-mnist\", \"dim\": {d}, \"pixels\": {}, \"queries\": {}, \"classes\": {}, \"hw_threads\": {hw_threads}}},",
+        bench.train.pixels(),
+        images.len(),
+        bench.train.classes()
+    );
+    println!("  \"serial_classify_images_per_sec\": {serial_classify_ips:.1},");
+    println!("  \"serial_binarized_images_per_sec\": {serial_binarized_ips:.1},");
+    println!("  \"sweep\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        println!(
+            "    {{\"shards\": {}, \"max_batch\": {}, \"images_per_sec\": {:.1}, \"mean_batch\": {:.2}, \"largest_batch\": {}}}{comma}",
+            p.shards, p.max_batch, p.images_per_sec, p.mean_batch, p.largest_batch
+        );
+    }
+    println!("  ],");
+    println!(
+        "  \"best\": {{\"shards\": {}, \"max_batch\": {}, \"images_per_sec\": {:.1}, \"speedup_vs_serial_loop\": {:.2}}}",
+        best.shards,
+        best.max_batch,
+        best.images_per_sec,
+        best.images_per_sec / serial_classify_ips
+    );
+    println!("}}");
+
+    assert!(
+        best.images_per_sec > serial_classify_ips,
+        "batched+sharded serving ({:.1} img/s) must beat the serial per-image \
+         classify loop ({serial_classify_ips:.1} img/s)",
+        best.images_per_sec
+    );
+}

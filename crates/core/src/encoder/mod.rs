@@ -82,7 +82,25 @@ pub trait ImageEncoder: Send + Sync {
     /// Propagates the errors of [`ImageEncoder::accumulate`].
     fn encode(&self, image: &[u8]) -> Result<Hypervector, HdcError> {
         let mut acc = BitSliceAccumulator::new(self.dim());
-        self.accumulate(image, &mut acc)?;
+        self.encode_into(image, &mut acc)
+    }
+
+    /// [`ImageEncoder::encode`] with a caller-provided scratch
+    /// accumulator, for allocation-free encoding in batch/serving hot
+    /// loops (the accumulator is cleared first and its plane storage is
+    /// reused). Implementations overriding either method must keep the
+    /// two bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`ImageEncoder::accumulate`].
+    fn encode_into(
+        &self,
+        image: &[u8],
+        acc: &mut BitSliceAccumulator,
+    ) -> Result<Hypervector, HdcError> {
+        acc.clear();
+        self.accumulate(image, acc)?;
         Ok(acc.binarize_with_total(self.pixels() as u64))
     }
 

@@ -240,13 +240,33 @@ impl Hypervector {
     ///
     /// [`HdcError::DimensionMismatch`] if dimensions differ.
     pub fn hamming(&self, other: &Self) -> Result<u32, HdcError> {
+        self.hamming_distance(other)
+    }
+
+    /// Packed fast path for the Hamming distance: XOR + `count_ones`
+    /// over the `u64` words, unrolled four words at a time so the
+    /// popcounts pipeline. This is the kernel behind [`Self::hamming`],
+    /// [`crate::similarity::hamming_similarity`] and the bit-sliced
+    /// associative memory's per-plane scan.
+    ///
+    /// # Errors
+    ///
+    /// [`HdcError::DimensionMismatch`] if dimensions differ.
+    pub fn hamming_distance(&self, other: &Self) -> Result<u32, HdcError> {
         self.check_dim(other)?;
-        Ok(self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum())
+        let mut a4 = self.words.chunks_exact(4);
+        let mut b4 = other.words.chunks_exact(4);
+        let mut total = 0u32;
+        for (a, b) in (&mut a4).zip(&mut b4) {
+            total += (a[0] ^ b[0]).count_ones()
+                + (a[1] ^ b[1]).count_ones()
+                + (a[2] ^ b[2]).count_ones()
+                + (a[3] ^ b[3]).count_ones();
+        }
+        for (a, b) in a4.remainder().iter().zip(b4.remainder()) {
+            total += (a ^ b).count_ones();
+        }
+        Ok(total)
     }
 
     /// Circular shift of dimensions by `k` positions (the *permutation*
@@ -281,6 +301,7 @@ impl Hypervector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use uhd_lowdisc::rng::Xoshiro256StarStar;
 
     #[test]
@@ -401,6 +422,34 @@ mod tests {
         ));
         let hv = Hypervector::from_words(vec![u64::MAX], 10).unwrap();
         assert_eq!(hv.count_plus_ones(), 10, "tail bits must be cleared");
+    }
+
+    #[test]
+    fn hamming_distance_matches_bitwise_definition() {
+        let mut rng = Xoshiro256StarStar::seeded(8);
+        // 257 dims: exercises the unrolled body (4 words) and the tail.
+        let a = Hypervector::random(257, &mut rng);
+        let b = Hypervector::random(257, &mut rng);
+        let bitwise: u32 = (0..257).map(|i| u32::from(a.bit(i) != b.bit(i))).sum();
+        assert_eq!(a.hamming_distance(&b).unwrap(), bitwise);
+        assert_eq!(a.hamming(&b).unwrap(), bitwise);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// The packed XOR+popcount fast path equals the per-dimension
+        /// bitwise definition for arbitrary dimensions and seeds.
+        #[test]
+        fn prop_hamming_distance_equals_bitwise(
+            dim in 1u32..600,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = Xoshiro256StarStar::seeded(seed);
+            let a = Hypervector::random(dim, &mut rng);
+            let b = Hypervector::random(dim, &mut rng);
+            let bitwise: u32 = (0..dim).map(|i| u32::from(a.bit(i) != b.bit(i))).sum();
+            prop_assert_eq!(a.hamming_distance(&b).unwrap(), bitwise);
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod accumulator;
+pub mod assoc;
 pub mod encoder;
 pub mod error;
 pub mod hypervector;
@@ -38,6 +39,7 @@ pub mod retrain;
 pub mod similarity;
 
 pub use accumulator::{BitSliceAccumulator, DenseAccumulator};
+pub use assoc::AssociativeMemory;
 pub use encoder::baseline::{BaselineConfig, BaselineEncoder};
 pub use encoder::uhd::{LdFamily, UhdConfig, UhdEncoder, UhdExactEncoder};
 pub use encoder::{EncoderProfile, ImageEncoder};

@@ -9,10 +9,11 @@
 //! the class with the highest cosine similarity.
 
 use crate::accumulator::BitSliceAccumulator;
+use crate::assoc::AssociativeMemory;
 use crate::encoder::ImageEncoder;
 use crate::error::HdcError;
 use crate::hypervector::Hypervector;
-use crate::similarity::{classify, cosine_int};
+use crate::similarity::cosine_int;
 
 /// How a query is compared against the trained classes.
 ///
@@ -40,12 +41,16 @@ pub enum InferenceMode {
 }
 
 /// A trained HDC classifier: one binarized class hypervector per class,
-/// plus the integer accumulator sums needed for retraining.
+/// plus the integer accumulator sums needed for retraining and a
+/// bit-sliced [`AssociativeMemory`] over the class hypervectors that
+/// answers binarized-query searches in one streaming pass.
 #[derive(Debug, Clone)]
 pub struct HdcModel {
     class_hvs: Vec<Hypervector>,
     /// Per-class bipolar accumulator sums (kept for retraining).
     class_sums: Vec<Vec<i64>>,
+    /// Plane-transposed class store backing [`HdcModel::classify_encoded`].
+    assoc: AssociativeMemory,
     dim: u32,
 }
 
@@ -208,9 +213,22 @@ impl HdcModel {
             class_hvs.push(acc.binarize());
             class_sums.push(acc.bipolar_sums());
         }
+        Self::from_parts(class_hvs, class_sums, dim)
+    }
+
+    /// Assemble a model and its derived associative memory; every
+    /// constructor funnels through here so the memory can never go
+    /// stale relative to the class hypervectors.
+    fn from_parts(
+        class_hvs: Vec<Hypervector>,
+        class_sums: Vec<Vec<i64>>,
+        dim: u32,
+    ) -> Result<Self, HdcError> {
+        let assoc = AssociativeMemory::new(&class_hvs)?;
         Ok(HdcModel {
             class_hvs,
             class_sums,
+            assoc,
             dim,
         })
     }
@@ -242,11 +260,7 @@ impl HdcModel {
             }
             class_hvs.push(hv);
         }
-        Ok(HdcModel {
-            class_hvs,
-            class_sums,
-            dim,
-        })
+        Self::from_parts(class_hvs, class_sums, dim)
     }
 
     /// Hypervector dimension D.
@@ -271,6 +285,12 @@ impl HdcModel {
     #[must_use]
     pub fn class_sums(&self) -> &[Vec<i64>] {
         &self.class_sums
+    }
+
+    /// The bit-sliced associative memory over the class hypervectors.
+    #[must_use]
+    pub fn associative_memory(&self) -> &AssociativeMemory {
+        &self.assoc
     }
 
     /// Classify one image with the default [`InferenceMode::IntegerBoth`]:
@@ -301,7 +321,7 @@ impl HdcModel {
         match mode {
             InferenceMode::BinarizedQuery => {
                 let query = encoder.encode(image)?;
-                classify(&query, &self.class_hvs)
+                self.assoc.nearest(&query)
             }
             InferenceMode::IntegerQuery | InferenceMode::IntegerBoth => {
                 let mut acc = BitSliceAccumulator::new(encoder.dim());
@@ -327,13 +347,67 @@ impl HdcModel {
         }
     }
 
-    /// Classify an already encoded hypervector.
+    /// Classify an already encoded hypervector through the bit-sliced
+    /// [`AssociativeMemory`] — one plane-by-plane XOR+popcount pass over
+    /// all classes, bit-identical in decision and score to the per-class
+    /// [`crate::similarity::classify`] scan.
     ///
     /// # Errors
     ///
     /// [`HdcError::DimensionMismatch`] for wrong query dimension.
     pub fn classify_encoded(&self, query: &Hypervector) -> Result<(usize, f64), HdcError> {
-        classify(query, &self.class_hvs)
+        self.assoc.nearest(query)
+    }
+
+    /// Classify a batch of images with the default
+    /// [`InferenceMode::IntegerBoth`]; bit-identical to calling
+    /// [`HdcModel::classify`] in a loop.
+    ///
+    /// # Errors
+    ///
+    /// Encoder errors for malformed images.
+    pub fn classify_batch<E: ImageEncoder + ?Sized>(
+        &self,
+        encoder: &E,
+        images: &[Vec<u8>],
+    ) -> Result<Vec<(usize, f64)>, HdcError> {
+        self.classify_batch_with(encoder, images, InferenceMode::default())
+    }
+
+    /// Classify a batch of images under an explicit [`InferenceMode`];
+    /// bit-identical to calling [`HdcModel::classify_with`] in a loop.
+    /// In [`InferenceMode::BinarizedQuery`] mode every query is answered
+    /// by the bit-sliced associative memory.
+    ///
+    /// # Errors
+    ///
+    /// Encoder errors for malformed images.
+    pub fn classify_batch_with<E: ImageEncoder + ?Sized>(
+        &self,
+        encoder: &E,
+        images: &[Vec<u8>],
+        mode: InferenceMode,
+    ) -> Result<Vec<(usize, f64)>, HdcError> {
+        match mode {
+            InferenceMode::BinarizedQuery => {
+                // Batch fast path: reuse one bundling scratch and one
+                // distance buffer across the whole batch, so the loop
+                // allocates only the per-query Hypervector.
+                let mut scratch = BitSliceAccumulator::new(encoder.dim());
+                let mut dists = Vec::with_capacity(self.classes());
+                images
+                    .iter()
+                    .map(|image| {
+                        let query = encoder.encode_into(image, &mut scratch)?;
+                        self.assoc.nearest_with(&query, &mut dists)
+                    })
+                    .collect()
+            }
+            InferenceMode::IntegerQuery | InferenceMode::IntegerBoth => images
+                .iter()
+                .map(|image| self.classify_with(encoder, image, mode))
+                .collect(),
+        }
     }
 
     /// Accuracy over a labelled test set (single thread, default mode).
@@ -360,12 +434,12 @@ impl HdcModel {
         data: LabelledImages<'_>,
         mode: InferenceMode,
     ) -> Result<f64, HdcError> {
-        let mut correct = 0usize;
-        for (image, &label) in data.images.iter().zip(data.labels.iter()) {
-            if self.classify_with(encoder, image, mode)?.0 == label {
-                correct += 1;
-            }
-        }
+        let predictions = self.classify_batch_with(encoder, data.images, mode)?;
+        let correct = predictions
+            .iter()
+            .zip(data.labels.iter())
+            .filter(|((pred, _), &label)| *pred == label)
+            .count();
         Ok(correct as f64 / data.len() as f64)
     }
 
@@ -508,11 +582,7 @@ impl HdcModel {
             }
             class_sums.push(sums);
         }
-        Ok(HdcModel {
-            class_hvs,
-            class_sums,
-            dim,
-        })
+        Self::from_parts(class_hvs, class_sums, dim)
     }
 }
 

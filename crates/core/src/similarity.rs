@@ -62,11 +62,14 @@ pub fn cosine_int(a: &[i64], b: &[i64]) -> Result<f64, HdcError> {
 
 /// Normalized Hamming similarity: fraction of agreeing dimensions.
 ///
+/// Uses the packed [`Hypervector::hamming_distance`] fast path
+/// (word-wise XOR + popcount).
+///
 /// # Errors
 ///
 /// [`HdcError::DimensionMismatch`] if dimensions differ.
 pub fn hamming_similarity(a: &Hypervector, b: &Hypervector) -> Result<f64, HdcError> {
-    let h = a.hamming(b)?;
+    let h = a.hamming_distance(b)?;
     Ok(1.0 - f64::from(h) / f64::from(a.dim()))
 }
 

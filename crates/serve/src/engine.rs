@@ -1,0 +1,612 @@
+//! The serving engine: scoped worker shards over the micro-batching
+//! queue, answering through the model's bit-sliced associative memory,
+//! with generation-tagged hot model swap.
+
+use crate::error::ServeError;
+use crate::queue::RequestQueue;
+use crate::request::{Request, Response, Slot, Ticket};
+use crate::stats::{EngineStats, StatsSnapshot};
+use std::sync::{Arc, RwLock};
+use uhd_core::{HdcError, HdcModel, ImageEncoder, InferenceMode};
+
+/// Sizing of the worker pool and its micro-batches, plus the inference
+/// mode requests are answered in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker shards (threads) draining the request queue.
+    pub shards: usize,
+    /// Maximum requests one shard claims per queue pop.
+    pub max_batch: usize,
+    /// Inference mode workers answer in.
+    /// [`InferenceMode::BinarizedQuery`] (the default) is the
+    /// hardware-faithful fast path through the bit-sliced associative
+    /// memory; the integer modes trade throughput for the accuracy of
+    /// non-quantized similarity (see `DESIGN.md` §4 on why dark, sparse
+    /// datasets need them).
+    pub mode: InferenceMode,
+}
+
+impl ServeConfig {
+    /// A binarized-query (associative-memory) configuration with
+    /// explicit shard and batch sizing.
+    #[must_use]
+    pub fn new(shards: usize, max_batch: usize) -> Self {
+        ServeConfig {
+            shards,
+            max_batch,
+            mode: InferenceMode::BinarizedQuery,
+        }
+    }
+
+    /// The same sizing under an explicit [`InferenceMode`].
+    #[must_use]
+    pub fn with_mode(mut self, mode: InferenceMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// One shard per available hardware thread, batches of 32.
+    #[must_use]
+    pub fn auto() -> Self {
+        let shards = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        ServeConfig::new(shards, 32)
+    }
+
+    fn validate(self) -> Result<(), ServeError> {
+        if self.shards == 0 || self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: format!(
+                    "shards ({}) and max_batch ({}) must be nonzero",
+                    self.shards, self.max_batch
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One generation of the served model. Workers snapshot the whole entry
+/// per micro-batch, so every response is attributable to exactly one
+/// generation even while [`ServeEngine::update_model`] swaps underneath.
+#[derive(Debug)]
+struct ModelGeneration {
+    generation: u64,
+    model: HdcModel,
+}
+
+/// State shared between the client handle and the worker shards.
+#[derive(Debug)]
+struct Shared<'e, E: ?Sized> {
+    encoder: &'e E,
+    queue: RequestQueue,
+    model: RwLock<Arc<ModelGeneration>>,
+    stats: EngineStats,
+}
+
+/// Handle to a running engine, passed to the closure of
+/// [`ServeEngine::serve`]. All methods take `&self`, so the handle can
+/// be shared freely across client threads.
+#[derive(Debug)]
+pub struct ServeEngine<'s, E: ?Sized> {
+    shared: &'s Shared<'s, E>,
+    config: ServeConfig,
+}
+
+// Manual impls: deriving would put bounds on E that the shared
+// reference does not need.
+impl<E: ?Sized> Clone for ServeEngine<'_, E> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<E: ?Sized> Copy for ServeEngine<'_, E> {}
+
+impl<E: ImageEncoder + ?Sized> ServeEngine<'_, E> {
+    /// Run a serving session: spawn `config.shards` workers over a
+    /// shared micro-batching queue, hand the client closure an engine
+    /// handle, and shut the pool down (draining every pending request)
+    /// when the closure returns.
+    ///
+    /// Workers answer requests by encoding with `encoder` and searching
+    /// the model's bit-sliced [`uhd_core::AssociativeMemory`] — the
+    /// binarized-query datapath, bit-identical to
+    /// [`HdcModel::classify_encoded`].
+    ///
+    /// The scoped-thread design means `encoder` is borrowed, not
+    /// `'static`: any `ImageEncoder` usable on the stack is servable.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::InvalidConfig`] for a zero shard or batch count.
+    /// * [`ServeError::ModelShapeMismatch`] when `model.dim()` differs
+    ///   from `encoder.dim()`.
+    pub fn serve<R>(
+        config: ServeConfig,
+        encoder: &E,
+        model: HdcModel,
+        client: impl FnOnce(&ServeEngine<'_, E>) -> R,
+    ) -> Result<R, ServeError> {
+        config.validate()?;
+        if model.dim() != encoder.dim() {
+            return Err(ServeError::ModelShapeMismatch {
+                expected_dim: encoder.dim(),
+                got_dim: model.dim(),
+            });
+        }
+        let shared = Shared {
+            encoder,
+            queue: RequestQueue::new(),
+            model: RwLock::new(Arc::new(ModelGeneration {
+                generation: 0,
+                model,
+            })),
+            stats: EngineStats::default(),
+        };
+        Ok(std::thread::scope(|scope| {
+            for _ in 0..config.shards {
+                let shared = &shared;
+                scope.spawn(move || worker_loop(shared, config.max_batch, config.mode));
+            }
+            // Closes the queue when the closure returns *or unwinds*, so
+            // the scope's implicit join can never deadlock on workers
+            // still waiting for requests.
+            let _close_on_exit = CloseGuard(&shared.queue);
+            let engine = ServeEngine {
+                shared: &shared,
+                config,
+            };
+            client(&engine)
+        }))
+    }
+
+    /// Enqueue one image for classification; redeem the ticket with
+    /// [`Ticket::wait`].
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Core`] for an image of the wrong pixel count
+    ///   (rejected eagerly, before it reaches the queue).
+    /// * [`ServeError::Closed`] after shutdown.
+    pub fn submit(&self, image: Vec<u8>) -> Result<Ticket, ServeError> {
+        let expected = self.shared.encoder.pixels();
+        if image.len() != expected {
+            return Err(ServeError::Core(HdcError::ImageSizeMismatch {
+                expected,
+                got: image.len(),
+            }));
+        }
+        let slot = Arc::new(Slot::default());
+        let request = Request {
+            image,
+            slot: Arc::clone(&slot),
+        };
+        match self.shared.queue.push(request) {
+            Ok(()) => {
+                self.shared.stats.record_submit();
+                Ok(Ticket { slot })
+            }
+            Err(_) => Err(ServeError::Closed),
+        }
+    }
+
+    /// Submit one image and block for its answer.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServeEngine::submit`] plus any per-request
+    /// classification error.
+    pub fn classify(&self, image: &[u8]) -> Result<Response, ServeError> {
+        self.submit(image.to_vec())?.wait()
+    }
+
+    /// Enqueue a whole slice of images as one wave — a single queue
+    /// lock acquisition and one worker broadcast — returning a ticket
+    /// per image in input order. The whole wave is validated before
+    /// anything is enqueued (all-or-nothing).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServeEngine::submit`].
+    pub fn submit_many(&self, images: &[Vec<u8>]) -> Result<Vec<Ticket>, ServeError> {
+        let expected = self.shared.encoder.pixels();
+        let mut tickets = Vec::with_capacity(images.len());
+        let mut requests = Vec::with_capacity(images.len());
+        for image in images {
+            if image.len() != expected {
+                return Err(ServeError::Core(HdcError::ImageSizeMismatch {
+                    expected,
+                    got: image.len(),
+                }));
+            }
+            let slot = Arc::new(Slot::default());
+            tickets.push(Ticket {
+                slot: Arc::clone(&slot),
+            });
+            requests.push(Request {
+                image: image.clone(),
+                slot,
+            });
+        }
+        match self.shared.queue.push_all(requests) {
+            Ok(()) => {
+                self.shared.stats.record_submit_many(images.len());
+                Ok(tickets)
+            }
+            Err(_) => Err(ServeError::Closed),
+        }
+    }
+
+    /// Submit a whole slice of images before waiting on any of them, so
+    /// the worker shards can drain them as micro-batches. Responses are
+    /// returned in input order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServeEngine::classify`].
+    pub fn classify_many(&self, images: &[Vec<u8>]) -> Result<Vec<Response>, ServeError> {
+        self.submit_many(images)?
+            .into_iter()
+            .map(Ticket::wait)
+            .collect()
+    }
+
+    /// Hot-swap the served model while requests are in flight ("dynamic
+    /// HDC": a retraining loop can feed refreshed models into a live
+    /// engine). Returns the new generation number; in-flight
+    /// micro-batches finish on the generation they snapshotted.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ModelShapeMismatch`] when the new model's
+    /// dimension disagrees with the engine's encoder.
+    pub fn update_model(&self, model: HdcModel) -> Result<u64, ServeError> {
+        if model.dim() != self.shared.encoder.dim() {
+            return Err(ServeError::ModelShapeMismatch {
+                expected_dim: self.shared.encoder.dim(),
+                got_dim: model.dim(),
+            });
+        }
+        let mut slot = self.shared.model.write().expect("model lock poisoned");
+        let generation = slot.generation + 1;
+        *slot = Arc::new(ModelGeneration { generation, model });
+        drop(slot);
+        self.shared.stats.record_swap();
+        Ok(generation)
+    }
+
+    /// Generation of the currently served model (0 for the initial one).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.shared
+            .model
+            .read()
+            .expect("model lock poisoned")
+            .generation
+    }
+
+    /// Point-in-time engine counters.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Requests currently queued (not yet claimed by a shard).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// The configuration this engine was started with.
+    #[must_use]
+    pub fn config(&self) -> ServeConfig {
+        self.config
+    }
+}
+
+/// Closes the queue on drop — the shutdown signal for every shard.
+struct CloseGuard<'q>(&'q RequestQueue);
+
+impl Drop for CloseGuard<'_> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// Errors out every request still claimed by a batch when dropped —
+/// on the normal path the batch is empty by then, so this only fires
+/// when answering panicked mid-batch.
+struct BatchGuard<'a>(&'a mut Vec<Request>);
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        for request in self.0.drain(..) {
+            request.slot.complete(Err(ServeError::WorkerPanicked));
+        }
+    }
+}
+
+/// Fails the engine safely when a shard panics: closes the queue (new
+/// submits see [`ServeError::Closed`]) and errors out every request
+/// still queued, so no client can deadlock in [`Ticket::wait`] while
+/// the panic propagates through the serve scope's join.
+struct ShardFailGuard<'q>(&'q RequestQueue);
+
+impl Drop for ShardFailGuard<'_> {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        self.0.close();
+        let mut orphaned = Vec::new();
+        while self.0.pop_batch(usize::MAX, &mut orphaned) {
+            for request in orphaned.drain(..) {
+                request.slot.complete(Err(ServeError::WorkerPanicked));
+            }
+        }
+    }
+}
+
+/// One worker shard: claim a micro-batch, snapshot the current model
+/// generation once, answer every request in the batch through the
+/// bit-sliced associative memory.
+fn worker_loop<E: ImageEncoder + ?Sized>(
+    shared: &Shared<'_, E>,
+    max_batch: usize,
+    mode: InferenceMode,
+) {
+    let _shard_guard = ShardFailGuard(&shared.queue);
+    let mut batch: Vec<Request> = Vec::with_capacity(max_batch);
+    // Shard-local scratch: the bundling planes and the distance buffer
+    // are reused across the shard's lifetime, so steady-state serving
+    // allocates only the per-query hypervector.
+    let mut scratch = uhd_core::BitSliceAccumulator::new(shared.encoder.dim());
+    let mut dists: Vec<u32> = Vec::new();
+    while shared.queue.pop_batch(max_batch, &mut batch) {
+        let snapshot = Arc::clone(&shared.model.read().expect("model lock poisoned"));
+        shared.stats.record_batch(batch.len());
+        // A request is popped only after it has an outcome; if answering
+        // panics, the guard errors out everything still claimed
+        // (including the request being answered). Reversed so popping
+        // from the back preserves FIFO answer order.
+        batch.reverse();
+        let claimed = BatchGuard(&mut batch);
+        while let Some(request) = claimed.0.last() {
+            let outcome = answer(
+                shared.encoder,
+                &snapshot,
+                &request.image,
+                mode,
+                &mut scratch,
+                &mut dists,
+            );
+            let request = claimed.0.pop().expect("nonempty: just peeked");
+            request.slot.complete(outcome);
+        }
+    }
+}
+
+fn answer<E: ImageEncoder + ?Sized>(
+    encoder: &E,
+    snapshot: &ModelGeneration,
+    image: &[u8],
+    mode: InferenceMode,
+    scratch: &mut uhd_core::BitSliceAccumulator,
+    dists: &mut Vec<u32>,
+) -> Result<Response, ServeError> {
+    let (class, score) = match mode {
+        // Fast path: allocation-free encode, then one plane-by-plane
+        // pass over the model's bit-sliced associative memory
+        // (bit-identical to `classify_encoded`, which delegates to the
+        // same search).
+        InferenceMode::BinarizedQuery => {
+            let query = encoder.encode_into(image, scratch)?;
+            snapshot
+                .model
+                .associative_memory()
+                .nearest_with(&query, dists)?
+        }
+        InferenceMode::IntegerQuery | InferenceMode::IntegerBoth => {
+            snapshot.model.classify_with(encoder, image, mode)?
+        }
+    };
+    Ok(Response {
+        class,
+        score,
+        generation: snapshot.generation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uhd_core::encoder::uhd::{UhdConfig, UhdEncoder};
+    use uhd_core::model::{InferenceMode, LabelledImages};
+
+    const PIXELS: usize = 8;
+
+    fn fixture() -> (UhdEncoder, HdcModel, Vec<Vec<u8>>, Vec<usize>) {
+        let encoder = UhdEncoder::new(UhdConfig::new(256, PIXELS)).unwrap();
+        let images: Vec<Vec<u8>> = (0..20)
+            .map(|i| vec![if i % 2 == 0 { 20u8 } else { 230 }; PIXELS])
+            .collect();
+        let labels: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let data = LabelledImages::new(&images, &labels).unwrap();
+        let model = HdcModel::train(&encoder, data, 2).unwrap();
+        (encoder, model, images, labels)
+    }
+
+    #[test]
+    fn serves_and_matches_the_serial_binarized_path() {
+        let (encoder, model, images, labels) = fixture();
+        let serial: Vec<(usize, f64)> = images
+            .iter()
+            .map(|img| {
+                model
+                    .classify_with(&encoder, img, InferenceMode::BinarizedQuery)
+                    .unwrap()
+            })
+            .collect();
+        let responses = ServeEngine::serve(ServeConfig::new(2, 4), &encoder, model, |engine| {
+            let r = engine.classify_many(&images).unwrap();
+            let stats = engine.stats();
+            assert_eq!(stats.submitted, images.len() as u64);
+            r
+        })
+        .unwrap();
+        for ((response, serial), &label) in responses.iter().zip(&serial).zip(&labels) {
+            assert_eq!(response.class, serial.0);
+            assert_eq!(response.score, serial.1);
+            assert_eq!(response.generation, 0);
+            assert_eq!(response.class, label, "fixture is separable");
+        }
+    }
+
+    #[test]
+    fn integer_mode_matches_serial_default_classify() {
+        let (encoder, model, images, _) = fixture();
+        let serial: Vec<(usize, f64)> = images
+            .iter()
+            .map(|img| model.classify(&encoder, img).unwrap())
+            .collect();
+        let responses = ServeEngine::serve(
+            ServeConfig::new(2, 4).with_mode(InferenceMode::IntegerBoth),
+            &encoder,
+            model,
+            |engine| engine.classify_many(&images).unwrap(),
+        )
+        .unwrap();
+        for (response, serial) in responses.iter().zip(&serial) {
+            assert_eq!((response.class, response.score), *serial);
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_configs_and_shape_mismatches() {
+        let (encoder, model, _, _) = fixture();
+        assert!(matches!(
+            ServeEngine::serve(ServeConfig::new(0, 4), &encoder, model.clone(), |_| ()),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            ServeEngine::serve(ServeConfig::new(1, 0), &encoder, model.clone(), |_| ()),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        let small = UhdEncoder::new(UhdConfig::new(64, PIXELS)).unwrap();
+        assert!(matches!(
+            ServeEngine::serve(ServeConfig::new(1, 1), &small, model, |_| ()),
+            Err(ServeError::ModelShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn submit_rejects_wrong_image_sizes_eagerly() {
+        let (encoder, model, _, _) = fixture();
+        ServeEngine::serve(ServeConfig::new(1, 4), &encoder, model, |engine| {
+            assert!(matches!(
+                engine.submit(vec![0u8; PIXELS + 1]),
+                Err(ServeError::Core(HdcError::ImageSizeMismatch { .. }))
+            ));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn update_model_bumps_generation_and_checks_shape() {
+        let (encoder, model, images, _) = fixture();
+        ServeEngine::serve(ServeConfig::new(2, 4), &encoder, model.clone(), |engine| {
+            assert_eq!(engine.generation(), 0);
+            let gen = engine.update_model(model.clone()).unwrap();
+            assert_eq!(gen, 1);
+            assert_eq!(engine.generation(), 1);
+            let response = engine.classify(&images[0]).unwrap();
+            assert_eq!(response.generation, 1);
+            // A model trained at a different dimension is rejected.
+            let tiny_encoder = UhdEncoder::new(UhdConfig::new(64, PIXELS)).unwrap();
+            let tiny_images: Vec<Vec<u8>> = vec![vec![10u8; PIXELS], vec![200u8; PIXELS]];
+            let tiny_labels = vec![0usize, 1];
+            let tiny_data = LabelledImages::new(&tiny_images, &tiny_labels).unwrap();
+            let tiny_model = HdcModel::train(&tiny_encoder, tiny_data, 2).unwrap();
+            assert!(matches!(
+                engine.update_model(tiny_model),
+                Err(ServeError::ModelShapeMismatch { .. })
+            ));
+            assert_eq!(engine.stats().model_swaps, 1);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn pending_requests_are_drained_at_shutdown() {
+        let (encoder, model, images, _) = fixture();
+        let tickets = ServeEngine::serve(ServeConfig::new(1, 2), &encoder, model, |engine| {
+            images
+                .iter()
+                .map(|img| engine.submit(img.clone()).unwrap())
+                .collect::<Vec<_>>()
+        })
+        .unwrap();
+        // The scope has exited: every ticket submitted before shutdown
+        // must still have been answered.
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok());
+        }
+    }
+
+    /// Delegates to a real encoder but panics on a poison image —
+    /// stands in for a buggy user-supplied `ImageEncoder`.
+    struct PanickingEncoder(UhdEncoder);
+
+    impl ImageEncoder for PanickingEncoder {
+        fn dim(&self) -> u32 {
+            self.0.dim()
+        }
+        fn pixels(&self) -> usize {
+            self.0.pixels()
+        }
+        fn accumulate(
+            &self,
+            image: &[u8],
+            acc: &mut uhd_core::BitSliceAccumulator,
+        ) -> Result<(), HdcError> {
+            assert!(image[0] != 255, "poison image");
+            self.0.accumulate(image, acc)
+        }
+        fn profile(&self) -> uhd_core::EncoderProfile {
+            self.0.profile()
+        }
+    }
+
+    #[test]
+    fn worker_panic_fails_requests_instead_of_deadlocking() {
+        let (encoder, model, images, _) = fixture();
+        let encoder = PanickingEncoder(encoder);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ServeEngine::serve(ServeConfig::new(1, 4), &encoder, model, |engine| {
+                let poison = engine.submit(vec![255u8; PIXELS]).unwrap();
+                let follow = engine.submit(images[0].clone()).unwrap();
+                // Neither wait may hang. The poisoned request (and
+                // anything the dying shard had claimed or left queued)
+                // resolves to WorkerPanicked.
+                assert!(matches!(poison.wait(), Err(ServeError::WorkerPanicked)));
+                // The follow-up either was answered before the shard
+                // died or is errored out — it must return either way.
+                let _ = follow.wait();
+            })
+        }));
+        assert!(
+            result.is_err(),
+            "the worker's panic must propagate out of the serve scope"
+        );
+    }
+
+    #[test]
+    fn trait_object_encoders_are_servable() {
+        let (encoder, model, images, _) = fixture();
+        let dyn_encoder: &dyn ImageEncoder = &encoder;
+        let response = ServeEngine::serve(ServeConfig::new(1, 1), dyn_encoder, model, |engine| {
+            engine.classify(&images[0]).unwrap()
+        })
+        .unwrap();
+        assert_eq!(response.generation, 0);
+    }
+}

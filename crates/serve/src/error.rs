@@ -1,0 +1,90 @@
+//! Error types for the `uhd-serve` crate.
+
+use std::error::Error;
+use std::fmt;
+use uhd_core::HdcError;
+
+/// Errors produced by the serving engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// An encoding or classification error bubbled up from `uhd-core`.
+    Core(HdcError),
+    /// The engine has shut down; no further requests are accepted.
+    Closed,
+    /// A worker shard panicked (e.g. a buggy custom encoder) before
+    /// this request could be answered. The request was *not* lost
+    /// silently: pending tickets are errored out so no client blocks
+    /// forever, and the original panic propagates when the serve scope
+    /// joins its workers.
+    WorkerPanicked,
+    /// Engine configuration rejected (zero shards or batch size).
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A swapped-in model's dimension disagrees with the engine's
+    /// encoder.
+    ModelShapeMismatch {
+        /// Dimension the engine's encoder produces.
+        expected_dim: u32,
+        /// Dimension of the offending model.
+        got_dim: u32,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Core(e) => write!(f, "classification failed: {e}"),
+            ServeError::Closed => write!(f, "serving engine is shut down"),
+            ServeError::WorkerPanicked => {
+                write!(f, "a worker shard panicked before answering this request")
+            }
+            ServeError::InvalidConfig { reason } => {
+                write!(f, "invalid engine configuration: {reason}")
+            }
+            ServeError::ModelShapeMismatch {
+                expected_dim,
+                got_dim,
+            } => write!(
+                f,
+                "model dimension {got_dim} does not match encoder dimension {expected_dim}"
+            ),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HdcError> for ServeError {
+    fn from(e: HdcError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ServeError::from(HdcError::ModelUntrained);
+        assert!(e.to_string().contains("classification failed"));
+        assert!(e.source().is_some());
+        assert!(ServeError::Closed.source().is_none());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+    }
+}

@@ -1,0 +1,57 @@
+//! Batched, sharded inference serving for the uHD reproduction.
+//!
+//! The core crates answer one image at a time; this crate turns a
+//! trained [`uhd_core::HdcModel`] into a **serving engine** shaped for
+//! heavy traffic:
+//!
+//! * **Micro-batching** — clients submit requests into a
+//!   lock-protected, condvar-signalled queue; worker shards drain
+//!   everything available (up to a batch cap) per wake-up, amortizing
+//!   synchronization and model-snapshot costs over the batch.
+//! * **Sharding** — `N` scoped worker threads
+//!   ([`std::thread::scope`], so the encoder is borrowed rather than
+//!   `'static`) compete for batches, scaling with cores.
+//! * **Bit-sliced associative memory** — every query is answered
+//!   through [`uhd_core::AssociativeMemory`]: class hypervectors
+//!   transposed into contiguous per-plane `u64` words so one streaming
+//!   XOR+popcount pass yields the distance to *all* classes, instead
+//!   of per-class scans.
+//! * **Hot model swap** — the "dynamic" in dynamic HDC: an
+//!   epoch/generation-tagged `Arc<HdcModel>` that
+//!   [`ServeEngine::update_model`] replaces atomically while queries
+//!   are in flight. Each micro-batch snapshots one generation, so no
+//!   request ever observes a torn model, and every
+//!   [`Response::generation`] names the model that produced it.
+//!
+//! # Example
+//!
+//! ```
+//! use uhd_core::encoder::uhd::{UhdConfig, UhdEncoder};
+//! use uhd_core::model::{HdcModel, LabelledImages};
+//! use uhd_serve::{ServeConfig, ServeEngine};
+//!
+//! let encoder = UhdEncoder::new(UhdConfig::new(256, 4))?;
+//! let images = vec![vec![0u8; 4], vec![255u8; 4], vec![10u8; 4], vec![245u8; 4]];
+//! let labels = vec![0, 1, 0, 1];
+//! let model = HdcModel::train(&encoder, LabelledImages::new(&images, &labels)?, 2)?;
+//!
+//! let responses = ServeEngine::serve(ServeConfig::new(2, 8), &encoder, model, |engine| {
+//!     engine.classify_many(&images)
+//! })??;
+//! assert_eq!(responses[1].class, 1);
+//! assert_eq!(responses[1].generation, 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod error;
+pub mod queue;
+pub mod request;
+pub mod stats;
+
+pub use engine::{ServeConfig, ServeEngine};
+pub use error::ServeError;
+pub use request::{Response, Ticket};
+pub use stats::StatsSnapshot;

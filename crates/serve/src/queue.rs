@@ -1,0 +1,157 @@
+//! The micro-batching request queue shared by all worker shards.
+//!
+//! A plain `Mutex<VecDeque>` + `Condvar` pair: producers push single
+//! requests, workers pop *batches*. Popping everything available (up to
+//! the shard's batch cap) under one lock acquisition is what turns a
+//! stream of independent requests into micro-batches — while a worker
+//! is busy classifying, new arrivals pile up and the next pop drains
+//! them together, amortizing the model-snapshot and wake-up costs over
+//! the whole batch.
+
+use crate::request::Request;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug, Default)]
+struct QueueState {
+    requests: VecDeque<Request>,
+    closed: bool,
+}
+
+/// Lock-protected, condvar-signalled multi-producer multi-consumer
+/// queue with batch pops.
+#[derive(Debug, Default)]
+pub(crate) struct RequestQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+}
+
+impl RequestQueue {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue one request; hands it back if the queue is closed.
+    pub(crate) fn push(&self, request: Request) -> Result<(), Request> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        if state.closed {
+            return Err(request);
+        }
+        state.requests.push_back(request);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue a whole wave of requests under one lock acquisition and
+    /// one broadcast — the client half of micro-batching. Hands the
+    /// wave back untouched if the queue is closed.
+    pub(crate) fn push_all(&self, requests: Vec<Request>) -> Result<(), Vec<Request>> {
+        if requests.is_empty() {
+            return Ok(());
+        }
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        if state.closed {
+            return Err(requests);
+        }
+        state.requests.extend(requests);
+        drop(state);
+        self.available.notify_all();
+        Ok(())
+    }
+
+    /// Block until requests are available, then drain up to `max` of
+    /// them into `out`. Returns `false` once the queue is closed *and*
+    /// empty — the worker-shutdown signal; pending requests are always
+    /// drained first.
+    pub(crate) fn pop_batch(&self, max: usize, out: &mut Vec<Request>) -> bool {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        while state.requests.is_empty() {
+            if state.closed {
+                return false;
+            }
+            state = self.available.wait(state).expect("queue lock poisoned");
+        }
+        let take = state.requests.len().min(max);
+        out.extend(state.requests.drain(..take));
+        // More work left: wake another shard to run concurrently.
+        if !state.requests.is_empty() {
+            self.available.notify_one();
+        }
+        true
+    }
+
+    /// Close the queue and wake every waiting worker so it can drain
+    /// the remaining requests and exit.
+    pub(crate) fn close(&self) {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        state.closed = true;
+        drop(state);
+        self.available.notify_all();
+    }
+
+    /// Requests currently waiting (diagnostics only).
+    pub(crate) fn depth(&self) -> usize {
+        self.state
+            .lock()
+            .expect("queue lock poisoned")
+            .requests
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Slot;
+    use std::sync::Arc;
+
+    fn request() -> Request {
+        Request {
+            image: vec![0u8; 4],
+            slot: Arc::new(Slot::default()),
+        }
+    }
+
+    #[test]
+    fn pops_are_batched_up_to_max() {
+        let q = RequestQueue::new();
+        for _ in 0..5 {
+            q.push(request()).unwrap();
+        }
+        let mut batch = Vec::new();
+        assert!(q.pop_batch(3, &mut batch));
+        assert_eq!(batch.len(), 3);
+        batch.clear();
+        assert!(q.pop_batch(3, &mut batch));
+        assert_eq!(batch.len(), 2);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn close_rejects_new_pushes_but_drains_pending() {
+        let q = RequestQueue::new();
+        q.push(request()).unwrap();
+        q.close();
+        assert!(q.push(request()).is_err());
+        let mut batch = Vec::new();
+        assert!(q.pop_batch(8, &mut batch), "pending work is drained");
+        assert_eq!(batch.len(), 1);
+        batch.clear();
+        assert!(!q.pop_batch(8, &mut batch), "then the queue reports closed");
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_close() {
+        let q = RequestQueue::new();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let mut batch = Vec::new();
+                q.pop_batch(4, &mut batch)
+            });
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            q.close();
+            assert!(!handle.join().unwrap());
+        });
+    }
+}

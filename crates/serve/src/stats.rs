@@ -1,0 +1,97 @@
+//! Engine counters: cheap relaxed atomics updated on the hot path,
+//! snapshotted on demand.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters owned by the engine.
+#[derive(Debug, Default)]
+pub(crate) struct EngineStats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    largest_batch: AtomicU64,
+    model_swaps: AtomicU64,
+}
+
+impl EngineStats {
+    pub(crate) fn record_submit(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_submit_many(&self, n: usize) {
+        self.submitted.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.completed.fetch_add(size as u64, Ordering::Relaxed);
+        self.largest_batch.fetch_max(size as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_swap(&self) {
+        self.model_swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            largest_batch: self.largest_batch.load(Ordering::Relaxed),
+            model_swaps: self.model_swaps.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time view of the engine counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests accepted by [`crate::ServeEngine::submit`].
+    pub submitted: u64,
+    /// Requests answered by a worker shard.
+    pub completed: u64,
+    /// Micro-batches executed across all shards.
+    pub batches: u64,
+    /// Largest micro-batch observed.
+    pub largest_batch: u64,
+    /// Models hot-swapped in via [`crate::ServeEngine::update_model`].
+    pub model_swaps: u64,
+}
+
+impl StatsSnapshot {
+    /// Mean requests per executed micro-batch (0 when no batches ran).
+    #[must_use]
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = EngineStats::default();
+        stats.record_submit();
+        stats.record_submit();
+        stats.record_batch(2);
+        stats.record_swap();
+        let snap = stats.snapshot();
+        assert_eq!(snap.submitted, 2);
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.batches, 1);
+        assert_eq!(snap.largest_batch, 2);
+        assert_eq!(snap.model_swaps, 1);
+        assert!((snap.mean_batch() - 2.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn empty_snapshot_has_zero_mean() {
+        assert_eq!(EngineStats::default().snapshot().mean_batch(), 0.0);
+    }
+}

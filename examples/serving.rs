@@ -1,0 +1,84 @@
+//! Serving: run a trained uHD model behind the batched, sharded
+//! inference engine and hot-swap in a better-trained model without
+//! stopping.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example serving
+//! ```
+//!
+//! Demonstrates the dynamic-HDC serving loop: start `ServeEngine` over
+//! a model trained on the first slice of the stream, keep answering
+//! queries through the micro-batching worker pool, then `update_model`
+//! a generation trained on the full stream into the live engine —
+//! single-pass HDC training makes such refreshes cheap enough to do
+//! continuously.
+
+use uhd::core::encoder::uhd::{UhdConfig, UhdEncoder};
+use uhd::core::model::{HdcModel, InferenceMode, LabelledImages};
+use uhd::datasets::synth::{generate, SynthSpec, SyntheticKind};
+use uhd::serve::{ServeConfig, ServeEngine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dim = 1024u32;
+    let (train, test) = generate(SynthSpec::new(SyntheticKind::Mnist, 900, 200, 42))?;
+    let encoder = UhdEncoder::new(UhdConfig::new(dim, train.pixels()))?;
+
+    // Generation 0: only the first 300 samples of the stream have been
+    // seen. Generation 1: the full 900 (single-pass training, so the
+    // refresh costs one scan).
+    let early = LabelledImages::new(&train.images()[..300], &train.labels()[..300])?;
+    let full = LabelledImages::new(train.images(), train.labels())?;
+    let model_early = HdcModel::train(&encoder, early, train.classes())?;
+    let model_full = HdcModel::train(&encoder, full, train.classes())?;
+
+    // Serve in the integer-similarity mode the accuracy tables use; the
+    // binarized fast path through the bit-sliced associative memory is
+    // what the `throughput` bench sweeps.
+    let config = ServeConfig::new(2, 16).with_mode(InferenceMode::IntegerBoth);
+    let summary = ServeEngine::serve(config, &encoder, model_early, |engine| {
+        // First wave of traffic, answered by generation 0.
+        let wave0 = engine.classify_many(test.images())?;
+
+        // Hot swap while the engine stays up; the next wave is
+        // answered by generation 1.
+        let generation = engine.update_model(model_full.clone())?;
+        let wave1 = engine.classify_many(test.images())?;
+        assert!(wave1.iter().all(|r| r.generation == generation));
+
+        let hits = |wave: &[uhd::serve::Response]| {
+            wave.iter()
+                .zip(test.labels())
+                .filter(|(r, &label)| r.class == label)
+                .count()
+        };
+        Ok::<_, uhd::serve::ServeError>((hits(&wave0), hits(&wave1), engine.stats()))
+    })?;
+    let (correct_before, correct_after, stats) = summary?;
+
+    let n = test.len();
+    println!(
+        "engine: {} shards, max batch {} | served {} requests in {} micro-batches \
+         (mean {:.1}, largest {}), {} model swap(s)",
+        config.shards,
+        config.max_batch,
+        stats.completed,
+        stats.batches,
+        stats.mean_batch(),
+        stats.largest_batch,
+        stats.model_swaps,
+    );
+    println!(
+        "accuracy: generation 0 (300 samples) {:.2} % -> generation 1 (900 samples) {:.2} %",
+        100.0 * correct_before as f64 / n as f64,
+        100.0 * correct_after as f64 / n as f64,
+    );
+
+    // Sanity: the engine's answers match the serial evaluation path.
+    let serial =
+        model_full.evaluate(&encoder, LabelledImages::new(test.images(), test.labels())?)?;
+    assert_eq!(correct_after as f64 / n as f64, serial);
+    println!("serial evaluation agrees: {:.2} %", 100.0 * serial);
+    Ok(())
+}

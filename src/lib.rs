@@ -12,6 +12,8 @@
 //! * [`hw`] — gate-level energy/area/delay model and the embedded ARM
 //!   cost model.
 //! * [`datasets`] — IDX loading and procedural synthetic datasets.
+//! * [`serve`] — batched, sharded inference engine with micro-batching,
+//!   a bit-sliced associative memory and hot model swap.
 
 #![warn(missing_docs)]
 
@@ -20,3 +22,4 @@ pub use uhd_core as core;
 pub use uhd_datasets as datasets;
 pub use uhd_hw as hw;
 pub use uhd_lowdisc as lowdisc;
+pub use uhd_serve as serve;

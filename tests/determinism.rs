@@ -60,6 +60,42 @@ fn different_seeds_change_the_baseline_model() {
 }
 
 #[test]
+fn classify_batch_is_bit_identical_to_a_loop_of_classify() {
+    use uhd::core::model::InferenceMode;
+
+    let (train, test) =
+        generate(SynthSpec::new(SyntheticKind::Mnist, 200, 60, 5)).expect("generate");
+    let enc = UhdEncoder::new(UhdConfig::new(512, train.pixels())).unwrap();
+    let model = HdcModel::train(&enc, labelled(&train), train.classes()).unwrap();
+
+    // Default mode: classify_batch vs a loop of classify.
+    let batched = model.classify_batch(&enc, test.images()).unwrap();
+    let looped: Vec<(usize, f64)> = test
+        .images()
+        .iter()
+        .map(|img| model.classify(&enc, img).unwrap())
+        .collect();
+    assert_eq!(batched, looped);
+
+    // Every explicit mode: classify_batch_with vs a loop of classify_with.
+    for mode in [
+        InferenceMode::BinarizedQuery,
+        InferenceMode::IntegerQuery,
+        InferenceMode::IntegerBoth,
+    ] {
+        let batched = model
+            .classify_batch_with(&enc, test.images(), mode)
+            .unwrap();
+        let looped: Vec<(usize, f64)> = test
+            .images()
+            .iter()
+            .map(|img| model.classify_with(&enc, img, mode).unwrap())
+            .collect();
+        assert_eq!(batched, looped, "mode {mode:?} diverged");
+    }
+}
+
+#[test]
 fn rng_streams_are_reproducible_and_seed_sensitive() {
     let take = |seed: u64| -> Vec<u64> {
         let mut r = Xoshiro256StarStar::seeded(seed);
