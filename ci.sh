@@ -37,12 +37,12 @@ if [ "$smoke" -eq 1 ]; then
     # Tiny experiment sizes: exercise every binary end-to-end in seconds.
     export UHD_TRAIN_N=80 UHD_TEST_N=40 UHD_ITERS=2 UHD_BENCH_QUICK=1
     for bin in table1 table2 table3 table4 table5 fig6 checkpoints ablation \
-               throughput; do
+               throughput online; do
         step "smoke: $bin"
         cargo run --release -q -p uhd-bench --bin "$bin" > /dev/null
     done
     for ex in quickstart custom_encoder orthogonality_study hardware_report \
-              signal_classification serving; do
+              signal_classification serving dynamic_learning; do
         step "smoke: example $ex"
         cargo run --release -q --example "$ex" > /dev/null
     done

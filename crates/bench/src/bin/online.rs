@@ -1,0 +1,182 @@
+//! Online-learning interference: learn throughput vs classify latency
+//! when both streams hit the engine at once, emitted as JSON.
+//!
+//! Run: `cargo run --release -p uhd-bench --bin online`
+//!
+//! Three phases on the same trained model and workload:
+//!
+//! * `classify_only` — the serving baseline: the query stream alone;
+//! * `learn_only` — the labelled stream alone (submit + sync), i.e.
+//!   the trainer's peak ingest rate including snapshot publishes;
+//! * `mixed` — both streams concurrently: one client thread drives
+//!   queries while the main thread pours labelled samples in, syncing
+//!   the learner before stopping the clock.
+//!
+//! The interesting number is the classify-throughput ratio
+//! `mixed / classify_only`: how much serving capacity continuous
+//! learning costs. Honours `UHD_BENCH_QUICK=1` plus the usual
+//! `UHD_TRAIN_N` / `UHD_TEST_N` / `UHD_SEED` sizing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+use uhd_bench::{uhd_encoder, ExperimentConfig, Workbench};
+use uhd_core::encoder::uhd::UhdEncoder;
+use uhd_core::model::HdcModel;
+use uhd_datasets::synth::SyntheticKind;
+use uhd_serve::{ServeConfig, ServeEngine, StatsSnapshot};
+
+/// Phase 1: the query stream alone (images per second).
+fn classify_only(
+    config: ServeConfig,
+    encoder: &UhdEncoder,
+    model: &HdcModel,
+    query_stream: &[Vec<u8>],
+) -> f64 {
+    ServeEngine::serve(config, encoder, model.clone(), |engine| {
+        let t0 = Instant::now();
+        let responses = engine.classify_many(query_stream).expect("serve");
+        assert_eq!(responses.len(), query_stream.len());
+        query_stream.len() as f64 / t0.elapsed().as_secs_f64()
+    })
+    .expect("engine start")
+}
+
+/// Phase 2: the labelled stream alone — samples per second through
+/// submit + drain, snapshot publishes included.
+fn learn_only(
+    config: ServeConfig,
+    encoder: &UhdEncoder,
+    model: &HdcModel,
+    learn_stream: &[(Vec<u8>, usize)],
+) -> (f64, StatsSnapshot) {
+    let (sps, stats) = ServeEngine::serve(config, encoder, model.clone(), |engine| {
+        let t0 = Instant::now();
+        for (image, label) in learn_stream {
+            engine.learn(image.clone(), *label).expect("learn");
+        }
+        engine.sync_learner();
+        (
+            learn_stream.len() as f64 / t0.elapsed().as_secs_f64(),
+            engine.stats(),
+        )
+    })
+    .expect("engine start");
+    assert_eq!(
+        stats.learn_consumed,
+        learn_stream.len() as u64,
+        "every labelled sample must be applied"
+    );
+    (sps, stats)
+}
+
+/// Phase 3: both streams concurrently — (classify images/s, learn
+/// samples/s, final stats).
+fn mixed(
+    config: ServeConfig,
+    encoder: &UhdEncoder,
+    model: &HdcModel,
+    query_stream: &[Vec<u8>],
+    learn_stream: &[(Vec<u8>, usize)],
+) -> (f64, f64, StatsSnapshot) {
+    let (classify_ips, learn_sps, stats) =
+        ServeEngine::serve(config, encoder, model.clone(), |engine| {
+            let stop = AtomicBool::new(false);
+            std::thread::scope(|scope| {
+                let stop = &stop;
+                let prober = scope.spawn(move || {
+                    // Keep classifying until the learn stream drains,
+                    // then report the observed query throughput.
+                    let t0 = Instant::now();
+                    let mut served = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let responses = engine.classify_many(query_stream).expect("serve");
+                        served += responses.len() as u64;
+                    }
+                    served as f64 / t0.elapsed().as_secs_f64()
+                });
+                let t0 = Instant::now();
+                for (image, label) in learn_stream {
+                    engine.learn(image.clone(), *label).expect("learn");
+                }
+                engine.sync_learner();
+                let learn_sps = learn_stream.len() as f64 / t0.elapsed().as_secs_f64();
+                stop.store(true, Ordering::Relaxed);
+                let classify_ips = prober.join().expect("prober panicked");
+                (classify_ips, learn_sps, engine.stats())
+            })
+        })
+        .expect("engine start");
+    assert_eq!(stats.learn_submitted, stats.learn_consumed);
+    assert!(
+        stats.snapshots_published >= 1,
+        "the mixed phase must have hot-published snapshots"
+    );
+    (classify_ips, learn_sps, stats)
+}
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let quick = std::env::var("UHD_BENCH_QUICK").is_ok();
+    let d = if quick { 512 } else { 2048 };
+    let queries = if quick { 300 } else { 2000 };
+    let learn_samples = if quick { 300 } else { 2000 };
+
+    let bench = Workbench::new(SyntheticKind::Mnist, &cfg);
+    let encoder = uhd_encoder(d, bench.train.pixels());
+    let model = HdcModel::train_parallel(
+        &encoder,
+        bench.train_data(),
+        bench.train.classes(),
+        cfg.threads,
+    )
+    .expect("training failed");
+
+    let query_stream: Vec<Vec<u8>> = bench
+        .test
+        .images()
+        .iter()
+        .cycle()
+        .take(queries)
+        .cloned()
+        .collect();
+    let learn_stream: Vec<(Vec<u8>, usize)> = bench
+        .train
+        .images()
+        .iter()
+        .zip(bench.train.labels())
+        .cycle()
+        .take(learn_samples)
+        .map(|(img, &label)| (img.clone(), label))
+        .collect();
+
+    let shards = cfg.threads.clamp(1, 4);
+    let config = ServeConfig::new(shards, 32).with_snapshot_every(64);
+
+    let classify_only_ips = classify_only(config, &encoder, &model, &query_stream);
+    let (learn_only_sps, learn_only_stats) = learn_only(config, &encoder, &model, &learn_stream);
+    let (mixed_classify_ips, mixed_learn_sps, mixed_stats) =
+        mixed(config, &encoder, &model, &query_stream, &learn_stream);
+    let interference = mixed_classify_ips / classify_only_ips;
+
+    // --- JSON report. ---
+    println!("{{");
+    println!(
+        "  \"workload\": {{\"dataset\": \"synthetic-mnist\", \"dim\": {d}, \"queries\": {queries}, \
+         \"learn_samples\": {learn_samples}, \"shards\": {shards}, \"snapshot_every\": {}}},",
+        config.snapshot_every
+    );
+    println!("  \"classify_only_images_per_sec\": {classify_only_ips:.1},");
+    println!("  \"learn_only_samples_per_sec\": {learn_only_sps:.1},");
+    println!(
+        "  \"learn_only_snapshots_published\": {},",
+        learn_only_stats.snapshots_published
+    );
+    println!("  \"mixed_classify_images_per_sec\": {mixed_classify_ips:.1},");
+    println!("  \"mixed_learn_samples_per_sec\": {mixed_learn_sps:.1},");
+    println!(
+        "  \"mixed_snapshots_published\": {},",
+        mixed_stats.snapshots_published
+    );
+    println!("  \"classify_throughput_ratio_under_learning\": {interference:.3}");
+    println!("}}");
+}

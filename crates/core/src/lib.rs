@@ -34,6 +34,7 @@ pub mod encoder;
 pub mod error;
 pub mod hypervector;
 pub mod model;
+pub mod online;
 pub mod orthogonality;
 pub mod retrain;
 pub mod similarity;
@@ -46,3 +47,4 @@ pub use encoder::{EncoderProfile, ImageEncoder};
 pub use error::HdcError;
 pub use hypervector::Hypervector;
 pub use model::{HdcModel, InferenceMode, LabelledImages};
+pub use online::OnlineLearner;

@@ -554,9 +554,21 @@ impl HdcModel {
             return Err(bad("degenerate model header"));
         }
         let wc = crate::hypervector::words_for_dim(dim);
-        let hv_bytes = wc * 8 * classes;
-        let sum_bytes = dim as usize * 8 * classes;
-        if bytes.len() != 16 + hv_bytes + sum_bytes {
+        // Checked sizing: adversarial (or 32-bit-implausible) headers
+        // would overflow the `wc * 8 * classes` products and let a
+        // short payload masquerade as well-formed.
+        let expected = wc
+            .checked_mul(8)
+            .and_then(|b| b.checked_mul(classes))
+            .and_then(|hv_bytes| {
+                (dim as usize)
+                    .checked_mul(8)
+                    .and_then(|b| b.checked_mul(classes))
+                    .and_then(|sum_bytes| hv_bytes.checked_add(sum_bytes))
+            })
+            .and_then(|payload| payload.checked_add(16))
+            .ok_or_else(|| bad("model header sizes overflow"))?;
+        if bytes.len() != expected {
             return Err(bad("truncated model payload"));
         }
         let mut offset = 16;
@@ -694,6 +706,45 @@ mod tests {
         let mut bytes = model.to_bytes();
         bytes.truncate(bytes.len() - 3);
         assert!(HdcModel::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn deserialization_rejects_adversarial_headers() {
+        // A header claiming absurd shapes must come back as
+        // InvalidConfig — never an arithmetic overflow (wrap or panic)
+        // in the payload-size computation, and never an allocation
+        // sized from unvalidated fields.
+        let header = |dim: u32, classes: u32| -> Vec<u8> {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(b"UHDM");
+            bytes.extend_from_slice(&1u32.to_le_bytes());
+            bytes.extend_from_slice(&dim.to_le_bytes());
+            bytes.extend_from_slice(&classes.to_le_bytes());
+            bytes
+        };
+        // dim · 8 · classes overflows usize even on 64-bit targets.
+        assert!(matches!(
+            HdcModel::from_bytes(&header(u32::MAX, u32::MAX)),
+            Err(HdcError::InvalidConfig { .. })
+        ));
+        // Huge class count with a plausible dimension: the product
+        // stays representable but the payload is absent.
+        assert!(matches!(
+            HdcModel::from_bytes(&header(64, u32::MAX)),
+            Err(HdcError::InvalidConfig { .. })
+        ));
+        // Huge dimension, one class.
+        assert!(matches!(
+            HdcModel::from_bytes(&header(u32::MAX, 1)),
+            Err(HdcError::InvalidConfig { .. })
+        ));
+        // Degenerate shapes.
+        assert!(HdcModel::from_bytes(&header(0, 3)).is_err());
+        assert!(HdcModel::from_bytes(&header(64, 0)).is_err());
+        // A truncated tail on an otherwise honest header.
+        let mut honest = header(64, 2);
+        honest.extend_from_slice(&[0u8; 8]);
+        assert!(HdcModel::from_bytes(&honest).is_err());
     }
 
     #[test]

@@ -1,0 +1,646 @@
+//! Streaming online learning: the "dynamic" in dynamic HDC.
+//!
+//! The paper positions unary HDC as lightweight enough to *adapt on
+//! device*; the standard realization of that claim in the HDC
+//! literature (Ge & Parhi's review; AdaptHD; the binarized-bundling
+//! hardware work of Schmuck et al.) is to keep the integer class
+//! accumulators alive after training and keep folding labelled samples
+//! into them, rebinarizing on demand. [`OnlineLearner`] is that loop:
+//!
+//! * [`OnlineLearner::observe_sums`] bundles one sample's *integer*
+//!   encoding (the per-image bipolar accumulator sums) into its class
+//!   accumulator. Bundling is linear, so this is **bit-identical to
+//!   single-pass batch training** continued forever: a learner that
+//!   streams the training set lands on exactly the class sums
+//!   [`HdcModel::train`] produces. [`OnlineLearner::observe`] is the
+//!   binarized (±1 per dimension) variant for hardware-faithful
+//!   pipelines that only keep the sign;
+//! * [`OnlineLearner::feedback_sums`] / [`OnlineLearner::feedback`]
+//!   apply the AdaptHD perceptron rule — on a misprediction, add the
+//!   encoding to the true class and subtract it from the predicted
+//!   one;
+//! * labels the learner has never seen **admit new classes at
+//!   runtime** (up to a configurable cap), so a deployed model can
+//!   grow its label space without retraining from scratch;
+//! * [`OnlineLearner::snapshot`] rebinarizes the accumulators into a
+//!   fresh [`HdcModel`] — cheap enough (one sign pass plus the
+//!   bit-sliced associative-memory transpose) to run continuously,
+//!   which is what `uhd-serve` does behind its hot model swap.
+//!
+//! The correction kernel here is the *single* implementation shared
+//! with the batched [`crate::retrain`] extension, so the online and
+//! epoch-based paths can never drift apart.
+
+use crate::error::HdcError;
+use crate::hypervector::Hypervector;
+use crate::model::HdcModel;
+
+/// Default cap on runtime class admission (see
+/// [`OnlineLearner::with_max_classes`]).
+pub const DEFAULT_MAX_CLASSES: usize = 4096;
+
+/// Add one ±1 encoding into a class accumulator row (bundling).
+pub(crate) fn add_encoding(row: &mut [i64], encoding: &Hypervector) {
+    for (i, s) in row.iter_mut().enumerate() {
+        *s += if encoding.bit(i as u32) { 1 } else { -1 };
+    }
+}
+
+/// The ±1 contribution stream of a binarized encoding.
+fn bipolar_deltas(encoding: &Hypervector) -> impl Iterator<Item = i64> + '_ {
+    (0..encoding.dim()).map(|i| if encoding.bit(i) { 1 } else { -1 })
+}
+
+/// The **single** perceptron-correction kernel shared by every update
+/// path: add the per-dimension `deltas` to the `label` accumulator and
+/// subtract them from the `predicted` one, in one zipped pass over
+/// split borrows of the two rows.
+///
+/// The streaming [`OnlineLearner::feedback`] /
+/// [`OnlineLearner::feedback_sums`] paths and the batched
+/// [`crate::retrain::retrain`] loop all delegate here (with binarized
+/// ±1 or integer encoding deltas), so the update rules cannot drift
+/// apart.
+///
+/// # Panics
+///
+/// Debug-asserts that `label != predicted` and both index into `sums`;
+/// callers validate before dispatching.
+pub(crate) fn apply_correction_with<I: Iterator<Item = i64>>(
+    sums: &mut [Vec<i64>],
+    deltas: I,
+    label: usize,
+    predicted: usize,
+) {
+    debug_assert_ne!(label, predicted, "correction requires a misprediction");
+    debug_assert!(label < sums.len() && predicted < sums.len());
+    // `label != predicted`, so split the class rows to update both in
+    // one zipped pass.
+    let (lo, hi) = (label.min(predicted), label.max(predicted));
+    let (head, tail) = sums.split_at_mut(hi);
+    let (label_row, pred_row) = if label < predicted {
+        (&mut head[lo], &mut tail[0])
+    } else {
+        (&mut tail[0], &mut head[lo])
+    };
+    for ((l, p), delta) in label_row.iter_mut().zip(pred_row.iter_mut()).zip(deltas) {
+        *l += delta;
+        *p -= delta;
+    }
+}
+
+/// [`apply_correction_with`] for a binarized ±1 encoding — the form
+/// the retraining extension uses.
+pub(crate) fn apply_correction(
+    sums: &mut [Vec<i64>],
+    encoding: &Hypervector,
+    label: usize,
+    predicted: usize,
+) {
+    apply_correction_with(sums, bipolar_deltas(encoding), label, predicted);
+}
+
+/// A streaming learner over running integer class accumulators.
+///
+/// Wraps per-class bipolar sums (the same state [`HdcModel`] carries
+/// for retraining), updates them one sample at a time, and emits
+/// rebinarized [`HdcModel`] snapshots on demand.
+///
+/// # Example
+///
+/// ```
+/// use uhd_core::hypervector::Hypervector;
+/// use uhd_core::online::OnlineLearner;
+/// use uhd_lowdisc::rng::Xoshiro256StarStar;
+///
+/// let mut rng = Xoshiro256StarStar::seeded(5);
+/// let mut learner = OnlineLearner::new(256)?;
+/// let a = Hypervector::random(256, &mut rng);
+/// let b = Hypervector::random(256, &mut rng);
+/// learner.observe(&a, 0)?; // admits class 0
+/// learner.observe(&b, 1)?; // admits class 1
+/// let model = learner.snapshot()?;
+/// assert_eq!(model.classes(), 2);
+/// assert_eq!(model.classify_encoded(&a)?.0, 0);
+/// # Ok::<(), uhd_core::HdcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineLearner {
+    class_sums: Vec<Vec<i64>>,
+    dim: u32,
+    observed: u64,
+    corrections: u64,
+    max_classes: usize,
+}
+
+impl OnlineLearner {
+    /// A cold-start learner with no classes yet; the first
+    /// [`OnlineLearner::observe`] admits the first class.
+    ///
+    /// # Errors
+    ///
+    /// [`HdcError::InvalidConfig`] when `dim == 0`.
+    pub fn new(dim: u32) -> Result<Self, HdcError> {
+        if dim == 0 {
+            return Err(HdcError::InvalidConfig {
+                reason: "online learner dimension must be nonzero".into(),
+            });
+        }
+        Ok(OnlineLearner {
+            class_sums: Vec::new(),
+            dim,
+            observed: 0,
+            corrections: 0,
+            max_classes: DEFAULT_MAX_CLASSES,
+        })
+    }
+
+    /// A learner warm-started from a trained model's integer class
+    /// accumulators — the deployed-model-keeps-learning path.
+    #[must_use]
+    pub fn from_model(model: &HdcModel) -> Self {
+        OnlineLearner {
+            class_sums: model.class_sums().to_vec(),
+            dim: model.dim(),
+            observed: 0,
+            corrections: 0,
+            max_classes: DEFAULT_MAX_CLASSES,
+        }
+    }
+
+    /// Cap runtime class admission at `max_classes` (default
+    /// [`DEFAULT_MAX_CLASSES`]). A label at or beyond the cap is
+    /// rejected instead of allocating accumulator rows for it, so a
+    /// corrupt label stream cannot balloon memory.
+    #[must_use]
+    pub fn with_max_classes(mut self, max_classes: usize) -> Self {
+        self.max_classes = max_classes;
+        self
+    }
+
+    /// Hypervector dimension D.
+    #[must_use]
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Classes admitted so far.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.class_sums.len()
+    }
+
+    /// Samples folded in since this learner was created (both
+    /// [`OnlineLearner::observe`] calls and *applied*
+    /// [`OnlineLearner::feedback`] corrections).
+    #[must_use]
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Perceptron corrections applied (mispredicted feedback samples).
+    #[must_use]
+    pub fn corrections(&self) -> u64 {
+        self.corrections
+    }
+
+    /// The running integer class accumulators.
+    #[must_use]
+    pub fn class_sums(&self) -> &[Vec<i64>] {
+        &self.class_sums
+    }
+
+    /// Reject a `predicted` index naming a class the learner has never
+    /// admitted (a genuine served prediction always names one).
+    fn check_predicted(&self, predicted: usize) -> Result<(), HdcError> {
+        if predicted >= self.class_sums.len() {
+            return Err(HdcError::InvalidTrainingData {
+                reason: format!(
+                    "predicted class {predicted} out of range for {} admitted classes",
+                    self.class_sums.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Grow the accumulator store so `label` is addressable, rejecting
+    /// labels at or past the admission cap. Classes between the old
+    /// count and `label` are admitted empty (all-zero sums).
+    fn admit(&mut self, label: usize) -> Result<(), HdcError> {
+        if label >= self.max_classes {
+            return Err(HdcError::InvalidTrainingData {
+                reason: format!(
+                    "label {label} at or beyond the class admission cap {}",
+                    self.max_classes
+                ),
+            });
+        }
+        while self.class_sums.len() <= label {
+            self.class_sums.push(vec![0i64; self.dim as usize]);
+        }
+        Ok(())
+    }
+
+    /// Bundle one encoded sample into its class accumulator,
+    /// admitting the class if it is new.
+    ///
+    /// # Errors
+    ///
+    /// * [`HdcError::DimensionMismatch`] for a wrong-dimension encoding.
+    /// * [`HdcError::InvalidTrainingData`] for a label at or beyond the
+    ///   admission cap.
+    pub fn observe(&mut self, encoding: &Hypervector, label: usize) -> Result<(), HdcError> {
+        if encoding.dim() != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim,
+                right: encoding.dim(),
+            });
+        }
+        self.admit(label)?;
+        add_encoding(&mut self.class_sums[label], encoding);
+        self.observed += 1;
+        Ok(())
+    }
+
+    /// Bundle one sample's *integer* encoding — its per-image bipolar
+    /// accumulator sums, the same vector the integer inference modes
+    /// use as a query — into its class accumulator, admitting the
+    /// class if it is new.
+    ///
+    /// Bundling is linear in these sums, so streaming a training set
+    /// through this method reproduces [`HdcModel::train`]'s class sums
+    /// exactly; it is the convergent path a serving engine should
+    /// feed, while [`OnlineLearner::observe`] models hardware that
+    /// only keeps the binarized sign.
+    ///
+    /// # Errors
+    ///
+    /// * [`HdcError::DimensionMismatch`] for a wrong-length vector.
+    /// * [`HdcError::InvalidTrainingData`] for a label at or beyond the
+    ///   admission cap.
+    pub fn observe_sums(&mut self, encoding_sums: &[i64], label: usize) -> Result<(), HdcError> {
+        if encoding_sums.len() != self.dim as usize {
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim,
+                right: encoding_sums.len() as u32,
+            });
+        }
+        self.admit(label)?;
+        for (s, &d) in self.class_sums[label].iter_mut().zip(encoding_sums) {
+            *s += d;
+        }
+        self.observed += 1;
+        Ok(())
+    }
+
+    /// Apply the AdaptHD perceptron rule for one served prediction:
+    /// when `predicted != label`, add the encoding to the true class
+    /// and subtract it from the predicted one. Returns whether an
+    /// update was applied (correct predictions leave the accumulators
+    /// untouched).
+    ///
+    /// The true `label` may admit a new class; `predicted` must name a
+    /// class the learner already knows (it came from a model snapshot).
+    ///
+    /// # Errors
+    ///
+    /// * [`HdcError::DimensionMismatch`] for a wrong-dimension encoding.
+    /// * [`HdcError::InvalidTrainingData`] for a label at or beyond the
+    ///   admission cap, or a `predicted` index the learner has never
+    ///   admitted.
+    pub fn feedback(
+        &mut self,
+        encoding: &Hypervector,
+        predicted: usize,
+        label: usize,
+    ) -> Result<bool, HdcError> {
+        if encoding.dim() != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim,
+                right: encoding.dim(),
+            });
+        }
+        // Validate `predicted` *before* admitting `label`: a rejected
+        // sample must leave the learner untouched, or later snapshots
+        // would serve phantom (all-ones) classes it admitted on the
+        // way to the error.
+        self.check_predicted(predicted)?;
+        if predicted == label {
+            return Ok(false);
+        }
+        self.admit(label)?;
+        apply_correction(&mut self.class_sums, encoding, label, predicted);
+        self.observed += 1;
+        self.corrections += 1;
+        Ok(true)
+    }
+
+    /// [`OnlineLearner::feedback`] in the integer encoding domain:
+    /// on a misprediction, add the sample's per-image bipolar sums to
+    /// the true class and subtract them from the predicted one.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`OnlineLearner::feedback`], with
+    /// [`HdcError::DimensionMismatch`] for a wrong-length vector.
+    pub fn feedback_sums(
+        &mut self,
+        encoding_sums: &[i64],
+        predicted: usize,
+        label: usize,
+    ) -> Result<bool, HdcError> {
+        if encoding_sums.len() != self.dim as usize {
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim,
+                right: encoding_sums.len() as u32,
+            });
+        }
+        // Same ordering as `feedback`: reject before mutating.
+        self.check_predicted(predicted)?;
+        if predicted == label {
+            return Ok(false);
+        }
+        self.admit(label)?;
+        apply_correction_with(
+            &mut self.class_sums,
+            encoding_sums.iter().copied(),
+            label,
+            predicted,
+        );
+        self.observed += 1;
+        self.corrections += 1;
+        Ok(true)
+    }
+
+    /// Rebinarize the running accumulators into a fresh [`HdcModel`]
+    /// (sign at zero, ties positive — the same TOB rule as single-pass
+    /// training), ready to hot-swap into a serving engine.
+    ///
+    /// Classes that were admitted but never observed binarize to the
+    /// all-ones hypervector (every sum is zero, and zero rounds to +1).
+    ///
+    /// # Errors
+    ///
+    /// [`HdcError::ModelUntrained`] when no class has been admitted yet.
+    pub fn snapshot(&self) -> Result<HdcModel, HdcError> {
+        if self.class_sums.is_empty() {
+            return Err(HdcError::ModelUntrained);
+        }
+        HdcModel::from_class_sums(self.class_sums.clone(), self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::uhd::{UhdConfig, UhdEncoder};
+    use crate::encoder::ImageEncoder;
+    use crate::model::LabelledImages;
+    use crate::retrain::retrain;
+    use uhd_lowdisc::rng::Xoshiro256StarStar;
+
+    fn random_encodings(n: usize, dim: u32, seed: u64) -> Vec<Hypervector> {
+        let mut rng = Xoshiro256StarStar::seeded(seed);
+        (0..n).map(|_| Hypervector::random(dim, &mut rng)).collect()
+    }
+
+    #[test]
+    fn cold_start_observe_matches_manual_bundling() {
+        let dim = 200u32;
+        let encodings = random_encodings(30, dim, 1);
+        let mut learner = OnlineLearner::new(dim).unwrap();
+        let mut expected = vec![vec![0i64; dim as usize]; 3];
+        for (i, enc) in encodings.iter().enumerate() {
+            let label = i % 3;
+            learner.observe(enc, label).unwrap();
+            for (j, slot) in expected[label].iter_mut().enumerate() {
+                *slot += if enc.bit(j as u32) { 1 } else { -1 };
+            }
+        }
+        assert_eq!(learner.classes(), 3);
+        assert_eq!(learner.observed(), 30);
+        assert_eq!(learner.class_sums(), expected.as_slice());
+        // The snapshot binarizes by sign with ties positive.
+        let model = learner.snapshot().unwrap();
+        for (c, sums) in expected.iter().enumerate() {
+            for (i, &s) in sums.iter().enumerate() {
+                assert_eq!(model.class_hypervectors()[c].bit(i as u32), s >= 0);
+            }
+        }
+    }
+
+    #[test]
+    fn feedback_stream_matches_one_retrain_epoch() {
+        // The online feedback path and the batched retrain loop share
+        // one correction kernel; applying the *same* (prediction,
+        // label) pairs one at a time must land on the same model.
+        let pixels = 16usize;
+        let dim = 1024u32;
+        let enc = UhdEncoder::new(UhdConfig::new(dim, pixels)).unwrap();
+        let mut rng = Xoshiro256StarStar::seeded(77);
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..3usize {
+            for _ in 0..40 {
+                let base = 60.0 + 60.0 * c as f64;
+                let img: Vec<u8> = (0..pixels)
+                    .map(|_| (base + rng.next_range(-55.0, 55.0)).clamp(0.0, 255.0) as u8)
+                    .collect();
+                images.push(img);
+                labels.push(c);
+            }
+        }
+        let data = LabelledImages::new(&images, &labels).unwrap();
+        let model = HdcModel::train(&enc, data, 3).unwrap();
+        let encodings: Vec<_> = images.iter().map(|img| enc.encode(img).unwrap()).collect();
+
+        // Batched: one retrain epoch (predictions all come from the
+        // epoch-start model).
+        let (refined, history) = retrain(&model, &encodings, &labels, 1).unwrap();
+        assert!(history[0].mistakes > 0, "fixture must leave mistakes");
+
+        // Streaming: the same predictions, fed through feedback().
+        let mut learner = OnlineLearner::from_model(&model);
+        for (e, &label) in encodings.iter().zip(&labels) {
+            let (pred, _) = model.classify_encoded(e).unwrap();
+            learner.feedback(e, pred, label).unwrap();
+        }
+        assert_eq!(learner.corrections(), history[0].mistakes as u64);
+        let snap = learner.snapshot().unwrap();
+        assert_eq!(snap.class_hypervectors(), refined.class_hypervectors());
+        assert_eq!(snap.class_sums(), refined.class_sums());
+    }
+
+    #[test]
+    fn streaming_integer_observation_is_bit_identical_to_batch_training() {
+        // Bundling is linear in the per-image bipolar sums, so a
+        // learner streaming the training set one sample at a time must
+        // land on *exactly* the class sums (and hypervectors) of
+        // single-pass batch training.
+        use crate::accumulator::BitSliceAccumulator;
+        let pixels = 16usize;
+        let dim = 512u32;
+        let enc = UhdEncoder::new(UhdConfig::new(dim, pixels)).unwrap();
+        let mut rng = Xoshiro256StarStar::seeded(31);
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..3usize {
+            for _ in 0..25 {
+                let base = 50.0 + 70.0 * c as f64;
+                let img: Vec<u8> = (0..pixels)
+                    .map(|_| (base + rng.next_range(-40.0, 40.0)).clamp(0.0, 255.0) as u8)
+                    .collect();
+                images.push(img);
+                labels.push(c);
+            }
+        }
+        let data = LabelledImages::new(&images, &labels).unwrap();
+        let batch = HdcModel::train(&enc, data, 3).unwrap();
+
+        let mut learner = OnlineLearner::new(dim).unwrap();
+        let mut scratch = BitSliceAccumulator::new(dim);
+        for (image, &label) in images.iter().zip(&labels) {
+            scratch.clear();
+            enc.accumulate(image, &mut scratch).unwrap();
+            learner
+                .observe_sums(&scratch.bipolar_sums(), label)
+                .unwrap();
+        }
+        let streamed = learner.snapshot().unwrap();
+        assert_eq!(streamed.class_sums(), batch.class_sums());
+        assert_eq!(streamed.class_hypervectors(), batch.class_hypervectors());
+        assert_eq!(streamed.to_bytes(), batch.to_bytes());
+    }
+
+    #[test]
+    fn integer_and_binarized_feedback_share_the_kernel() {
+        // feedback_sums with ±1 vectors must coincide with feedback on
+        // the corresponding binarized encoding: one kernel, two
+        // adapters.
+        let dim = 200u32;
+        let encodings = random_encodings(6, dim, 23);
+        let mut a = OnlineLearner::new(dim).unwrap();
+        let mut b = OnlineLearner::new(dim).unwrap();
+        for (i, e) in encodings.iter().take(2).enumerate() {
+            a.observe(e, i).unwrap();
+            b.observe(e, i).unwrap();
+        }
+        for e in &encodings[2..] {
+            let bipolar: Vec<i64> = (0..dim).map(|i| if e.bit(i) { 1 } else { -1 }).collect();
+            assert!(a.feedback(e, 0, 1).unwrap());
+            assert!(b.feedback_sums(&bipolar, 0, 1).unwrap());
+        }
+        assert_eq!(a.class_sums(), b.class_sums());
+        assert_eq!(a.corrections(), b.corrections());
+    }
+
+    #[test]
+    fn correct_feedback_is_a_no_op() {
+        let dim = 128u32;
+        let encodings = random_encodings(4, dim, 9);
+        let mut learner = OnlineLearner::new(dim).unwrap();
+        learner.observe(&encodings[0], 0).unwrap();
+        learner.observe(&encodings[1], 1).unwrap();
+        let before = learner.class_sums().to_vec();
+        assert!(!learner.feedback(&encodings[2], 1, 1).unwrap());
+        assert_eq!(learner.class_sums(), before.as_slice());
+        assert_eq!(learner.corrections(), 0);
+    }
+
+    #[test]
+    fn admits_new_classes_at_runtime() {
+        let dim = 128u32;
+        let encodings = random_encodings(3, dim, 11);
+        let mut learner = OnlineLearner::new(dim).unwrap();
+        learner.observe(&encodings[0], 0).unwrap();
+        assert_eq!(learner.classes(), 1);
+        // A label with a gap admits the intermediate classes empty.
+        learner.observe(&encodings[1], 3).unwrap();
+        assert_eq!(learner.classes(), 4);
+        let model = learner.snapshot().unwrap();
+        assert_eq!(model.classes(), 4);
+        // Never-observed classes binarize to all ones (zero sums).
+        assert_eq!(model.class_hypervectors()[1].count_plus_ones(), dim);
+        // Its own encoding is recovered.
+        assert_eq!(model.classify_encoded(&encodings[1]).unwrap().0, 3);
+    }
+
+    #[test]
+    fn admission_cap_and_bad_inputs_are_rejected() {
+        let dim = 64u32;
+        let encodings = random_encodings(2, dim, 13);
+        assert!(OnlineLearner::new(0).is_err());
+        let mut learner = OnlineLearner::new(dim).unwrap().with_max_classes(2);
+        learner.observe(&encodings[0], 0).unwrap();
+        assert!(matches!(
+            learner.observe(&encodings[0], 2),
+            Err(HdcError::InvalidTrainingData { .. })
+        ));
+        // Wrong-dimension encoding.
+        let wrong = Hypervector::ones(32);
+        assert!(matches!(
+            learner.observe(&wrong, 0),
+            Err(HdcError::DimensionMismatch { .. })
+        ));
+        // Predicted class never admitted.
+        assert!(matches!(
+            learner.feedback(&encodings[1], 1, 0),
+            Err(HdcError::InvalidTrainingData { .. })
+        ));
+        // No classes yet: snapshot is untrained.
+        let empty = OnlineLearner::new(dim).unwrap();
+        assert!(matches!(empty.snapshot(), Err(HdcError::ModelUntrained)));
+    }
+
+    #[test]
+    fn rejected_feedback_leaves_the_learner_untouched() {
+        // Regression: feedback once admitted the true label *before*
+        // validating `predicted`, so a rejected sample still grew the
+        // class store and later snapshots served phantom all-ones
+        // classes.
+        let dim = 128u32;
+        let encodings = random_encodings(3, dim, 19);
+        let mut learner = OnlineLearner::new(dim).unwrap();
+        learner.observe(&encodings[0], 0).unwrap();
+        learner.observe(&encodings[1], 1).unwrap();
+        let before = learner.class_sums().to_vec();
+        // predicted = 7 was never admitted; label = 5 would be new.
+        assert!(matches!(
+            learner.feedback(&encodings[2], 7, 5),
+            Err(HdcError::InvalidTrainingData { .. })
+        ));
+        let bipolar: Vec<i64> = (0..dim)
+            .map(|i| if encodings[2].bit(i) { 1 } else { -1 })
+            .collect();
+        assert!(matches!(
+            learner.feedback_sums(&bipolar, 7, 5),
+            Err(HdcError::InvalidTrainingData { .. })
+        ));
+        assert_eq!(learner.classes(), 2, "no phantom classes admitted");
+        assert_eq!(learner.class_sums(), before.as_slice());
+        assert_eq!(learner.observed(), 2);
+        // A valid new-label feedback against a known prediction still
+        // admits the new class.
+        assert!(learner.feedback(&encodings[2], 0, 5).unwrap());
+        assert_eq!(learner.classes(), 6);
+    }
+
+    #[test]
+    fn warm_start_continues_from_model_sums() {
+        let dim = 256u32;
+        let encodings = random_encodings(8, dim, 17);
+        let mut cold = OnlineLearner::new(dim).unwrap();
+        for (i, e) in encodings.iter().enumerate() {
+            cold.observe(e, i % 2).unwrap();
+        }
+        let model = cold.snapshot().unwrap();
+        let warm = OnlineLearner::from_model(&model);
+        assert_eq!(warm.class_sums(), model.class_sums());
+        assert_eq!(warm.dim(), dim);
+        // A warm learner's snapshot round-trips the model exactly.
+        let snap = warm.snapshot().unwrap();
+        assert_eq!(snap.class_hypervectors(), model.class_hypervectors());
+        assert_eq!(snap.class_sums(), model.class_sums());
+    }
+}

@@ -76,20 +76,10 @@ pub fn retrain(
             let (pred, _) = current.classify_encoded(enc)?;
             if pred != label {
                 mistakes += 1;
-                // `pred != label`, so split the class rows to update both
-                // in one zipped pass.
-                let (lo, hi) = (label.min(pred), label.max(pred));
-                let (head, tail) = sums.split_at_mut(hi);
-                let (label_row, pred_row) = if label < pred {
-                    (&mut head[lo], &mut tail[0])
-                } else {
-                    (&mut tail[0], &mut head[lo])
-                };
-                for (i, (l, p)) in label_row.iter_mut().zip(pred_row.iter_mut()).enumerate() {
-                    let delta = if enc.bit(i as u32) { 1i64 } else { -1 };
-                    *l += delta;
-                    *p -= delta;
-                }
+                // The same perceptron-correction kernel the streaming
+                // `OnlineLearner::feedback` path uses, so the batched
+                // and online update rules cannot drift apart.
+                crate::online::apply_correction(&mut sums, enc, label, pred);
                 // Re-binarize lazily: rebuild the model once per epoch for
                 // determinism (batch update), matching AdaptHD's batched
                 // variant.

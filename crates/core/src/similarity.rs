@@ -50,9 +50,14 @@ pub fn cosine_int(a: &[i64], b: &[i64]) -> Result<f64, HdcError> {
     let mut na = 0f64;
     let mut nb = 0f64;
     for (&x, &y) in a.iter().zip(b.iter()) {
-        dot += x as f64 * y as f64;
-        na += (x * x) as f64;
-        nb += (y * y) as f64;
+        // Square in f64: `x * x` in i64 wraps (or panics under
+        // overflow-checks) once entries exceed ~3·10⁹, which unbounded
+        // online accumulation reaches.
+        let xf = x as f64;
+        let yf = y as f64;
+        dot += xf * yf;
+        na += xf * xf;
+        nb += yf * yf;
     }
     if na == 0.0 || nb == 0.0 {
         return Ok(0.0);
@@ -136,6 +141,25 @@ mod tests {
     #[test]
     fn cosine_int_zero_vector_is_zero() {
         assert_eq!(cosine_int(&[0, 0], &[1, 2]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn cosine_int_survives_huge_class_sums() {
+        // Regression: squaring in i64 overflowed for entries past
+        // ~3·10⁹ — exactly what unbounded online accumulation produces.
+        // Entries near i64::MAX >> 1 must still yield exact ±1 for
+        // (anti)parallel vectors, with no wrap or overflow panic.
+        let big = i64::MAX >> 1;
+        let a = vec![big, -big, big - 1, -big + 1];
+        let parallel = cosine_int(&a, &a).unwrap();
+        assert!((parallel - 1.0).abs() < 1e-12, "got {parallel}");
+        let neg: Vec<i64> = a.iter().map(|&x| -x).collect();
+        let anti = cosine_int(&a, &neg).unwrap();
+        assert!((anti + 1.0).abs() < 1e-12, "got {anti}");
+        // Mixed magnitudes stay within the cosine bounds.
+        let b = vec![big, big, -3, 7];
+        let mixed = cosine_int(&a, &b).unwrap();
+        assert!((-1.0..=1.0).contains(&mixed));
     }
 
     #[test]

@@ -1,16 +1,17 @@
 //! The serving engine: scoped worker shards over the micro-batching
 //! queue, answering through the model's bit-sliced associative memory,
-//! with generation-tagged hot model swap.
+//! with generation-tagged hot model swap and a background online
+//! trainer that folds client feedback into refreshed generations.
 
 use crate::error::ServeError;
-use crate::queue::RequestQueue;
-use crate::request::{Request, Response, Slot, Ticket};
+use crate::queue::{LearnQueue, RequestQueue};
+use crate::request::{LearnSample, Request, Response, Slot, Ticket};
 use crate::stats::{EngineStats, StatsSnapshot};
-use std::sync::{Arc, RwLock};
-use uhd_core::{HdcError, HdcModel, ImageEncoder, InferenceMode};
+use std::sync::{Arc, Mutex, RwLock};
+use uhd_core::{HdcError, HdcModel, ImageEncoder, InferenceMode, OnlineLearner};
 
-/// Sizing of the worker pool and its micro-batches, plus the inference
-/// mode requests are answered in.
+/// Sizing of the worker pool and its micro-batches, the inference mode
+/// requests are answered in, and the online-learning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Worker shards (threads) draining the request queue.
@@ -24,17 +25,37 @@ pub struct ServeConfig {
     /// non-quantized similarity (see `DESIGN.md` §4 on why dark, sparse
     /// datasets need them).
     pub mode: InferenceMode,
+    /// Publish a rebinarized model snapshot after this many applied
+    /// learning updates. The trainer additionally publishes whenever
+    /// its queue runs dry with unpublished updates, so a paused label
+    /// stream never strands learned state.
+    pub snapshot_every: usize,
+    /// Cap on runtime class admission: labels at or beyond this index
+    /// are rejected eagerly by [`ServeEngine::learn`] /
+    /// [`ServeEngine::feedback`], bounding learner memory against a
+    /// corrupt label stream.
+    pub max_classes: usize,
+    /// Capacity of the labelled-sample queue. When the background
+    /// trainer falls this far behind, [`ServeEngine::learn`] /
+    /// [`ServeEngine::feedback`] *block* until it catches up —
+    /// backpressure instead of unbounded memory growth.
+    pub learn_queue_cap: usize,
 }
 
 impl ServeConfig {
     /// A binarized-query (associative-memory) configuration with
-    /// explicit shard and batch sizing.
+    /// explicit shard and batch sizing. Online learning defaults:
+    /// snapshot every 64 updates, class admission capped at 4096, a
+    /// 4096-sample learn queue.
     #[must_use]
     pub fn new(shards: usize, max_batch: usize) -> Self {
         ServeConfig {
             shards,
             max_batch,
             mode: InferenceMode::BinarizedQuery,
+            snapshot_every: 64,
+            max_classes: uhd_core::online::DEFAULT_MAX_CLASSES,
+            learn_queue_cap: 4096,
         }
     }
 
@@ -42,6 +63,30 @@ impl ServeConfig {
     #[must_use]
     pub fn with_mode(mut self, mode: InferenceMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Publish a learner snapshot after `snapshot_every` applied
+    /// updates (must be nonzero).
+    #[must_use]
+    pub fn with_snapshot_every(mut self, snapshot_every: usize) -> Self {
+        self.snapshot_every = snapshot_every;
+        self
+    }
+
+    /// Cap runtime class admission at `max_classes` (must be nonzero
+    /// and at least the initial model's class count).
+    #[must_use]
+    pub fn with_max_classes(mut self, max_classes: usize) -> Self {
+        self.max_classes = max_classes;
+        self
+    }
+
+    /// Bound the labelled-sample queue at `learn_queue_cap` samples
+    /// (must be nonzero); producers block when it is full.
+    #[must_use]
+    pub fn with_learn_queue_cap(mut self, learn_queue_cap: usize) -> Self {
+        self.learn_queue_cap = learn_queue_cap;
         self
     }
 
@@ -61,6 +106,15 @@ impl ServeConfig {
                 ),
             });
         }
+        if self.snapshot_every == 0 || self.max_classes == 0 || self.learn_queue_cap == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: format!(
+                    "snapshot_every ({}), max_classes ({}) and learn_queue_cap ({}) \
+                     must be nonzero",
+                    self.snapshot_every, self.max_classes, self.learn_queue_cap
+                ),
+            });
+        }
         Ok(())
     }
 }
@@ -74,13 +128,31 @@ struct ModelGeneration {
     model: HdcModel,
 }
 
-/// State shared between the client handle and the worker shards.
+/// State shared between the client handle, the worker shards, and the
+/// background trainer.
 #[derive(Debug)]
 struct Shared<'e, E: ?Sized> {
     encoder: &'e E,
     queue: RequestQueue,
+    learn: LearnQueue,
     model: RwLock<Arc<ModelGeneration>>,
+    /// The online learner's accumulators. Owned by the background
+    /// trainer batch-by-batch, but [`ServeEngine::update_model`] also
+    /// locks it to re-seed from a manually swapped model — lock order
+    /// is always learner → model, never the reverse.
+    learner: Mutex<OnlineLearner>,
     stats: EngineStats,
+}
+
+impl<E: ?Sized> Shared<'_, E> {
+    /// Swap in a new model generation (shape already validated by the
+    /// caller) and return its generation number.
+    fn publish_model(&self, model: HdcModel) -> u64 {
+        let mut slot = self.model.write().expect("model lock poisoned");
+        let generation = slot.generation + 1;
+        *slot = Arc::new(ModelGeneration { generation, model });
+        generation
+    }
 }
 
 /// Handle to a running engine, passed to the closure of
@@ -133,13 +205,25 @@ impl<E: ImageEncoder + ?Sized> ServeEngine<'_, E> {
                 got_dim: model.dim(),
             });
         }
+        if model.classes() > config.max_classes {
+            return Err(ServeError::InvalidConfig {
+                reason: format!(
+                    "initial model has {} classes but max_classes is {}",
+                    model.classes(),
+                    config.max_classes
+                ),
+            });
+        }
+        let learner = OnlineLearner::from_model(&model).with_max_classes(config.max_classes);
         let shared = Shared {
             encoder,
-            queue: RequestQueue::new(),
+            queue: RequestQueue::unbounded(),
+            learn: LearnQueue::bounded(config.learn_queue_cap),
             model: RwLock::new(Arc::new(ModelGeneration {
                 generation: 0,
                 model,
             })),
+            learner: Mutex::new(learner),
             stats: EngineStats::default(),
         };
         Ok(std::thread::scope(|scope| {
@@ -147,10 +231,14 @@ impl<E: ImageEncoder + ?Sized> ServeEngine<'_, E> {
                 let shared = &shared;
                 scope.spawn(move || worker_loop(shared, config.max_batch, config.mode));
             }
-            // Closes the queue when the closure returns *or unwinds*, so
-            // the scope's implicit join can never deadlock on workers
-            // still waiting for requests.
-            let _close_on_exit = CloseGuard(&shared.queue);
+            {
+                let shared = &shared;
+                scope.spawn(move || trainer_loop(shared, config));
+            }
+            // Closes both queues when the closure returns *or unwinds*,
+            // so the scope's implicit join can never deadlock on
+            // workers (or the trainer) still waiting for work.
+            let _close_on_exit = CloseGuard(&shared.queue, &shared.learn);
             let engine = ServeEngine {
                 shared: &shared,
                 config,
@@ -255,10 +343,18 @@ impl<E: ImageEncoder + ?Sized> ServeEngine<'_, E> {
     /// engine). Returns the new generation number; in-flight
     /// micro-batches finish on the generation they snapshotted.
     ///
+    /// The background online learner is **re-seeded** from the new
+    /// model's class accumulators: subsequent [`ServeEngine::learn`] /
+    /// [`ServeEngine::feedback`] samples continue from the swapped-in
+    /// model, and any online state not yet published is superseded by
+    /// the manual swap (it was trained against the old model).
+    ///
     /// # Errors
     ///
-    /// [`ServeError::ModelShapeMismatch`] when the new model's
-    /// dimension disagrees with the engine's encoder.
+    /// * [`ServeError::ModelShapeMismatch`] when the new model's
+    ///   dimension disagrees with the engine's encoder.
+    /// * [`ServeError::InvalidConfig`] when the new model has more
+    ///   classes than [`ServeConfig::max_classes`].
     pub fn update_model(&self, model: HdcModel) -> Result<u64, ServeError> {
         if model.dim() != self.shared.encoder.dim() {
             return Err(ServeError::ModelShapeMismatch {
@@ -266,12 +362,116 @@ impl<E: ImageEncoder + ?Sized> ServeEngine<'_, E> {
                 got_dim: model.dim(),
             });
         }
-        let mut slot = self.shared.model.write().expect("model lock poisoned");
-        let generation = slot.generation + 1;
-        *slot = Arc::new(ModelGeneration { generation, model });
-        drop(slot);
+        if model.classes() > self.config.max_classes {
+            return Err(ServeError::InvalidConfig {
+                reason: format!(
+                    "swapped-in model has {} classes but max_classes is {}",
+                    model.classes(),
+                    self.config.max_classes
+                ),
+            });
+        }
+        // Holding the learner lock across the publish serializes the
+        // swap against the trainer's apply+publish cycle (which takes
+        // the same locks in the same learner → model order).
+        let mut learner = self.shared.learner.lock().expect("learner lock poisoned");
+        *learner = OnlineLearner::from_model(&model).with_max_classes(self.config.max_classes);
+        let generation = self.shared.publish_model(model);
+        drop(learner);
         self.shared.stats.record_swap();
         Ok(generation)
+    }
+
+    /// Enqueue one labelled sample for the background online learner
+    /// to *bundle* into its class accumulator (single-pass training,
+    /// continued at runtime). A label the learner has never seen
+    /// admits a new class. The trainer folds it in asynchronously and
+    /// periodically hot-publishes a rebinarized model — accuracy
+    /// climbs while traffic is being served.
+    ///
+    /// Blocks when the learn queue holds
+    /// [`ServeConfig::learn_queue_cap`] samples (backpressure while
+    /// the trainer catches up).
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Core`] for an image of the wrong pixel count.
+    /// * [`ServeError::InvalidLabel`] for a label at or beyond
+    ///   [`ServeConfig::max_classes`].
+    /// * [`ServeError::Closed`] after shutdown.
+    pub fn learn(&self, image: Vec<u8>, label: usize) -> Result<(), ServeError> {
+        self.submit_sample(image, label, None)
+    }
+
+    /// Enqueue served-prediction feedback: the client observed the
+    /// engine answer `predicted` for `image` whose true class is
+    /// `label`. The background learner applies the AdaptHD perceptron
+    /// correction (only when `predicted != label`), and mispredictions
+    /// steadily reshape the published model.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServeEngine::learn`] (the `predicted`
+    /// index is validated against the cap too).
+    pub fn feedback(
+        &self,
+        image: Vec<u8>,
+        predicted: usize,
+        label: usize,
+    ) -> Result<(), ServeError> {
+        self.submit_sample(image, label, Some(predicted))
+    }
+
+    fn submit_sample(
+        &self,
+        image: Vec<u8>,
+        label: usize,
+        predicted: Option<usize>,
+    ) -> Result<(), ServeError> {
+        let expected = self.shared.encoder.pixels();
+        if image.len() != expected {
+            return Err(ServeError::Core(HdcError::ImageSizeMismatch {
+                expected,
+                got: image.len(),
+            }));
+        }
+        let limit = self.config.max_classes;
+        for index in std::iter::once(label).chain(predicted) {
+            if index >= limit {
+                return Err(ServeError::InvalidLabel {
+                    label: index,
+                    limit,
+                });
+            }
+        }
+        let sample = LearnSample {
+            image,
+            label,
+            predicted,
+        };
+        match self.shared.learn.push(sample) {
+            Ok(()) => {
+                self.shared.stats.record_learn_submit();
+                Ok(())
+            }
+            Err(_) => Err(ServeError::Closed),
+        }
+    }
+
+    /// Block until every labelled sample submitted before this call
+    /// has been applied by the background trainer — including the
+    /// publication of any model snapshot its updates produced (the
+    /// trainer publishes *before* marking samples applied, and always
+    /// publishes when its queue runs dry with unpublished updates).
+    /// Returns immediately if the trainer has died.
+    pub fn sync_learner(&self) {
+        self.shared.learn.sync();
+    }
+
+    /// Labelled samples currently queued for the background trainer.
+    #[must_use]
+    pub fn learn_queue_depth(&self) -> usize {
+        self.shared.learn.depth()
     }
 
     /// Generation of the currently served model (0 for the initial one).
@@ -303,12 +503,14 @@ impl<E: ImageEncoder + ?Sized> ServeEngine<'_, E> {
     }
 }
 
-/// Closes the queue on drop — the shutdown signal for every shard.
-struct CloseGuard<'q>(&'q RequestQueue);
+/// Closes both queues on drop — the shutdown signal for every shard
+/// and the background trainer.
+struct CloseGuard<'q>(&'q RequestQueue, &'q LearnQueue);
 
 impl Drop for CloseGuard<'_> {
     fn drop(&mut self) {
         self.0.close();
+        self.1.close();
     }
 }
 
@@ -344,6 +546,122 @@ impl Drop for ShardFailGuard<'_> {
             }
         }
     }
+}
+
+/// Releases [`ServeEngine::sync_learner`] waiters if the trainer
+/// panics: no client may deadlock waiting on a learner that no longer
+/// exists. A no-op on normal exit.
+struct TrainerFailGuard<'q>(&'q LearnQueue);
+
+impl Drop for TrainerFailGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.fail();
+        }
+    }
+}
+
+/// The background trainer: drain labelled samples, fold them into an
+/// [`OnlineLearner`] seeded from the initially served model, and
+/// periodically hot-publish a rebinarized snapshot.
+///
+/// Publish policy: a snapshot goes out after `snapshot_every` applied
+/// updates, and whenever the learn queue runs dry with unpublished
+/// updates. Publishing happens *before* the drained samples are marked
+/// applied, so a [`ServeEngine::sync_learner`] that returns has also
+/// observed its snapshot land.
+///
+/// Manual [`ServeEngine::update_model`] swaps share the generation
+/// stream but do **not** re-seed the learner: online state accumulates
+/// from the model the engine started with.
+fn trainer_loop<E: ImageEncoder + ?Sized>(shared: &Shared<'_, E>, config: ServeConfig) {
+    let _fail_guard = TrainerFailGuard(&shared.learn);
+    /// A sample encoded (outside the learner lock) and ready to apply.
+    struct Prepared {
+        sums: Result<Vec<i64>, HdcError>,
+        label: usize,
+        predicted: Option<usize>,
+    }
+    let mut scratch = uhd_core::BitSliceAccumulator::new(shared.encoder.dim());
+    let mut batch: Vec<LearnSample> = Vec::with_capacity(config.max_batch);
+    let mut prepared: Vec<Prepared> = Vec::with_capacity(config.max_batch);
+    let mut unpublished = 0usize;
+    while shared.learn.pop_batch(config.max_batch, &mut batch) {
+        let n = batch.len() as u64;
+        // Encoding needs no learner state: do it outside the learner
+        // lock so a concurrent `update_model` re-seed never waits on
+        // a whole batch of encodes. The trainer works in the *integer*
+        // encoding domain (per-image bipolar accumulator sums):
+        // bundling is linear there, so streaming observations
+        // reproduce single-pass batch training exactly — the
+        // convergent path — where bundling binarized ±1 encodings
+        // would collapse on the dark, sparse datasets of DESIGN.md §4.
+        for sample in batch.drain(..) {
+            prepared.push(Prepared {
+                sums: encode_sums(shared.encoder, &mut scratch, &sample.image),
+                label: sample.label,
+                predicted: sample.predicted,
+            });
+        }
+        {
+            let mut learner = shared.learner.lock().expect("learner lock poisoned");
+            for Prepared {
+                sums,
+                label,
+                predicted,
+            } in prepared.drain(..)
+            {
+                let changed = sums.and_then(|s| match predicted {
+                    None => learner.observe_sums(&s, label).map(|()| true),
+                    Some(p) => learner.feedback_sums(&s, p, label),
+                });
+                match changed {
+                    Ok(true) => {
+                        unpublished += 1;
+                        shared.stats.record_learn_update();
+                    }
+                    Ok(false) => {}
+                    // Eager submit-side validation makes rejections
+                    // rare (a feedback prediction can still race past
+                    // the learner's admitted classes); count, don't
+                    // die.
+                    Err(_) => shared.stats.record_learn_rejected(),
+                }
+            }
+            // Publish after `snapshot_every` updates, and whenever the
+            // queue runs dry with unpublished state — the latter is
+            // what makes `sync_learner` mean "my feedback is being
+            // served". Under a fast label stream batching amortizes
+            // this naturally (a drain only empties the queue when the
+            // producers have stopped outpacing us); under a trickle a
+            // snapshot per drain is the price of the guarantee, and it
+            // is cheap (one accumulator clone + sign pass + AM
+            // transpose).
+            if unpublished > 0
+                && (unpublished >= config.snapshot_every || shared.learn.depth() == 0)
+            {
+                if let Ok(model) = learner.snapshot() {
+                    shared.publish_model(model);
+                    shared.stats.record_snapshot();
+                    unpublished = 0;
+                }
+            }
+        }
+        shared.stats.record_learn_consumed(n);
+        shared.learn.mark_applied(n);
+    }
+}
+
+/// Encode one image to its integer (bipolar-sums) encoding, reusing
+/// the trainer's scratch accumulator.
+fn encode_sums<E: ImageEncoder + ?Sized>(
+    encoder: &E,
+    scratch: &mut uhd_core::BitSliceAccumulator,
+    image: &[u8],
+) -> Result<Vec<i64>, HdcError> {
+    scratch.clear();
+    encoder.accumulate(image, scratch)?;
+    Ok(scratch.bipolar_sums())
 }
 
 /// One worker shard: claim a micro-batch, snapshot the current model
@@ -533,6 +851,147 @@ mod tests {
             assert_eq!(engine.stats().model_swaps, 1);
         })
         .unwrap();
+    }
+
+    #[test]
+    fn learn_rejects_bad_inputs_eagerly() {
+        let (encoder, model, _, _) = fixture();
+        ServeEngine::serve(
+            ServeConfig::new(1, 4).with_max_classes(4),
+            &encoder,
+            model,
+            |engine| {
+                assert!(matches!(
+                    engine.learn(vec![0u8; PIXELS + 2], 0),
+                    Err(ServeError::Core(HdcError::ImageSizeMismatch { .. }))
+                ));
+                assert!(matches!(
+                    engine.learn(vec![0u8; PIXELS], 4),
+                    Err(ServeError::InvalidLabel { label: 4, limit: 4 })
+                ));
+                assert!(matches!(
+                    engine.feedback(vec![0u8; PIXELS], 9, 0),
+                    Err(ServeError::InvalidLabel { label: 9, limit: 4 })
+                ));
+                // Nothing reached the queue.
+                assert_eq!(engine.stats().learn_submitted, 0);
+                assert_eq!(engine.learn_queue_depth(), 0);
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn degenerate_learning_configs_are_rejected() {
+        let (encoder, model, _, _) = fixture();
+        assert!(matches!(
+            ServeEngine::serve(
+                ServeConfig::new(1, 1).with_snapshot_every(0),
+                &encoder,
+                model.clone(),
+                |_| ()
+            ),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        // The initial model already exceeds the admission cap.
+        assert!(matches!(
+            ServeEngine::serve(
+                ServeConfig::new(1, 1).with_max_classes(1),
+                &encoder,
+                model,
+                |_| ()
+            ),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn learning_publishes_snapshots_and_reconciles_counters() {
+        let (encoder, model, images, labels) = fixture();
+        ServeEngine::serve(ServeConfig::new(2, 4), &encoder, model, |engine| {
+            for (image, &label) in images.iter().zip(&labels) {
+                engine.learn(image.clone(), label).unwrap();
+            }
+            engine.sync_learner();
+            let stats = engine.stats();
+            assert_eq!(stats.learn_submitted, images.len() as u64);
+            assert_eq!(stats.learn_consumed, stats.learn_submitted);
+            assert_eq!(stats.learn_updates, stats.learn_submitted);
+            assert_eq!(stats.learn_rejected, 0);
+            assert!(stats.snapshots_published >= 1);
+            assert_eq!(stats.model_swaps, 0, "trainer publishes are not swaps");
+            assert!(engine.generation() >= 1);
+            // The refreshed generation still separates the fixture.
+            let response = engine.classify(&images[0]).unwrap();
+            assert_eq!(response.class, labels[0]);
+            assert!(response.generation >= 1);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn update_model_reseeds_the_online_learner() {
+        // Regression: the trainer used to keep learner state seeded
+        // from the *initial* model forever, so one learn() sample
+        // after a manual update_model would hot-publish a snapshot
+        // derived from the stale initial model, clobbering the swap.
+        let (encoder, model, images, labels) = fixture();
+        let swapped_labels: Vec<usize> = labels.iter().map(|&l| 1 - l).collect();
+        let data = LabelledImages::new(&images, &swapped_labels).unwrap();
+        let swapped = HdcModel::train(&encoder, data, 2).unwrap();
+        ServeEngine::serve(ServeConfig::new(1, 4), &encoder, model, |engine| {
+            engine.update_model(swapped.clone()).unwrap();
+            assert_eq!(engine.classify(&images[0]).unwrap().class, 1 - labels[0]);
+            // One sample consistent with the swapped labelling; the
+            // resulting snapshot must derive from the swapped model.
+            engine.learn(images[0].clone(), 1 - labels[0]).unwrap();
+            engine.sync_learner();
+            assert!(engine.stats().snapshots_published >= 1);
+            for (image, &label) in images.iter().zip(&labels) {
+                assert_eq!(
+                    engine.classify(image).unwrap().class,
+                    1 - label,
+                    "post-swap learning must continue from the swapped model"
+                );
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn correct_feedback_publishes_nothing() {
+        let (encoder, model, images, labels) = fixture();
+        ServeEngine::serve(ServeConfig::new(1, 4), &encoder, model, |engine| {
+            // Feedback agreeing with the label applies no update, so
+            // the trainer has nothing to publish.
+            for (image, &label) in images.iter().zip(&labels) {
+                engine.feedback(image.clone(), label, label).unwrap();
+            }
+            engine.sync_learner();
+            let stats = engine.stats();
+            assert_eq!(stats.learn_consumed, images.len() as u64);
+            assert_eq!(stats.learn_updates, 0);
+            assert_eq!(stats.snapshots_published, 0);
+            assert_eq!(engine.generation(), 0);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn pending_learn_samples_are_drained_at_shutdown() {
+        let (encoder, model, images, labels) = fixture();
+        let stats = ServeEngine::serve(ServeConfig::new(1, 2), &encoder, model, |engine| {
+            for (image, &label) in images.iter().zip(&labels) {
+                engine.learn(image.clone(), label).unwrap();
+            }
+            // No sync: shutdown must drain the learner queue anyway.
+            engine.stats()
+        })
+        .unwrap();
+        // The closure's snapshot may predate the drain; what matters is
+        // that serve() returned at all (the trainer exited cleanly)
+        // and accepted every sample.
+        assert_eq!(stats.learn_submitted, images.len() as u64);
     }
 
     #[test]

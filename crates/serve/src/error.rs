@@ -31,6 +31,15 @@ pub enum ServeError {
         /// Dimension of the offending model.
         got_dim: u32,
     },
+    /// A labelled sample named a class index at or beyond the engine's
+    /// admission cap ([`crate::ServeConfig::max_classes`]); rejected
+    /// eagerly, before it reaches the learner queue.
+    InvalidLabel {
+        /// The offending class index.
+        label: usize,
+        /// The engine's class admission cap.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -50,6 +59,10 @@ impl fmt::Display for ServeError {
             } => write!(
                 f,
                 "model dimension {got_dim} does not match encoder dimension {expected_dim}"
+            ),
+            ServeError::InvalidLabel { label, limit } => write!(
+                f,
+                "label {label} at or beyond the engine's class admission cap {limit}"
             ),
         }
     }

@@ -22,6 +22,15 @@
 //!   are in flight. Each micro-batch snapshots one generation, so no
 //!   request ever observes a torn model, and every
 //!   [`Response::generation`] names the model that produced it.
+//! * **Online learning** — [`ServeEngine::learn`] and
+//!   [`ServeEngine::feedback`] enqueue labelled samples; a background
+//!   trainer folds them into a [`uhd_core::OnlineLearner`] (bundling
+//!   new observations, perceptron-correcting served mispredictions,
+//!   admitting new classes at runtime) and periodically hot-publishes
+//!   a rebinarized snapshot, so accuracy climbs *while traffic is
+//!   being served*. [`ServeEngine::sync_learner`] is the drain
+//!   barrier; [`StatsSnapshot`] counts submitted/consumed samples and
+//!   published snapshots.
 //!
 //! # Example
 //!

@@ -1,102 +1,199 @@
-//! The micro-batching request queue shared by all worker shards.
+//! The micro-batching queue shared by the worker shards (requests)
+//! and the background trainer (labelled samples).
 //!
-//! A plain `Mutex<VecDeque>` + `Condvar` pair: producers push single
-//! requests, workers pop *batches*. Popping everything available (up to
-//! the shard's batch cap) under one lock acquisition is what turns a
-//! stream of independent requests into micro-batches — while a worker
-//! is busy classifying, new arrivals pile up and the next pop drains
-//! them together, amortizing the model-snapshot and wake-up costs over
-//! the whole batch.
+//! One generic primitive serves both: a `Mutex<VecDeque>` + `Condvar`
+//! batch queue. Producers push single items, consumers pop *batches* —
+//! draining everything available (up to the consumer's batch cap)
+//! under one lock acquisition is what turns a stream of independent
+//! items into micro-batches: while a consumer is busy, new arrivals
+//! pile up and the next pop takes them together, amortizing the
+//! model-snapshot and wake-up costs over the whole batch.
+//!
+//! The learn side additionally uses the queue's *bound* (blocking
+//! producers when the trainer falls behind — backpressure instead of
+//! unbounded memory growth) and its *drain barrier*
+//! ([`BatchQueue::sync`] / [`BatchQueue::mark_applied`]) so clients
+//! can wait for their feedback to take effect.
 
-use crate::request::Request;
+use crate::request::{LearnSample, Request};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
-#[derive(Debug, Default)]
-struct QueueState {
-    requests: VecDeque<Request>,
+/// The request side: unbounded (classify clients already block on
+/// their tickets, which is backpressure enough).
+pub(crate) type RequestQueue = BatchQueue<Request>;
+
+/// The learn side: bounded, with the drain barrier in use.
+pub(crate) type LearnQueue = BatchQueue<LearnSample>;
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
     closed: bool,
+    /// The consumer died abnormally; waiters must not block on it.
+    failed: bool,
+    /// Items accepted by `push` / `push_all`.
+    accepted: u64,
+    /// Items the consumer has finished applying (see the trainer's
+    /// publish-before-mark ordering).
+    applied: u64,
+}
+
+impl<T> Default for QueueState<T> {
+    fn default() -> Self {
+        QueueState {
+            items: VecDeque::new(),
+            closed: false,
+            failed: false,
+            accepted: 0,
+            applied: 0,
+        }
+    }
 }
 
 /// Lock-protected, condvar-signalled multi-producer multi-consumer
-/// queue with batch pops.
-#[derive(Debug, Default)]
-pub(crate) struct RequestQueue {
-    state: Mutex<QueueState>,
+/// queue with batch pops, an optional capacity bound, and a drain
+/// barrier.
+#[derive(Debug)]
+pub(crate) struct BatchQueue<T> {
+    state: Mutex<QueueState<T>>,
+    /// Signals consumers: items are available (or the queue closed).
     available: Condvar,
+    /// Signals bounded producers: capacity freed up (or closed).
+    space: Condvar,
+    /// Signals `sync` waiters: everything submitted has been applied.
+    drained: Condvar,
+    capacity: usize,
 }
 
-impl RequestQueue {
-    pub(crate) fn new() -> Self {
-        Self::default()
+impl<T> BatchQueue<T> {
+    /// A queue with no capacity bound: `push` never blocks.
+    pub(crate) fn unbounded() -> Self {
+        Self::bounded(usize::MAX)
     }
 
-    /// Enqueue one request; hands it back if the queue is closed.
-    pub(crate) fn push(&self, request: Request) -> Result<(), Request> {
-        let mut state = self.state.lock().expect("queue lock poisoned");
-        if state.closed {
-            return Err(request);
+    /// A queue holding at most `capacity` items: `push` blocks until
+    /// space frees up (producer backpressure).
+    pub(crate) fn bounded(capacity: usize) -> Self {
+        BatchQueue {
+            state: Mutex::new(QueueState::default()),
+            available: Condvar::new(),
+            space: Condvar::new(),
+            drained: Condvar::new(),
+            capacity,
         }
-        state.requests.push_back(request);
+    }
+
+    /// Enqueue one item, blocking while the queue is at capacity;
+    /// hands the item back if the queue is (or gets) closed.
+    pub(crate) fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.space.wait(state).expect("queue lock poisoned");
+        }
+        if state.closed {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        state.accepted += 1;
         drop(state);
         self.available.notify_one();
         Ok(())
     }
 
-    /// Enqueue a whole wave of requests under one lock acquisition and
+    /// Enqueue a whole wave of items under one lock acquisition and
     /// one broadcast — the client half of micro-batching. Hands the
-    /// wave back untouched if the queue is closed.
-    pub(crate) fn push_all(&self, requests: Vec<Request>) -> Result<(), Vec<Request>> {
-        if requests.is_empty() {
+    /// wave back untouched if the queue is closed. Ignores the
+    /// capacity bound (only the unbounded request queue pushes waves).
+    pub(crate) fn push_all(&self, items: Vec<T>) -> Result<(), Vec<T>> {
+        if items.is_empty() {
             return Ok(());
         }
         let mut state = self.state.lock().expect("queue lock poisoned");
         if state.closed {
-            return Err(requests);
+            return Err(items);
         }
-        state.requests.extend(requests);
+        state.accepted += items.len() as u64;
+        state.items.extend(items);
         drop(state);
         self.available.notify_all();
         Ok(())
     }
 
-    /// Block until requests are available, then drain up to `max` of
-    /// them into `out`. Returns `false` once the queue is closed *and*
-    /// empty — the worker-shutdown signal; pending requests are always
+    /// Block until items are available, then drain up to `max` of them
+    /// into `out`. Returns `false` once the queue is closed *and*
+    /// empty — the consumer-shutdown signal; pending items are always
     /// drained first.
-    pub(crate) fn pop_batch(&self, max: usize, out: &mut Vec<Request>) -> bool {
+    pub(crate) fn pop_batch(&self, max: usize, out: &mut Vec<T>) -> bool {
         let mut state = self.state.lock().expect("queue lock poisoned");
-        while state.requests.is_empty() {
+        while state.items.is_empty() {
             if state.closed {
                 return false;
             }
             state = self.available.wait(state).expect("queue lock poisoned");
         }
-        let take = state.requests.len().min(max);
-        out.extend(state.requests.drain(..take));
-        // More work left: wake another shard to run concurrently.
-        if !state.requests.is_empty() {
+        let take = state.items.len().min(max);
+        out.extend(state.items.drain(..take));
+        // More work left: wake another consumer to run concurrently.
+        if !state.items.is_empty() {
             self.available.notify_one();
+        }
+        drop(state);
+        if self.capacity != usize::MAX {
+            self.space.notify_all();
         }
         true
     }
 
-    /// Close the queue and wake every waiting worker so it can drain
-    /// the remaining requests and exit.
+    /// The consumer finished applying `n` items; wakes
+    /// [`BatchQueue::sync`] waiters when everything accepted so far
+    /// has been applied.
+    pub(crate) fn mark_applied(&self, n: u64) {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        state.applied += n;
+        let done = state.applied >= state.accepted;
+        drop(state);
+        if done {
+            self.drained.notify_all();
+        }
+    }
+
+    /// Block until every item accepted before this call has been
+    /// applied by the consumer (or the consumer died). Items accepted
+    /// *while* waiting extend the wait.
+    pub(crate) fn sync(&self) {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        while state.applied < state.accepted && !state.failed {
+            state = self.drained.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    /// Close the queue and wake everyone: producers see the rejection,
+    /// consumers drain the remaining items and exit.
     pub(crate) fn close(&self) {
         let mut state = self.state.lock().expect("queue lock poisoned");
         state.closed = true;
         drop(state);
         self.available.notify_all();
+        self.space.notify_all();
     }
 
-    /// Requests currently waiting (diagnostics only).
+    /// The consumer panicked: close the queue and additionally release
+    /// every [`BatchQueue::sync`] waiter so no client deadlocks on a
+    /// consumer that no longer exists.
+    pub(crate) fn fail(&self) {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        state.closed = true;
+        state.failed = true;
+        drop(state);
+        self.available.notify_all();
+        self.space.notify_all();
+        self.drained.notify_all();
+    }
+
+    /// Items currently waiting (diagnostics only).
     pub(crate) fn depth(&self) -> usize {
-        self.state
-            .lock()
-            .expect("queue lock poisoned")
-            .requests
-            .len()
+        self.state.lock().expect("queue lock poisoned").items.len()
     }
 }
 
@@ -115,7 +212,7 @@ mod tests {
 
     #[test]
     fn pops_are_batched_up_to_max() {
-        let q = RequestQueue::new();
+        let q = RequestQueue::unbounded();
         for _ in 0..5 {
             q.push(request()).unwrap();
         }
@@ -130,7 +227,7 @@ mod tests {
 
     #[test]
     fn close_rejects_new_pushes_but_drains_pending() {
-        let q = RequestQueue::new();
+        let q = RequestQueue::unbounded();
         q.push(request()).unwrap();
         q.close();
         assert!(q.push(request()).is_err());
@@ -143,7 +240,7 @@ mod tests {
 
     #[test]
     fn blocked_pop_wakes_on_close() {
-        let q = RequestQueue::new();
+        let q = RequestQueue::unbounded();
         std::thread::scope(|scope| {
             let handle = scope.spawn(|| {
                 let mut batch = Vec::new();
@@ -153,5 +250,74 @@ mod tests {
             q.close();
             assert!(!handle.join().unwrap());
         });
+    }
+
+    fn sample(label: usize) -> LearnSample {
+        LearnSample {
+            image: vec![0u8; 4],
+            label,
+            predicted: None,
+        }
+    }
+
+    #[test]
+    fn bounded_push_applies_backpressure() {
+        let q: BatchQueue<LearnSample> = BatchQueue::bounded(2);
+        q.push(sample(0)).unwrap();
+        q.push(sample(1)).unwrap();
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(|| q.push(sample(2)).is_ok());
+            // The third push must block until the consumer drains.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            assert_eq!(q.depth(), 2, "bounded queue never exceeds capacity");
+            let mut batch = Vec::new();
+            assert!(q.pop_batch(8, &mut batch));
+            assert!(producer.join().unwrap(), "push completes once space frees");
+        });
+        assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn blocked_bounded_push_wakes_on_close() {
+        let q: BatchQueue<LearnSample> = BatchQueue::bounded(1);
+        q.push(sample(0)).unwrap();
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(|| q.push(sample(1)).is_err());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            q.close();
+            assert!(producer.join().unwrap(), "closing rejects the blocked push");
+        });
+    }
+
+    #[test]
+    fn sync_waits_for_applied_items() {
+        let q: BatchQueue<LearnSample> = BatchQueue::bounded(8);
+        q.push(sample(0)).unwrap();
+        q.push(sample(1)).unwrap();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut batch = Vec::new();
+                assert!(q.pop_batch(8, &mut batch));
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                q.mark_applied(batch.len() as u64);
+            });
+            q.sync(); // must return once both samples are marked
+        });
+        // With nothing outstanding, sync returns immediately.
+        q.sync();
+    }
+
+    #[test]
+    fn sync_released_by_consumer_failure() {
+        let q: BatchQueue<LearnSample> = BatchQueue::bounded(8);
+        q.push(sample(0)).unwrap();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                q.fail();
+            });
+            q.sync(); // must not deadlock on a dead consumer
+        });
+        assert!(q.push(sample(1)).is_err(), "failed queue accepts nothing");
     }
 }

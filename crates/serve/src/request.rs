@@ -76,6 +76,18 @@ pub(crate) struct Request {
     pub(crate) slot: Arc<Slot>,
 }
 
+/// A labelled sample enqueued for the background online learner.
+///
+/// `predicted: None` is a pure observation (bundle into `label`);
+/// `predicted: Some(p)` is served-prediction feedback (perceptron
+/// correction applied only when `p != label`).
+#[derive(Debug, Clone)]
+pub(crate) struct LearnSample {
+    pub(crate) image: Vec<u8>,
+    pub(crate) label: usize,
+    pub(crate) predicted: Option<usize>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

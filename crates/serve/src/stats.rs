@@ -11,6 +11,11 @@ pub(crate) struct EngineStats {
     batches: AtomicU64,
     largest_batch: AtomicU64,
     model_swaps: AtomicU64,
+    learn_submitted: AtomicU64,
+    learn_consumed: AtomicU64,
+    learn_updates: AtomicU64,
+    learn_rejected: AtomicU64,
+    snapshots_published: AtomicU64,
 }
 
 impl EngineStats {
@@ -32,6 +37,26 @@ impl EngineStats {
         self.model_swaps.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_learn_submit(&self) {
+        self.learn_submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_learn_consumed(&self, n: u64) {
+        self.learn_consumed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_learn_update(&self) {
+        self.learn_updates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_learn_rejected(&self) {
+        self.learn_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_snapshot(&self) {
+        self.snapshots_published.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -39,6 +64,11 @@ impl EngineStats {
             batches: self.batches.load(Ordering::Relaxed),
             largest_batch: self.largest_batch.load(Ordering::Relaxed),
             model_swaps: self.model_swaps.load(Ordering::Relaxed),
+            learn_submitted: self.learn_submitted.load(Ordering::Relaxed),
+            learn_consumed: self.learn_consumed.load(Ordering::Relaxed),
+            learn_updates: self.learn_updates.load(Ordering::Relaxed),
+            learn_rejected: self.learn_rejected.load(Ordering::Relaxed),
+            snapshots_published: self.snapshots_published.load(Ordering::Relaxed),
         }
     }
 }
@@ -56,6 +86,22 @@ pub struct StatsSnapshot {
     pub largest_batch: u64,
     /// Models hot-swapped in via [`crate::ServeEngine::update_model`].
     pub model_swaps: u64,
+    /// Labelled samples accepted by [`crate::ServeEngine::learn`] /
+    /// [`crate::ServeEngine::feedback`].
+    pub learn_submitted: u64,
+    /// Labelled samples the background trainer has finished applying.
+    /// Reconciles with `learn_submitted` after
+    /// [`crate::ServeEngine::sync_learner`].
+    pub learn_consumed: u64,
+    /// Samples that actually modified the learner's class accumulators
+    /// (every observation, plus mispredicted feedback).
+    pub learn_updates: u64,
+    /// Samples the learner rejected (e.g. a label past the admission
+    /// cap, or feedback naming a class the learner never admitted).
+    pub learn_rejected: u64,
+    /// Rebinarized model snapshots the background trainer published
+    /// through the hot-swap path (not counted in `model_swaps`).
+    pub snapshots_published: u64,
 }
 
 impl StatsSnapshot {
@@ -81,12 +127,23 @@ mod tests {
         stats.record_submit();
         stats.record_batch(2);
         stats.record_swap();
+        stats.record_learn_submit();
+        stats.record_learn_submit();
+        stats.record_learn_consumed(2);
+        stats.record_learn_update();
+        stats.record_learn_rejected();
+        stats.record_snapshot();
         let snap = stats.snapshot();
         assert_eq!(snap.submitted, 2);
         assert_eq!(snap.completed, 2);
         assert_eq!(snap.batches, 1);
         assert_eq!(snap.largest_batch, 2);
         assert_eq!(snap.model_swaps, 1);
+        assert_eq!(snap.learn_submitted, 2);
+        assert_eq!(snap.learn_consumed, 2);
+        assert_eq!(snap.learn_updates, 1);
+        assert_eq!(snap.learn_rejected, 1);
+        assert_eq!(snap.snapshots_published, 1);
         assert!((snap.mean_batch() - 2.0).abs() < f64::EPSILON);
     }
 

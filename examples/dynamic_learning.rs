@@ -1,0 +1,118 @@
+//! Dynamic learning: a cold-start model converging *while it serves*.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example dynamic_learning
+//! ```
+//!
+//! The full dynamic-HDC loop the paper motivates: a model bootstrapped
+//! from a handful of stream samples goes live behind `ServeEngine`,
+//! clients submit labelled feedback through `learn`/`feedback`, a
+//! background trainer folds it into running class accumulators
+//! (`uhd_core::OnlineLearner`) and hot-publishes rebinarized snapshots
+//! through the generation-tagged model swap — so accuracy climbs with
+//! zero downtime, and a class the initial model never saw is admitted
+//! mid-stream.
+
+use uhd::core::encoder::uhd::{UhdConfig, UhdEncoder};
+use uhd::core::model::InferenceMode;
+use uhd::core::{BitSliceAccumulator, ImageEncoder, OnlineLearner};
+use uhd::datasets::synth::{generate, SynthSpec, SyntheticKind};
+use uhd::serve::{ServeConfig, ServeEngine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dim = 1024u32;
+    let (train, test) = generate(SynthSpec::new(SyntheticKind::Mnist, 600, 200, 42))?;
+    let encoder = UhdEncoder::new(UhdConfig::new(dim, train.pixels()))?;
+
+    // Cold start: the learner has seen only the first 20 samples of
+    // the label stream (integer-domain bundling — bit-identical to
+    // single-pass training on those 20).
+    let mut boot = OnlineLearner::new(dim)?;
+    let mut scratch = BitSliceAccumulator::new(dim);
+    for (image, &label) in train.images()[..20].iter().zip(&train.labels()[..20]) {
+        scratch.clear();
+        encoder.accumulate(image, &mut scratch)?;
+        boot.observe_sums(&scratch.bipolar_sums(), label)?;
+    }
+    let cold = boot.snapshot()?;
+    println!(
+        "cold start: {} of {} classes seen after 20 samples",
+        cold.classes(),
+        train.classes()
+    );
+
+    let config = ServeConfig::new(2, 16)
+        .with_mode(InferenceMode::IntegerBoth)
+        .with_snapshot_every(64);
+    let report = ServeEngine::serve(config, &encoder, cold, |engine| {
+        let accuracy = |engine: &ServeEngine<'_, UhdEncoder>| {
+            let responses = engine.classify_many(test.images())?;
+            let hits = responses
+                .iter()
+                .zip(test.labels())
+                .filter(|(r, &label)| r.class == label)
+                .count();
+            Ok::<_, uhd::serve::ServeError>(hits as f64 / test.len() as f64)
+        };
+
+        let acc_cold = accuracy(engine)?;
+
+        // Stream the labelled data through the online-learning API
+        // while the engine keeps serving: bundle every sample, then
+        // run a served-prediction feedback pass.
+        for (image, &label) in train.images().iter().zip(train.labels()) {
+            engine.learn(image.clone(), label)?;
+        }
+        engine.sync_learner();
+        let acc_bundled = accuracy(engine)?;
+
+        for (image, &label) in train.images().iter().zip(train.labels()) {
+            let response = engine.classify(image)?;
+            engine.feedback(image.clone(), response.class, label)?;
+        }
+        engine.sync_learner();
+        let acc_final = accuracy(engine)?;
+
+        Ok::<_, uhd::serve::ServeError>((
+            acc_cold,
+            acc_bundled,
+            acc_final,
+            engine.generation(),
+            engine.stats(),
+        ))
+    })?;
+    let (acc_cold, acc_bundled, acc_final, generation, stats) = report?;
+
+    println!(
+        "accuracy: cold {:.2} % -> bundled stream {:.2} % -> after feedback {:.2} %",
+        100.0 * acc_cold,
+        100.0 * acc_bundled,
+        100.0 * acc_final
+    );
+    println!(
+        "learning: {} samples submitted, {} applied ({} updates, {} corrections-rejected), \
+         {} snapshots hot-published (serving generation {generation})",
+        stats.learn_submitted,
+        stats.learn_consumed,
+        stats.learn_updates,
+        stats.learn_rejected,
+        stats.snapshots_published,
+    );
+    println!(
+        "serving:  {} requests in {} micro-batches (mean {:.1}, largest {})",
+        stats.completed,
+        stats.batches,
+        stats.mean_batch(),
+        stats.largest_batch,
+    );
+
+    assert_eq!(stats.learn_submitted, stats.learn_consumed);
+    assert!(stats.snapshots_published >= 1);
+    assert!(
+        acc_final > acc_cold,
+        "online learning must improve on the cold model"
+    );
+    Ok(())
+}

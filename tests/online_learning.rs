@@ -1,0 +1,216 @@
+//! Integration suite for the online-learning subsystem: a cold-start
+//! model converging while the engine serves traffic, runtime class
+//! admission mid-stream, and learner state surviving byte round-trips.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use uhd::core::encoder::uhd::{UhdConfig, UhdEncoder};
+use uhd::core::model::{HdcModel, InferenceMode};
+use uhd::core::{ImageEncoder, OnlineLearner};
+use uhd::datasets::synth::{generate, SynthSpec, SyntheticKind};
+use uhd::serve::{ServeConfig, ServeEngine};
+
+/// Acceptance: a cold model (bootstrapped from a handful of stream
+/// samples) is served by the engine while labelled feedback pours in;
+/// after automatic snapshot hot-swaps its accuracy strictly improves
+/// and crosses a fixed threshold, with the engine's learn counters
+/// reconciling and every concurrently served response well-formed.
+#[test]
+fn serve_while_learn_strictly_improves_accuracy() {
+    let dim = 1024u32;
+    let (train, test) =
+        generate(SynthSpec::new(SyntheticKind::Mnist, 500, 150, 42)).expect("generate");
+    let encoder = UhdEncoder::new(UhdConfig::new(dim, train.pixels())).unwrap();
+
+    // Cold start: the learner has only seen the first 20 samples of
+    // the stream — most classes are missing or undertrained.
+    let mut boot = OnlineLearner::new(dim).unwrap();
+    let mut scratch = uhd::core::BitSliceAccumulator::new(dim);
+    for (image, &label) in train.images()[..20].iter().zip(&train.labels()[..20]) {
+        scratch.clear();
+        encoder.accumulate(image, &mut scratch).unwrap();
+        boot.observe_sums(&scratch.bipolar_sums(), label).unwrap();
+    }
+    let cold = boot.snapshot().unwrap();
+    assert!(cold.classes() <= train.classes());
+
+    let config = ServeConfig::new(2, 8)
+        .with_mode(InferenceMode::IntegerBoth)
+        .with_snapshot_every(64);
+    let accuracy_threshold = 0.55;
+
+    ServeEngine::serve(config, &encoder, cold, |engine| {
+        let accuracy = || {
+            let responses = engine.classify_many(test.images()).unwrap();
+            let hits = responses
+                .iter()
+                .zip(test.labels())
+                .filter(|(r, &label)| r.class == label)
+                .count();
+            hits as f64 / test.len() as f64
+        };
+        let acc_cold = accuracy();
+
+        // Classify traffic hammers the engine for the whole learning
+        // phase; every answer must be well-formed no matter how many
+        // snapshots land mid-flight.
+        let stop = AtomicBool::new(false);
+        let classes = train.classes();
+        std::thread::scope(|scope| {
+            let stop = &stop;
+            let test = &test;
+            let prober = scope.spawn(move || {
+                let mut served = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for image in test.images().iter().take(16) {
+                        let response = engine.classify(image).expect("serving must not fail");
+                        assert!(response.class < classes);
+                        served += 1;
+                    }
+                }
+                served
+            });
+
+            // Phase 1: bundle the full labelled stream.
+            for (image, &label) in train.images().iter().zip(train.labels()) {
+                engine.learn(image.clone(), label).unwrap();
+            }
+            // Phase 2: a feedback pass driven by the engine's own
+            // (possibly stale-generation) predictions.
+            for (image, &label) in train.images().iter().zip(train.labels()) {
+                let response = engine.classify(image).unwrap();
+                engine
+                    .feedback(image.clone(), response.class, label)
+                    .unwrap();
+            }
+            engine.sync_learner();
+            stop.store(true, Ordering::Relaxed);
+            let served = prober.join().expect("prober panicked");
+            assert!(served > 0, "the concurrent classify load must have run");
+        });
+
+        let stats = engine.stats();
+        assert_eq!(stats.learn_submitted, 2 * train.len() as u64);
+        assert_eq!(
+            stats.learn_consumed, stats.learn_submitted,
+            "every accepted sample must be applied"
+        );
+        assert_eq!(stats.learn_rejected, 0);
+        assert!(
+            stats.snapshots_published >= 1,
+            "learning must have hot-published at least one snapshot"
+        );
+        assert!(engine.generation() >= 1);
+
+        let acc_warm = accuracy();
+        assert!(
+            acc_warm > acc_cold,
+            "serve-while-learn must strictly improve accuracy ({acc_cold} -> {acc_warm})"
+        );
+        assert!(
+            acc_warm >= accuracy_threshold,
+            "warm accuracy {acc_warm} below threshold {accuracy_threshold}"
+        );
+    })
+    .unwrap();
+}
+
+/// A label the initial model never saw admits a new class mid-stream:
+/// after the trainer's snapshot lands, the engine answers with the new
+/// class index.
+#[test]
+fn new_classes_are_admitted_mid_stream() {
+    const PIXELS: usize = 16;
+    let dim = 512u32;
+    let encoder = UhdEncoder::new(UhdConfig::new(dim, PIXELS)).unwrap();
+    let flat = |v: u8| vec![v; PIXELS];
+
+    // Two-class model: dark vs bright, bundled in the same integer
+    // domain the engine's trainer uses.
+    let mut boot = OnlineLearner::new(dim).unwrap();
+    let mut scratch = uhd::core::BitSliceAccumulator::new(dim);
+    let mut observe = |learner: &mut OnlineLearner, image: &[u8], label: usize| {
+        scratch.clear();
+        encoder.accumulate(image, &mut scratch).unwrap();
+        learner
+            .observe_sums(&scratch.bipolar_sums(), label)
+            .unwrap();
+    };
+    for i in 0..10u8 {
+        observe(&mut boot, &flat(15 + i), 0);
+        observe(&mut boot, &flat(230 + (i % 10)), 1);
+    }
+    let model = boot.snapshot().unwrap();
+    assert_eq!(model.classes(), 2);
+
+    let config = ServeConfig::new(2, 4).with_mode(InferenceMode::IntegerBoth);
+    ServeEngine::serve(config, &encoder, model, |engine| {
+        // Before learning, a mid-gray image can only land on 0 or 1.
+        let before = engine.classify(&flat(120)).unwrap();
+        assert!(before.class < 2);
+
+        // Stream a third class of mid-gray samples.
+        for i in 0..12u8 {
+            engine.learn(flat(114 + i), 2).unwrap();
+        }
+        engine.sync_learner();
+
+        let stats = engine.stats();
+        assert_eq!(stats.learn_consumed, 12);
+        assert!(stats.snapshots_published >= 1);
+        let after = engine.classify(&flat(120)).unwrap();
+        assert_eq!(after.class, 2, "the admitted class must win its own region");
+        assert!(after.generation >= 1);
+        // The old classes still answer correctly.
+        assert_eq!(engine.classify(&flat(18)).unwrap().class, 0);
+        assert_eq!(engine.classify(&flat(233)).unwrap().class, 1);
+    })
+    .unwrap();
+}
+
+/// Learner state survives checkpointing: snapshot → `to_bytes` →
+/// `from_bytes` → warm-started learner, then identical update streams
+/// applied to the original and the restored learner land on
+/// byte-identical models.
+#[test]
+fn learner_state_round_trips_through_bytes() {
+    let dim = 512u32;
+    let (train, _) = generate(SynthSpec::new(SyntheticKind::Mnist, 120, 10, 7)).expect("generate");
+    let encoder = UhdEncoder::new(UhdConfig::new(dim, train.pixels())).unwrap();
+    let encodings: Vec<_> = train
+        .images()
+        .iter()
+        .map(|img| encoder.encode(img).unwrap())
+        .collect();
+
+    // Build up some online state.
+    let mut original = OnlineLearner::new(dim).unwrap();
+    for (enc, &label) in encodings[..60].iter().zip(&train.labels()[..60]) {
+        original.observe(enc, label).unwrap();
+    }
+
+    // Checkpoint through the serialized model form.
+    let checkpoint = original.snapshot().unwrap();
+    let bytes = checkpoint.to_bytes();
+    let restored_model = HdcModel::from_bytes(&bytes).unwrap();
+    assert_eq!(restored_model.class_sums(), checkpoint.class_sums());
+    assert_eq!(
+        restored_model.class_hypervectors(),
+        checkpoint.class_hypervectors()
+    );
+    assert_eq!(bytes, restored_model.to_bytes(), "byte-stable round trip");
+
+    // Resume learning on both sides with the identical stream.
+    let mut restored = OnlineLearner::from_model(&restored_model);
+    for (enc, &label) in encodings[60..].iter().zip(&train.labels()[60..]) {
+        original.observe(enc, label).unwrap();
+        restored.observe(enc, label).unwrap();
+        let predicted = restored_model.classify_encoded(enc).unwrap().0;
+        original.feedback(enc, predicted, label).unwrap();
+        restored.feedback(enc, predicted, label).unwrap();
+    }
+    let a = original.snapshot().unwrap();
+    let b = restored.snapshot().unwrap();
+    assert_eq!(a.class_sums(), b.class_sums());
+    assert_eq!(a.class_hypervectors(), b.class_hypervectors());
+    assert_eq!(a.to_bytes(), b.to_bytes());
+}

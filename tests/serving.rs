@@ -149,6 +149,50 @@ fn hot_swap_under_concurrent_traffic_never_tears_the_model() {
     );
 }
 
+/// Tie-breaking parity: when two classes are exactly equally similar
+/// to the query, `similarity::classify`, `HdcModel::classify_encoded`
+/// and a standalone `AssociativeMemory` must all resolve to the same
+/// (lowest) class index with the same score — otherwise the bit-sliced
+/// fast path could silently diverge from the per-class scan on a tie.
+#[test]
+fn all_classify_paths_break_ties_toward_the_lowest_index() {
+    use uhd::core::Hypervector;
+    let dim = 128u32;
+    let sums_for = |hv: &Hypervector| -> Vec<i64> {
+        (0..dim).map(|i| if hv.bit(i) { 1 } else { -1 }).collect()
+    };
+    let check = |class_hvs: Vec<Hypervector>, query: &Hypervector| {
+        let model = HdcModel::from_class_sums(class_hvs.iter().map(&sums_for).collect(), dim)
+            .expect("±1 sums binarize back to the same hypervectors");
+        assert_eq!(model.class_hypervectors(), class_hvs.as_slice());
+        let scan = classify(query, model.class_hypervectors()).unwrap();
+        let encoded = model.classify_encoded(query).unwrap();
+        let external = AssociativeMemory::new(&class_hvs)
+            .unwrap()
+            .nearest(query)
+            .unwrap();
+        assert_eq!(scan, encoded, "scan vs classify_encoded diverged on a tie");
+        assert_eq!(
+            scan, external,
+            "scan vs AssociativeMemory diverged on a tie"
+        );
+        assert_eq!(scan.0, 0, "ties must resolve to the lowest class index");
+    };
+
+    // Exact duplicates: every class is at distance 0 from the query.
+    let ones = Hypervector::ones(dim);
+    check(vec![ones.clone(), ones.clone(), ones.clone()], &ones);
+
+    // A constructed tie between distinct classes: class 0 differs from
+    // the query in bit 0 only, class 1 in bit 1 only — both at Hamming
+    // distance 1 — plus a far-away decoy that must not matter.
+    let mut near_a = ones.clone();
+    near_a.set_bit(0, false);
+    let mut near_b = ones.clone();
+    near_b.set_bit(1, false);
+    check(vec![near_a, near_b, ones.negate()], &ones);
+}
+
 /// Tickets submitted before shutdown are all answered, and the engine's
 /// counters reconcile.
 #[test]
