@@ -36,11 +36,23 @@ cargo bench --no-run
 if [ "$smoke" -eq 1 ]; then
     # Tiny experiment sizes: exercise every binary end-to-end in seconds.
     export UHD_TRAIN_N=80 UHD_TEST_N=40 UHD_ITERS=2 UHD_BENCH_QUICK=1
+    # Pinned-scalar pass first: the fallback kernel must survive both
+    # emitters even on SIMD hardware. Running it before the main loop
+    # means the BENCH_*.json files left behind reflect the dispatched
+    # (auto-detected) kernel, not the forced fallback.
+    step "smoke: throughput + online (UHD_KERNEL=scalar)"
+    UHD_KERNEL=scalar cargo run --release -q -p uhd-bench --bin throughput > /dev/null
+    UHD_KERNEL=scalar cargo run --release -q -p uhd-bench --bin online > /dev/null
     for bin in table1 table2 table3 table4 table5 fig6 checkpoints ablation \
                throughput online; do
         step "smoke: $bin"
         cargo run --release -q -p uhd-bench --bin "$bin" > /dev/null
     done
+    # The two emitters above refreshed BENCH_throughput.json and
+    # BENCH_online.json in the repo root; a bench that panicked under
+    # the SIMD path or emitted malformed JSON fails here.
+    step "smoke: validate BENCH_*.json perf trajectory"
+    cargo run --release -q -p uhd-bench --bin validate_bench
     for ex in quickstart custom_encoder orthogonality_study hardware_report \
               signal_classification serving dynamic_learning; do
         step "smoke: example $ex"

@@ -1,11 +1,12 @@
 //! Online-learning interference: learn throughput vs classify latency
-//! when both streams hit the engine at once, emitted as JSON.
+//! when both streams hit the engine at once.
 //!
 //! Run: `cargo run --release -p uhd-bench --bin online`
 //!
 //! Three phases on the same trained model and workload:
 //!
-//! * `classify_only` — the serving baseline: the query stream alone;
+//! * `classify_only` — the serving baseline: the query stream alone,
+//!   with per-request p50/p99 latency;
 //! * `learn_only` — the labelled stream alone (submit + sync), i.e.
 //!   the trainer's peak ingest rate including snapshot publishes;
 //! * `mixed` — both streams concurrently: one client thread drives
@@ -14,29 +15,47 @@
 //!
 //! The interesting number is the classify-throughput ratio
 //! `mixed / classify_only`: how much serving capacity continuous
-//! learning costs. Honours `UHD_BENCH_QUICK=1` plus the usual
-//! `UHD_TRAIN_N` / `UHD_TEST_N` / `UHD_SEED` sizing.
+//! learning costs.
+//!
+//! The report goes to stdout *and* to `BENCH_online.json` in the
+//! repository root — the machine-attributed perf trajectory CI
+//! validates and developers refresh (see README). Honours
+//! `UHD_BENCH_QUICK` (`"0"`/empty/unset ⇒ full run) plus the usual
+//! `UHD_TRAIN_N` / `UHD_TEST_N` / `UHD_SEED` sizing and the
+//! `UHD_KERNEL` kernel override.
 
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
-use uhd_bench::{uhd_encoder, ExperimentConfig, Workbench};
+use uhd_bench::{env_flag, machine_json, uhd_encoder, ExperimentConfig, Latencies, Workbench};
 use uhd_core::encoder::uhd::UhdEncoder;
 use uhd_core::model::HdcModel;
 use uhd_datasets::synth::SyntheticKind;
 use uhd_serve::{ServeConfig, ServeEngine, StatsSnapshot};
 
-/// Phase 1: the query stream alone (images per second).
+/// Phase 1: the query stream alone — (images per second, per-request
+/// latency percentiles).
 fn classify_only(
     config: ServeConfig,
     encoder: &UhdEncoder,
     model: &HdcModel,
     query_stream: &[Vec<u8>],
-) -> f64 {
+    latency_n: usize,
+) -> (f64, Latencies) {
     ServeEngine::serve(config, encoder, model.clone(), |engine| {
         let t0 = Instant::now();
         let responses = engine.classify_many(query_stream).expect("serve");
         assert_eq!(responses.len(), query_stream.len());
-        query_stream.len() as f64 / t0.elapsed().as_secs_f64()
+        let ips = query_stream.len() as f64 / t0.elapsed().as_secs_f64();
+        // A second, request-at-a-time pass for the latency distribution
+        // (classify_many hides per-request wait behind batch pipelining).
+        let mut lat = Latencies::with_capacity(latency_n);
+        for image in query_stream.iter().take(latency_n) {
+            let t0 = Instant::now();
+            let _ = engine.classify(image).expect("classify");
+            lat.record(t0.elapsed());
+        }
+        (ips, lat)
     })
     .expect("engine start")
 }
@@ -116,7 +135,7 @@ fn mixed(
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
-    let quick = std::env::var("UHD_BENCH_QUICK").is_ok();
+    let quick = env_flag("UHD_BENCH_QUICK");
     let d = if quick { 512 } else { 2048 };
     let queries = if quick { 300 } else { 2000 };
     let learn_samples = if quick { 300 } else { 2000 };
@@ -151,32 +170,69 @@ fn main() {
 
     let shards = cfg.threads.clamp(1, 4);
     let config = ServeConfig::new(shards, 32).with_snapshot_every(64);
+    let latency_n = queries.min(if quick { 150 } else { 1000 });
 
-    let classify_only_ips = classify_only(config, &encoder, &model, &query_stream);
+    let (classify_only_ips, latencies) =
+        classify_only(config, &encoder, &model, &query_stream, latency_n);
     let (learn_only_sps, learn_only_stats) = learn_only(config, &encoder, &model, &learn_stream);
     let (mixed_classify_ips, mixed_learn_sps, mixed_stats) =
         mixed(config, &encoder, &model, &query_stream, &learn_stream);
     let interference = mixed_classify_ips / classify_only_ips;
 
-    // --- JSON report. ---
-    println!("{{");
-    println!(
+    // --- JSON report: stdout + BENCH_online.json in the repo root. ---
+    let mut doc = String::new();
+    let out = &mut doc;
+    writeln!(out, "{{").unwrap();
+    writeln!(out, "  \"bench\": \"online\",").unwrap();
+    writeln!(out, "  \"quick\": {quick},").unwrap();
+    writeln!(out, "  \"machine\": {},", machine_json()).unwrap();
+    writeln!(
+        out,
         "  \"workload\": {{\"dataset\": \"synthetic-mnist\", \"dim\": {d}, \"queries\": {queries}, \
          \"learn_samples\": {learn_samples}, \"shards\": {shards}, \"snapshot_every\": {}}},",
         config.snapshot_every
-    );
-    println!("  \"classify_only_images_per_sec\": {classify_only_ips:.1},");
-    println!("  \"learn_only_samples_per_sec\": {learn_only_sps:.1},");
-    println!(
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  \"classify_only_images_per_sec\": {classify_only_ips:.1},"
+    )
+    .unwrap();
+    writeln!(out, "  \"request_latency\": {},", latencies.json()).unwrap();
+    writeln!(
+        out,
+        "  \"learn_only_samples_per_sec\": {learn_only_sps:.1},"
+    )
+    .unwrap();
+    writeln!(
+        out,
         "  \"learn_only_snapshots_published\": {},",
         learn_only_stats.snapshots_published
-    );
-    println!("  \"mixed_classify_images_per_sec\": {mixed_classify_ips:.1},");
-    println!("  \"mixed_learn_samples_per_sec\": {mixed_learn_sps:.1},");
-    println!(
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  \"mixed_classify_images_per_sec\": {mixed_classify_ips:.1},"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  \"mixed_learn_samples_per_sec\": {mixed_learn_sps:.1},"
+    )
+    .unwrap();
+    writeln!(
+        out,
         "  \"mixed_snapshots_published\": {},",
         mixed_stats.snapshots_published
-    );
-    println!("  \"classify_throughput_ratio_under_learning\": {interference:.3}");
-    println!("}}");
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  \"classify_throughput_ratio_under_learning\": {interference:.3}"
+    )
+    .unwrap();
+    writeln!(out, "}}").unwrap();
+
+    print!("{doc}");
+    uhd_bench::write_bench_json("BENCH_online.json", &doc);
 }

@@ -1,0 +1,94 @@
+//! CI gate for the perf trajectory: parse `BENCH_throughput.json` and
+//! `BENCH_online.json` from the repository root and fail (non-zero
+//! exit) unless both are well-formed and carry every required key.
+//!
+//! Run: `cargo run --release -p uhd-bench --bin validate_bench`
+//!
+//! `ci.sh --smoke` runs the two emitting binaries under
+//! `UHD_BENCH_QUICK=1` and then this validator, so a bench that panics
+//! under the SIMD path or emits a malformed document breaks the build
+//! instead of silently rotting the trajectory.
+
+use uhd_bench::json::{parse, Json};
+
+/// Keys every trajectory file must carry at the top level.
+const COMMON_KEYS: &[&str] = &["bench", "quick", "machine", "workload", "request_latency"];
+
+const THROUGHPUT_KEYS: &[&str] = &[
+    "serial_classify_images_per_sec",
+    "serial_binarized_images_per_sec",
+    "sweep",
+    "best",
+    "am_kernel",
+];
+
+const ONLINE_KEYS: &[&str] = &[
+    "classify_only_images_per_sec",
+    "learn_only_samples_per_sec",
+    "mixed_classify_images_per_sec",
+    "mixed_learn_samples_per_sec",
+    "classify_throughput_ratio_under_learning",
+];
+
+fn check_file(file_name: &str, extra_keys: &[&str], errors: &mut Vec<String>) {
+    let path = uhd_bench::repo_root().join(file_name);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            errors.push(format!("{file_name}: cannot read {}: {e}", path.display()));
+            return;
+        }
+    };
+    let doc = match parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            errors.push(format!("{file_name}: malformed JSON: {e}"));
+            return;
+        }
+    };
+    for &key in COMMON_KEYS.iter().chain(extra_keys) {
+        if doc.get(key).is_none() {
+            errors.push(format!("{file_name}: missing required key \"{key}\""));
+        }
+    }
+    // The machine block must attribute the numbers to a kernel this
+    // build actually knows about.
+    let kernel = doc
+        .get("machine")
+        .and_then(|m| m.get("kernel"))
+        .and_then(Json::as_str);
+    match kernel {
+        Some(name) if uhd_core::kernels::Kernel::from_name(name).is_some() => {}
+        Some(name) => errors.push(format!(
+            "{file_name}: machine.kernel {name:?} is not an available kernel"
+        )),
+        None => errors.push(format!(
+            "{file_name}: machine.kernel missing or not a string"
+        )),
+    }
+    // Latency percentiles must be present, numeric, and ordered.
+    let lat = doc.get("request_latency");
+    let p50 = lat.and_then(|l| l.get("p50_us")).and_then(Json::as_f64);
+    let p99 = lat.and_then(|l| l.get("p99_us")).and_then(Json::as_f64);
+    match (p50, p99) {
+        (Some(p50), Some(p99)) if p50 > 0.0 && p99 >= p50 => {}
+        _ => errors.push(format!(
+            "{file_name}: request_latency must carry numeric p50_us/p99_us with 0 < p50 <= p99 \
+             (got p50={p50:?}, p99={p99:?})"
+        )),
+    }
+}
+
+fn main() {
+    let mut errors = Vec::new();
+    check_file("BENCH_throughput.json", THROUGHPUT_KEYS, &mut errors);
+    check_file("BENCH_online.json", ONLINE_KEYS, &mut errors);
+    if errors.is_empty() {
+        println!("BENCH_throughput.json and BENCH_online.json are well-formed");
+    } else {
+        for error in &errors {
+            eprintln!("validate_bench: {error}");
+        }
+        std::process::exit(1);
+    }
+}

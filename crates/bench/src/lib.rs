@@ -8,6 +8,11 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod report;
+
+pub use report::{env_flag, machine_json, repo_root, write_bench_json, Latencies};
+
 use uhd_core::encoder::baseline::{BaselineConfig, BaselineEncoder};
 use uhd_core::encoder::uhd::{UhdConfig, UhdEncoder};
 use uhd_core::model::{HdcModel, InferenceMode, LabelledImages};

@@ -1,0 +1,179 @@
+//! Shared reporting plumbing for the bench binaries: environment-flag
+//! parsing, machine/kernel provenance, latency percentiles, and the
+//! `BENCH_*.json` perf-trajectory files in the repository root.
+
+use std::path::PathBuf;
+use std::time::Duration;
+use uhd_core::kernels::Kernel;
+
+/// Read a boolean `UHD_*` environment knob.
+///
+/// The rule, applied uniformly across every knob: the flag is ON only
+/// when the variable is set to a non-empty value other than `"0"`.
+/// `"0"`, the empty string, and unset all mean OFF — so
+/// `UHD_BENCH_QUICK=0 cargo run …` really does run the full protocol.
+/// (Valued knobs like `UHD_KERNEL` or `UHD_TRAIN_N` parse their value
+/// instead; this helper is only for on/off switches.)
+#[must_use]
+pub fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The JSON object describing the machine and kernel a bench ran on.
+///
+/// Every `BENCH_*.json` carries this under the `"machine"` key so a
+/// perf trajectory is attributable: numbers from an AVX-512 box and a
+/// scalar-fallback box are different experiments, not noise.
+#[must_use]
+pub fn machine_json() -> String {
+    let kernels: Vec<String> = Kernel::available()
+        .iter()
+        .map(|k| format!("\"{}\"", k.name()))
+        .collect();
+    format!(
+        "{{\"arch\": \"{arch}\", \"os\": \"{os}\", \"hw_threads\": {threads}, \
+         \"kernel\": \"{kernel}\", \"kernels_available\": [{kernels}]}}",
+        arch = std::env::consts::ARCH,
+        os = std::env::consts::OS,
+        threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        kernel = Kernel::active().name(),
+        kernels = kernels.join(", "),
+    )
+}
+
+/// Per-request latency samples with percentile readout.
+#[derive(Debug, Default)]
+pub struct Latencies {
+    micros: Vec<f64>,
+}
+
+impl Latencies {
+    /// An empty sample set with room for `n` observations.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Latencies {
+            micros: Vec::with_capacity(n),
+        }
+    }
+
+    /// Record one request's wall-clock duration.
+    pub fn record(&mut self, elapsed: Duration) {
+        self.micros.push(elapsed.as_secs_f64() * 1e6);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.micros.len()
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.micros.is_empty()
+    }
+
+    /// The `p`-th percentile (0–100) in microseconds, by the
+    /// nearest-rank method; 0.0 when empty.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.micros.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.micros.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// `{"p50_us": …, "p99_us": …, "samples": …}` for the report.
+    #[must_use]
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"p50_us\": {:.1}, \"p99_us\": {:.1}, \"samples\": {}}}",
+            self.percentile(50.0),
+            self.percentile(99.0),
+            self.len()
+        )
+    }
+}
+
+/// The repository root, resolved from this crate's manifest directory
+/// (`crates/bench` → two levels up). Bench binaries always run from
+/// the workspace via cargo, so the manifest path is authoritative
+/// regardless of the process's working directory.
+#[must_use]
+pub fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+/// Write a `BENCH_*.json` perf-trajectory file into the repository
+/// root and note the destination on stderr (stdout carries the JSON
+/// document itself).
+///
+/// # Panics
+///
+/// Panics when the file cannot be written — in a bench binary a
+/// missing trajectory is a failed run, not a warning.
+pub fn write_bench_json(file_name: &str, contents: &str) {
+    let path = repo_root().join(file_name);
+    std::fs::write(&path, contents).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_flag_follows_the_knob_rule() {
+        // Process-global env: use a name no other test touches.
+        let name = "UHD_TEST_FLAG_KNOB_RULE";
+        std::env::remove_var(name);
+        assert!(!env_flag(name), "unset is off");
+        std::env::set_var(name, "0");
+        assert!(!env_flag(name), "\"0\" is off");
+        std::env::set_var(name, "");
+        assert!(!env_flag(name), "empty is off");
+        std::env::set_var(name, "1");
+        assert!(env_flag(name), "\"1\" is on");
+        std::env::set_var(name, "yes");
+        assert!(env_flag(name), "any other value is on");
+        std::env::remove_var(name);
+    }
+
+    #[test]
+    fn machine_json_parses_and_names_the_active_kernel() {
+        let parsed = crate::json::parse(&machine_json()).unwrap();
+        assert_eq!(
+            parsed.get("kernel").and_then(crate::json::Json::as_str),
+            Some(Kernel::active().name())
+        );
+        assert!(parsed.get("hw_threads").unwrap().as_f64().unwrap() >= 1.0);
+        let avail = parsed.get("kernels_available").unwrap().as_arr().unwrap();
+        assert!(avail
+            .iter()
+            .any(|k| k.as_str() == Some(Kernel::scalar().name())));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut lat = Latencies::with_capacity(4);
+        assert_eq!(lat.percentile(50.0), 0.0);
+        for us in [100.0, 200.0, 300.0, 400.0] {
+            lat.record(Duration::from_secs_f64(us / 1e6));
+        }
+        assert!((lat.percentile(50.0) - 200.0).abs() < 1.0);
+        assert!((lat.percentile(99.0) - 400.0).abs() < 1.0);
+        assert!((lat.percentile(0.0) - 100.0).abs() < 1.0);
+        let parsed = crate::json::parse(&lat.json()).unwrap();
+        assert_eq!(parsed.get("samples").unwrap().as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn repo_root_contains_the_workspace_manifest() {
+        assert!(repo_root().join("Cargo.toml").exists());
+    }
+}

@@ -19,6 +19,7 @@
 
 use crate::error::HdcError;
 use crate::hypervector::{words_for_dim, Hypervector};
+use crate::kernels::Kernel;
 
 /// Reference accumulator: one saturating-free `i64` counter per dimension.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,9 +68,21 @@ impl DenseAccumulator {
             words_for_dim(self.dim),
             "mask word count mismatch"
         );
-        for i in 0..self.dim {
-            if (words[(i / 64) as usize] >> (i % 64)) & 1 == 1 {
-                self.counts[i as usize] += 1;
+        // Walk set bits word-at-a-time instead of testing all D bits.
+        // Stray bits past `dim` in the last word are ignored, matching
+        // the old per-dimension loop.
+        let rem = self.dim % 64;
+        let last = words.len() - 1;
+        for (wi, &word) in words.iter().enumerate() {
+            let mut m = if wi == last && rem != 0 {
+                word & ((1u64 << rem) - 1)
+            } else {
+                word
+            };
+            while m != 0 {
+                let bit = m.trailing_zeros() as usize;
+                self.counts[wi * 64 + bit] += 1;
+                m &= m - 1;
             }
         }
         self.total += 1;
@@ -109,14 +122,21 @@ impl DenseAccumulator {
     /// Binarize: +1 where the bipolar sum is ≥ 0 (count ≥ total/2).
     #[must_use]
     pub fn binarize(&self) -> Hypervector {
-        let mut hv = Hypervector::neg_ones(self.dim);
-        for i in 0..self.dim {
-            if 2 * self.counts[i as usize] >= self.total as i64 {
-                hv.set_bit(i, true);
-            }
-        }
-        hv
+        pack_threshold(&self.counts, self.dim, |&c| 2 * c >= self.total as i64)
     }
+}
+
+/// Pack `predicate(count)` per dimension into a hypervector, building
+/// whole words instead of `set_bit` (and its per-dimension bounds
+/// assert) — the shared binarization tail of both accumulators.
+fn pack_threshold<T>(counts: &[T], dim: u32, predicate: impl Fn(&T) -> bool) -> Hypervector {
+    let mut words = vec![0u64; words_for_dim(dim)];
+    for (i, c) in counts.iter().enumerate() {
+        if predicate(c) {
+            words[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+    Hypervector::from_words(words, dim).expect("counts length matches dim by construction")
 }
 
 /// Carry-save bit-sliced accumulator.
@@ -144,6 +164,9 @@ impl DenseAccumulator {
 pub struct BitSliceAccumulator {
     /// planes[k] is the k-th bit plane, one `Vec<u64>` over word columns.
     planes: Vec<Vec<u64>>,
+    /// Reusable carry buffer for the kernel-routed ripple, so the hot
+    /// bundling loop stays allocation-free.
+    scratch: Vec<u64>,
     dim: u32,
     total: u64,
 }
@@ -159,6 +182,7 @@ impl BitSliceAccumulator {
         assert!(dim > 0, "accumulator dimension must be nonzero");
         BitSliceAccumulator {
             planes: vec![vec![0u64; words_for_dim(dim)]],
+            scratch: Vec::new(),
             dim,
             total: 0,
         }
@@ -185,27 +209,41 @@ impl BitSliceAccumulator {
     /// Add one packed mask: every dimension whose mask bit is 1 is
     /// incremented.
     ///
+    /// The ripple runs whole-plane through the dispatched
+    /// [`Kernel::carry_save_step`] (SIMD where available) instead of
+    /// bit-serial per column; on average the carry dies after ~2
+    /// planes, so the cost stays O(D/64) amortized word operations.
+    ///
     /// # Panics
     ///
     /// Panics if `words.len() != words_for_dim(dim)`.
     pub fn add_mask(&mut self, words: &[u64]) {
         let wc = words_for_dim(self.dim);
         assert_eq!(words.len(), wc, "mask word count mismatch");
-        for (col, &word) in words.iter().enumerate() {
-            let mut carry = word;
-            let mut k = 0;
-            while carry != 0 {
-                if k == self.planes.len() {
-                    self.planes.push(vec![0u64; wc]);
-                }
-                let plane = &mut self.planes[k][col];
-                let t = *plane & carry;
-                *plane ^= carry;
-                carry = t;
-                k += 1;
+        self.scratch.clear();
+        self.scratch.extend_from_slice(words);
+        Self::ripple_in(&mut self.planes, &mut self.scratch, 0, wc);
+        self.total += 1;
+    }
+
+    /// Ripple the carry in `scratch` into the planes starting at weight
+    /// `start`, growing planes on demand.
+    fn ripple_in(planes: &mut Vec<Vec<u64>>, scratch: &mut [u64], start: usize, wc: usize) {
+        if scratch.iter().all(|&w| w == 0) {
+            return;
+        }
+        let kernel = Kernel::active();
+        let mut k = start;
+        loop {
+            while planes.len() <= k {
+                planes.push(vec![0u64; wc]);
+            }
+            let settled = kernel.carry_save_step(&mut planes[k], scratch);
+            k += 1;
+            if settled {
+                break;
             }
         }
-        self.total += 1;
     }
 
     /// Merge another accumulator's counts into this one.
@@ -223,20 +261,9 @@ impl BitSliceAccumulator {
         // Ripple-add every plane of `other` at its weight.
         let wc = words_for_dim(self.dim);
         for (weight, plane) in other.planes.iter().enumerate() {
-            for (col, &plane_word) in plane.iter().enumerate() {
-                let mut carry = plane_word;
-                let mut k = weight;
-                while carry != 0 {
-                    while self.planes.len() <= k {
-                        self.planes.push(vec![0u64; wc]);
-                    }
-                    let p = &mut self.planes[k][col];
-                    let t = *p & carry;
-                    *p ^= carry;
-                    carry = t;
-                    k += 1;
-                }
-            }
+            self.scratch.clear();
+            self.scratch.extend_from_slice(plane);
+            Self::ripple_in(&mut self.planes, &mut self.scratch, weight, wc);
         }
         self.total += other.total;
         Ok(())
@@ -263,14 +290,7 @@ impl BitSliceAccumulator {
     /// per image with `H`.
     #[must_use]
     pub fn binarize_with_total(&self, total: u64) -> Hypervector {
-        let counts = self.counts();
-        let mut hv = Hypervector::neg_ones(self.dim);
-        for (i, &c) in counts.iter().enumerate() {
-            if 2 * c >= total {
-                hv.set_bit(i as u32, true);
-            }
-        }
-        hv
+        pack_threshold(&self.counts(), self.dim, |&c| 2 * c >= total)
     }
 
     /// Binarize against the number of masks actually added.

@@ -28,6 +28,7 @@
 
 use crate::error::HdcError;
 use crate::hypervector::{words_for_dim, Hypervector};
+use crate::kernels::Kernel;
 use crate::model::HdcModel;
 
 /// A plane-transposed (bit-sliced) store of class hypervectors
@@ -116,26 +117,40 @@ impl AssociativeMemory {
 
     /// Hamming distance from `query` to every class, written into `out`
     /// (resized to `classes`). Allocation-free after the first call
-    /// when `out` is reused.
+    /// when `out` is reused. Runs through the process-wide dispatched
+    /// [`Kernel`] (see [`crate::kernels`]): one cache-blocked
+    /// XOR+popcount sweep over the word-major planes.
     ///
     /// # Errors
     ///
     /// [`HdcError::DimensionMismatch`] if the query dimension differs.
     pub fn hamming_to_all(&self, query: &Hypervector, out: &mut Vec<u32>) -> Result<(), HdcError> {
+        self.hamming_to_all_with(Kernel::active(), query, out)
+    }
+
+    /// [`AssociativeMemory::hamming_to_all`] under an explicit kernel —
+    /// lets benches and equivalence tests pin the scalar fallback (or
+    /// any available SIMD path) instead of the auto-detected one.
+    ///
+    /// # Errors
+    ///
+    /// [`HdcError::DimensionMismatch`] if the query dimension differs.
+    pub fn hamming_to_all_with(
+        &self,
+        kernel: Kernel,
+        query: &Hypervector,
+        out: &mut Vec<u32>,
+    ) -> Result<(), HdcError> {
         if query.dim() != self.dim {
             return Err(HdcError::DimensionMismatch {
                 left: self.dim,
                 right: query.dim(),
             });
         }
+        debug_assert!(query.tail_is_clear(), "tail-mask invariant violated");
         out.clear();
         out.resize(self.classes, 0);
-        for (w, &qw) in query.words().iter().enumerate() {
-            let plane = &self.slices[w * self.classes..(w + 1) * self.classes];
-            for (dist, &cw) in out.iter_mut().zip(plane) {
-                *dist += (cw ^ qw).count_ones();
-            }
-        }
+        kernel.hamming_to_all(&self.slices, self.classes, query.words(), out);
         Ok(())
     }
 
@@ -222,6 +237,29 @@ mod tests {
             let fast = memory.nearest(&query).unwrap();
             let slow = classify(&query, &classes).unwrap();
             assert_eq!(fast, slow, "argmax and score must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn every_available_kernel_agrees_on_the_sweep() {
+        // Dimensions straddling the SIMD chunk widths (D % 256 ≠ 0)
+        // exercise every masked-tail remainder path.
+        for dim in [1u32, 63, 64, 65, 255, 256, 257, 777] {
+            let classes = random_classes(11, dim, u64::from(dim) ^ 0x5eed);
+            let memory = AssociativeMemory::new(&classes).unwrap();
+            let mut rng = Xoshiro256StarStar::seeded(u64::from(dim));
+            let query = Hypervector::random(dim, &mut rng);
+            let mut reference = Vec::new();
+            memory
+                .hamming_to_all_with(Kernel::scalar(), &query, &mut reference)
+                .unwrap();
+            for kernel in Kernel::available() {
+                let mut out = Vec::new();
+                memory
+                    .hamming_to_all_with(kernel, &query, &mut out)
+                    .unwrap();
+                assert_eq!(out, reference, "kernel {} at dim {dim}", kernel.name());
+            }
         }
     }
 

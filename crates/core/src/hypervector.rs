@@ -6,6 +6,7 @@
 //! reduce to popcounts — the same identities the paper's hardware uses.
 
 use crate::error::HdcError;
+use crate::kernels::Kernel;
 use uhd_lowdisc::rng::UniformSource;
 
 /// A packed bipolar hypervector of dimension D.
@@ -77,13 +78,25 @@ impl Hypervector {
     ///
     /// Panics if `dim == 0`.
     pub fn random<S: UniformSource + ?Sized>(dim: u32, source: &mut S) -> Self {
-        let mut hv = Self::neg_ones(dim);
+        assert!(dim > 0, "hypervector dimension must be nonzero");
+        // Build whole words instead of `set_bit` per dimension (which
+        // re-runs a bounds assert D times); the draw order is identical,
+        // so the result is bit-for-bit the same as the per-bit loop.
+        let mut words = Vec::with_capacity(words_for_dim(dim));
+        let mut word = 0u64;
         for i in 0..dim {
             if source.next_unit() <= 0.5 {
-                hv.set_bit(i, true);
+                word |= 1u64 << (i % 64);
+            }
+            if i % 64 == 63 {
+                words.push(word);
+                word = 0;
             }
         }
-        hv
+        if !dim.is_multiple_of(64) {
+            words.push(word);
+        }
+        Hypervector { words, dim }
     }
 
     /// Build from packed words (little-endian bit order).
@@ -116,6 +129,19 @@ impl Hypervector {
                 *last &= (1u64 << rem) - 1;
             }
         }
+    }
+
+    /// Invariant check: bits at positions ≥ `dim` in the last word are
+    /// all zero. Every constructor and mutator maintains this, so the
+    /// packed kernels ([`Self::hamming_distance`], [`Self::dot`],
+    /// [`crate::assoc::AssociativeMemory`]) can count raw words without
+    /// re-masking. Exposed (hidden) so integration property tests can
+    /// assert no public API ever produces set tail bits.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn tail_is_clear(&self) -> bool {
+        let rem = self.dim % 64;
+        rem == 0 || self.words.last().is_none_or(|w| w >> rem == 0)
     }
 
     /// Dimension D.
@@ -167,7 +193,8 @@ impl Hypervector {
     /// Number of +1 dimensions.
     #[must_use]
     pub fn count_plus_ones(&self) -> u32 {
-        self.words.iter().map(|w| w.count_ones()).sum()
+        debug_assert!(self.tail_is_clear(), "tail-mask invariant violated");
+        Kernel::active().popcount(&self.words) as u32
     }
 
     /// Bind (element-wise multiply) with another hypervector.
@@ -214,24 +241,12 @@ impl Hypervector {
     ///
     /// [`HdcError::DimensionMismatch`] if dimensions differ.
     pub fn dot(&self, other: &Self) -> Result<i64, HdcError> {
-        self.check_dim(other)?;
-        let agreements: u32 = self
-            .words
-            .iter()
-            .zip(&other.words)
-            .enumerate()
-            .map(|(i, (a, b))| {
-                let mut xnor = !(a ^ b);
-                if i == self.words.len() - 1 {
-                    let rem = self.dim % 64;
-                    if rem != 0 {
-                        xnor &= (1u64 << rem) - 1;
-                    }
-                }
-                xnor.count_ones()
-            })
-            .sum();
-        Ok(2 * i64::from(agreements) - i64::from(self.dim))
+        // `dot = 2·agreements − D = D − 2·hamming`: one XOR+popcount
+        // pass through the dispatched kernel. The tail-mask invariant
+        // (enforced by every constructor/mutator, see
+        // [`Self::tail_is_clear`]) makes per-call re-masking redundant.
+        let h = self.hamming_distance(other)?;
+        Ok(i64::from(self.dim) - 2 * i64::from(h))
     }
 
     /// Hamming distance (number of differing dimensions).
@@ -243,9 +258,11 @@ impl Hypervector {
         self.hamming_distance(other)
     }
 
-    /// Packed fast path for the Hamming distance: XOR + `count_ones`
-    /// over the `u64` words, unrolled four words at a time so the
-    /// popcounts pipeline. This is the kernel behind [`Self::hamming`],
+    /// Packed fast path for the Hamming distance: XOR + popcount over
+    /// the `u64` words through the runtime-dispatched
+    /// [`Kernel`](crate::kernels::Kernel) (AVX-512/AVX2/NEON when the
+    /// CPU has them, a 4-wide unrolled scalar loop otherwise). This is
+    /// the kernel behind [`Self::hamming`], [`Self::dot`],
     /// [`crate::similarity::hamming_similarity`] and the bit-sliced
     /// associative memory's per-plane scan.
     ///
@@ -254,23 +271,19 @@ impl Hypervector {
     /// [`HdcError::DimensionMismatch`] if dimensions differ.
     pub fn hamming_distance(&self, other: &Self) -> Result<u32, HdcError> {
         self.check_dim(other)?;
-        let mut a4 = self.words.chunks_exact(4);
-        let mut b4 = other.words.chunks_exact(4);
-        let mut total = 0u32;
-        for (a, b) in (&mut a4).zip(&mut b4) {
-            total += (a[0] ^ b[0]).count_ones()
-                + (a[1] ^ b[1]).count_ones()
-                + (a[2] ^ b[2]).count_ones()
-                + (a[3] ^ b[3]).count_ones();
-        }
-        for (a, b) in a4.remainder().iter().zip(b4.remainder()) {
-            total += (a ^ b).count_ones();
-        }
-        Ok(total)
+        debug_assert!(
+            self.tail_is_clear() && other.tail_is_clear(),
+            "tail-mask invariant violated"
+        );
+        Ok(Kernel::active().xor_popcount(&self.words, &other.words) as u32)
     }
 
     /// Circular shift of dimensions by `k` positions (the *permutation*
     /// operation of HDC algebra, useful for sequence encoding).
+    ///
+    /// Runs word-at-a-time — two word-aligned shifts with bit carry,
+    /// `O(D/64)` — instead of the per-bit get/set loop (which re-ran a
+    /// bounds assert for every dimension).
     #[must_use]
     pub fn rotate(&self, k: u32) -> Self {
         let d = self.dim;
@@ -278,13 +291,42 @@ impl Hypervector {
         if k == 0 {
             return self.clone();
         }
-        let mut out = Self::neg_ones(d);
-        for i in 0..d {
-            if self.bit(i) {
-                out.set_bit((i + k) % d, true);
-            }
-        }
+        // out = ((x << k) | (x >> (d − k))) mod 2^d, word-level: bit i
+        // of x lands at (i + k) mod d.
+        let mut words = vec![0u64; self.words.len()];
+        Self::shl_or_into(&mut words, &self.words, k);
+        Self::shr_or_into(&mut words, &self.words, d - k);
+        let mut out = Hypervector { words, dim: d };
+        out.mask_tail();
         out
+    }
+
+    /// OR `x << s` (as one big little-endian integer) into `out`.
+    fn shl_or_into(out: &mut [u64], x: &[u64], s: u32) {
+        let ws = (s / 64) as usize;
+        let bs = s % 64;
+        for w in ws..out.len() {
+            let mut v = x[w - ws] << bs;
+            if bs != 0 && w > ws {
+                v |= x[w - ws - 1] >> (64 - bs);
+            }
+            out[w] |= v;
+        }
+    }
+
+    /// OR `x >> s` into `out`. Relies on the tail-mask invariant: bits
+    /// past `dim` in the last word of `x` are zero, so nothing bogus
+    /// shifts down into range.
+    fn shr_or_into(out: &mut [u64], x: &[u64], s: u32) {
+        let ws = (s / 64) as usize;
+        let bs = s % 64;
+        for w in 0..out.len().saturating_sub(ws) {
+            let mut v = x[w + ws] >> bs;
+            if bs != 0 && w + ws + 1 < x.len() {
+                v |= x[w + ws + 1] << (64 - bs);
+            }
+            out[w] |= v;
+        }
     }
 
     fn check_dim(&self, other: &Self) -> Result<(), HdcError> {
@@ -394,6 +436,74 @@ mod tests {
         let n = a.negate();
         assert_eq!(a.dot(&n).unwrap(), -100);
         assert_eq!(n.negate(), a);
+    }
+
+    /// The pre-kernel O(D) reference rotation: per-bit get/set.
+    fn rotate_naive(hv: &Hypervector, k: u32) -> Hypervector {
+        let d = hv.dim();
+        let k = k % d;
+        let mut out = Hypervector::neg_ones(d);
+        for i in 0..d {
+            if hv.bit(i) {
+                out.set_bit((i + k) % d, true);
+            }
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+        /// Word-level rotation equals the per-bit reference for every
+        /// dimension (including d % 64 ≠ 0 tails) and shift.
+        #[test]
+        fn prop_rotate_equals_naive(
+            dim in 1u32..400,
+            k in 0u32..1000,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = Xoshiro256StarStar::seeded(seed);
+            let hv = Hypervector::random(dim, &mut rng);
+            let fast = hv.rotate(k);
+            prop_assert_eq!(&fast, &rotate_naive(&hv, k));
+            prop_assert!(fast.tail_is_clear());
+        }
+
+        /// No public constructor or operator ever produces set tail
+        /// bits — the invariant the packed kernels rely on instead of
+        /// per-call re-masking.
+        #[test]
+        fn prop_public_api_upholds_tail_invariant(
+            dim in 1u32..300,
+            k in 0u32..512,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = Xoshiro256StarStar::seeded(seed);
+            let a = Hypervector::random(dim, &mut rng);
+            let b = Hypervector::random(dim, &mut rng);
+            prop_assert!(a.tail_is_clear() && b.tail_is_clear());
+            prop_assert!(Hypervector::ones(dim).tail_is_clear());
+            prop_assert!(Hypervector::neg_ones(dim).tail_is_clear());
+            prop_assert!(a.bind(&b).unwrap().tail_is_clear());
+            prop_assert!(a.negate().tail_is_clear());
+            prop_assert!(a.rotate(k).tail_is_clear());
+            let from = Hypervector::from_words(vec![u64::MAX; words_for_dim(dim)], dim).unwrap();
+            prop_assert!(from.tail_is_clear());
+            let mut c = a.clone();
+            c.set_bit(dim - 1, true);
+            c.set_bit(dim / 2, false);
+            prop_assert!(c.tail_is_clear());
+        }
+    }
+
+    #[test]
+    fn rotate_matches_naive_at_word_boundaries() {
+        let mut rng = Xoshiro256StarStar::seeded(12);
+        for dim in [64u32, 65, 127, 128, 129, 192, 256] {
+            let hv = Hypervector::random(dim, &mut rng);
+            for k in [0, 1, 63, 64, 65, dim - 1, dim, dim + 7] {
+                assert_eq!(hv.rotate(k), rotate_naive(&hv, k), "dim {dim} k {k}");
+            }
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod assoc;
 pub mod encoder;
 pub mod error;
 pub mod hypervector;
+pub mod kernels;
 pub mod model;
 pub mod online;
 pub mod orthogonality;
@@ -46,5 +47,6 @@ pub use encoder::uhd::{LdFamily, UhdConfig, UhdEncoder, UhdExactEncoder};
 pub use encoder::{EncoderProfile, ImageEncoder};
 pub use error::HdcError;
 pub use hypervector::Hypervector;
+pub use kernels::Kernel;
 pub use model::{HdcModel, InferenceMode, LabelledImages};
 pub use online::OnlineLearner;

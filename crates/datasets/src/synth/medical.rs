@@ -22,7 +22,7 @@ pub fn render_blood(class: usize, size: usize, rng: &mut Xoshiro256StarStar) -> 
     let cell_r = (0.16 + 0.018 * class as f32) * s;
     let nuclei = 1 + class % 3; // 1..3 lobes
     let lobed = class >= 4;
-    let granularity = if class % 2 == 0 { 0.10 } else { 0.03 };
+    let granularity = if class.is_multiple_of(2) { 0.10 } else { 0.03 };
 
     let cx = s * 0.5 + rng.next_range(-2.0, 2.0) as f32;
     let cy = s * 0.5 + rng.next_range(-2.0, 2.0) as f32;

@@ -158,7 +158,7 @@ pub fn lfsr_circuit(w: usize, taps: u32, library: CellLibrary) -> Circuit {
 /// power-of-two feature counts.
 #[must_use]
 pub fn masking_binarizer(h: usize, library: CellLibrary) -> Circuit {
-    assert!(h >= 2 && h % 2 == 0, "H must be even and >= 2");
+    assert!(h >= 2 && h.is_multiple_of(2), "H must be even and >= 2");
     let tob = h / 2;
     assert!(
         tob.is_power_of_two(),
@@ -199,7 +199,7 @@ pub fn masking_binarizer(h: usize, library: CellLibrary) -> Circuit {
 /// Inputs: one bit per cycle. Outputs: `[decision]` (count ≥ TOB).
 #[must_use]
 pub fn comparator_binarizer(h: usize, library: CellLibrary) -> Circuit {
-    assert!(h >= 2 && h % 2 == 0, "H must be even and >= 2");
+    assert!(h >= 2 && h.is_multiple_of(2), "H must be even and >= 2");
     let tob = h / 2;
     let bits = (usize::BITS - h.leading_zeros()) as usize;
     let mut b = CircuitBuilder::new(1);

@@ -59,6 +59,7 @@ impl EngineStats {
 
     pub(crate) fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
+            kernel: uhd_core::kernels::Kernel::active().name(),
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
@@ -76,6 +77,12 @@ impl EngineStats {
 /// A point-in-time view of the engine counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StatsSnapshot {
+    /// Name of the popcount/distance kernel the inference hot path
+    /// dispatches to (`"scalar"`, `"avx2"`, `"avx512"`, `"neon"` — see
+    /// `uhd_core::kernels`). Process-wide, recorded here so serving
+    /// telemetry and `BENCH_*.json` trajectories are attributable to
+    /// the instruction set actually used.
+    pub kernel: &'static str,
     /// Requests accepted by [`crate::ServeEngine::submit`].
     pub submitted: u64,
     /// Requests answered by a worker shard.
@@ -134,6 +141,7 @@ mod tests {
         stats.record_learn_rejected();
         stats.record_snapshot();
         let snap = stats.snapshot();
+        assert_eq!(snap.kernel, uhd_core::kernels::Kernel::active().name());
         assert_eq!(snap.submitted, 2);
         assert_eq!(snap.completed, 2);
         assert_eq!(snap.batches, 1);

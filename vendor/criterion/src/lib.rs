@@ -23,8 +23,9 @@ use std::time::{Duration, Instant};
 /// Per-sample time budget (can be overridden via `UHD_BENCH_SAMPLE_MS`).
 pub const TARGET_SAMPLE: Duration = Duration::from_millis(10);
 
+// Repo-wide boolean-knob rule: "0", empty, and unset all mean off.
 fn quick_mode() -> bool {
-    std::env::var_os("UHD_BENCH_QUICK").is_some_and(|v| v != "0")
+    std::env::var_os("UHD_BENCH_QUICK").is_some_and(|v| !v.is_empty() && v != "0")
         || std::env::args().any(|a| a == "--quick")
 }
 
