@@ -58,6 +58,16 @@ if [ "$smoke" -eq 1 ]; then
         step "smoke: example $ex"
         cargo run --release -q --example "$ex" > /dev/null
     done
+    # The serving example doubles as the exposition smoke: rerun it
+    # writing mid-run/end-of-run Prometheus snapshots plus the JSON
+    # export, then validate them (non-empty, parseable, counters
+    # monotone mid -> end, quantiles ordered).
+    step "smoke: metrics exposition (serving example + validate_metrics)"
+    metrics_dir="$(mktemp -d)"
+    trap 'rm -rf "$metrics_dir"' EXIT
+    UHD_METRICS_SNAPSHOT="$metrics_dir/serving" UHD_LOG=1 \
+        cargo run --release -q --example serving > /dev/null
+    cargo run --release -q -p uhd-bench --bin validate_metrics -- "$metrics_dir/serving"
     step "smoke: criterion benches (quick mode)"
     cargo bench -q -p uhd-bench > /dev/null
 fi

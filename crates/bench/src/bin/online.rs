@@ -133,6 +133,98 @@ fn mixed(
     (classify_ips, learn_sps, stats)
 }
 
+/// Everything the JSON report needs from the three phases.
+struct Report {
+    quick: bool,
+    d: u32,
+    queries: usize,
+    learn_samples: usize,
+    shards: usize,
+    snapshot_every: usize,
+    classify_only_ips: f64,
+    latencies: Latencies,
+    learn_only_sps: f64,
+    learn_only_stats: StatsSnapshot,
+    mixed_classify_ips: f64,
+    mixed_learn_sps: f64,
+    mixed_stats: StatsSnapshot,
+}
+
+/// Assemble the full `BENCH_online.json` document.
+fn render_report(r: &Report) -> String {
+    let interference = r.mixed_classify_ips / r.classify_only_ips;
+    let mut doc = String::new();
+    let out = &mut doc;
+    writeln!(out, "{{").unwrap();
+    writeln!(out, "  \"bench\": \"online\",").unwrap();
+    writeln!(out, "  \"quick\": {},", r.quick).unwrap();
+    writeln!(out, "  \"machine\": {},", machine_json()).unwrap();
+    writeln!(
+        out,
+        "  \"workload\": {{\"dataset\": \"synthetic-mnist\", \"dim\": {}, \"queries\": {}, \
+         \"learn_samples\": {}, \"shards\": {}, \"snapshot_every\": {}}},",
+        r.d, r.queries, r.learn_samples, r.shards, r.snapshot_every
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  \"classify_only_images_per_sec\": {:.1},",
+        r.classify_only_ips
+    )
+    .unwrap();
+    writeln!(out, "  \"request_latency\": {},", r.latencies.json()).unwrap();
+    writeln!(
+        out,
+        "  \"learn_only_samples_per_sec\": {:.1},",
+        r.learn_only_sps
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  \"learn_only_snapshots_published\": {},",
+        r.learn_only_stats.snapshots_published
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  \"mixed_classify_images_per_sec\": {:.1},",
+        r.mixed_classify_ips
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  \"mixed_learn_samples_per_sec\": {:.1},",
+        r.mixed_learn_sps
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  \"mixed_snapshots_published\": {},",
+        r.mixed_stats.snapshots_published
+    )
+    .unwrap();
+    // The engine's own histogram view of the mixed phase: classify
+    // submit→completion and learn submit→applied drain lag.
+    writeln!(
+        out,
+        "  \"engine_latency\": {{\"p50_us\": {}, \"p99_us\": {}, \"learn_p50_us\": {}, \
+         \"learn_p99_us\": {}, \"queue_depth_hw\": {}}},",
+        r.mixed_stats.p50_us,
+        r.mixed_stats.p99_us,
+        r.mixed_stats.learn_p50_us,
+        r.mixed_stats.learn_p99_us,
+        r.mixed_stats.queue_depth_hw
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  \"classify_throughput_ratio_under_learning\": {interference:.3}"
+    )
+    .unwrap();
+    writeln!(out, "}}").unwrap();
+    doc
+}
+
 fn main() {
     let cfg = ExperimentConfig::from_env();
     let quick = env_flag("UHD_BENCH_QUICK");
@@ -177,62 +269,23 @@ fn main() {
     let (learn_only_sps, learn_only_stats) = learn_only(config, &encoder, &model, &learn_stream);
     let (mixed_classify_ips, mixed_learn_sps, mixed_stats) =
         mixed(config, &encoder, &model, &query_stream, &learn_stream);
-    let interference = mixed_classify_ips / classify_only_ips;
 
     // --- JSON report: stdout + BENCH_online.json in the repo root. ---
-    let mut doc = String::new();
-    let out = &mut doc;
-    writeln!(out, "{{").unwrap();
-    writeln!(out, "  \"bench\": \"online\",").unwrap();
-    writeln!(out, "  \"quick\": {quick},").unwrap();
-    writeln!(out, "  \"machine\": {},", machine_json()).unwrap();
-    writeln!(
-        out,
-        "  \"workload\": {{\"dataset\": \"synthetic-mnist\", \"dim\": {d}, \"queries\": {queries}, \
-         \"learn_samples\": {learn_samples}, \"shards\": {shards}, \"snapshot_every\": {}}},",
-        config.snapshot_every
-    )
-    .unwrap();
-    writeln!(
-        out,
-        "  \"classify_only_images_per_sec\": {classify_only_ips:.1},"
-    )
-    .unwrap();
-    writeln!(out, "  \"request_latency\": {},", latencies.json()).unwrap();
-    writeln!(
-        out,
-        "  \"learn_only_samples_per_sec\": {learn_only_sps:.1},"
-    )
-    .unwrap();
-    writeln!(
-        out,
-        "  \"learn_only_snapshots_published\": {},",
-        learn_only_stats.snapshots_published
-    )
-    .unwrap();
-    writeln!(
-        out,
-        "  \"mixed_classify_images_per_sec\": {mixed_classify_ips:.1},"
-    )
-    .unwrap();
-    writeln!(
-        out,
-        "  \"mixed_learn_samples_per_sec\": {mixed_learn_sps:.1},"
-    )
-    .unwrap();
-    writeln!(
-        out,
-        "  \"mixed_snapshots_published\": {},",
-        mixed_stats.snapshots_published
-    )
-    .unwrap();
-    writeln!(
-        out,
-        "  \"classify_throughput_ratio_under_learning\": {interference:.3}"
-    )
-    .unwrap();
-    writeln!(out, "}}").unwrap();
-
+    let doc = render_report(&Report {
+        quick,
+        d,
+        queries,
+        learn_samples,
+        shards,
+        snapshot_every: config.snapshot_every,
+        classify_only_ips,
+        latencies,
+        learn_only_sps,
+        learn_only_stats,
+        mixed_classify_ips,
+        mixed_learn_sps,
+        mixed_stats,
+    });
     print!("{doc}");
     uhd_bench::write_bench_json("BENCH_online.json", &doc);
 }

@@ -45,6 +45,12 @@ struct SweepPoint {
     largest_batch: u64,
 }
 
+struct ObsOverhead {
+    instrumented_images_per_sec: f64,
+    noop_images_per_sec: f64,
+    overhead_pct: f64,
+}
+
 struct AmKernelResult {
     classes: usize,
     dim: u32,
@@ -108,6 +114,46 @@ fn am_kernel_bench(quick: bool) -> AmKernelResult {
         scalar_sweeps_per_sec,
         dispatched_sweeps_per_sec,
         speedup: dispatched_sweeps_per_sec / scalar_sweeps_per_sec,
+    }
+}
+
+/// The instrumentation-overhead bench: the full image stream through
+/// the best sweep configuration with live telemetry (histograms,
+/// gauges, staged timing) vs a no-op recorder. Best-of-`reps` per mode
+/// so scheduler noise doesn't masquerade as overhead.
+fn obs_overhead_bench(
+    quick: bool,
+    best: &SweepPoint,
+    encoder: &UhdEncoder,
+    model: &HdcModel,
+    images: &[Vec<u8>],
+) -> ObsOverhead {
+    let reps = if quick { 1 } else { 3 };
+    let time_mode = |telemetry: bool| -> f64 {
+        (0..reps)
+            .map(|_| {
+                ServeEngine::serve(
+                    ServeConfig::new(best.shards, best.max_batch).with_telemetry(telemetry),
+                    encoder,
+                    model.clone(),
+                    |engine| {
+                        let t0 = Instant::now();
+                        let responses = engine.classify_many(images).expect("serve");
+                        assert_eq!(responses.len(), images.len());
+                        images.len() as f64 / t0.elapsed().as_secs_f64()
+                    },
+                )
+                .expect("engine start")
+            })
+            .fold(0.0_f64, f64::max)
+    };
+    let noop_images_per_sec = time_mode(false);
+    let instrumented_images_per_sec = time_mode(true);
+    ObsOverhead {
+        instrumented_images_per_sec,
+        noop_images_per_sec,
+        overhead_pct: (noop_images_per_sec - instrumented_images_per_sec) / noop_images_per_sec
+            * 100.0,
     }
 }
 
@@ -193,6 +239,8 @@ fn render_report(
     points: &[SweepPoint],
     best: &SweepPoint,
     latencies: &Latencies,
+    engine_stats: &uhd_serve::StatsSnapshot,
+    obs: &ObsOverhead,
     am: &AmKernelResult,
 ) -> String {
     let mut doc = String::new();
@@ -240,6 +288,21 @@ fn render_report(
     )
     .unwrap();
     writeln!(out, "  \"request_latency\": {},", latencies.json()).unwrap();
+    // The engine's own view of the same run, from its lock-free
+    // histograms (submit→completion, so queue wait is included).
+    writeln!(
+        out,
+        "  \"engine_latency\": {{\"p50_us\": {}, \"p99_us\": {}, \"queue_depth_hw\": {}}},",
+        engine_stats.p50_us, engine_stats.p99_us, engine_stats.queue_depth_hw
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  \"obs_overhead\": {{\"instrumented_images_per_sec\": {:.1}, \
+         \"noop_images_per_sec\": {:.1}, \"overhead_pct\": {:.2}}},",
+        obs.instrumented_images_per_sec, obs.noop_images_per_sec, obs.overhead_pct
+    )
+    .unwrap();
     writeln!(
         out,
         "  \"am_kernel\": {{\"classes\": {}, \"dim\": {}, \"reps\": {}, \"scalar_kernel\": \"{}\", \
@@ -296,9 +359,10 @@ fn main() {
         .max_by(|a, b| a.images_per_sec.total_cmp(&b.images_per_sec))
         .expect("sweep is nonempty");
 
-    // --- Per-request latency at the best configuration. ---
+    // --- Per-request latency at the best configuration, with the
+    // engine's own histogram-derived figures alongside. ---
     let latency_n = images.len().min(if quick { 200 } else { 1000 });
-    let latencies = ServeEngine::serve(
+    let (latencies, engine_stats) = ServeEngine::serve(
         ServeConfig::new(best.shards, best.max_batch),
         &encoder,
         model.clone(),
@@ -309,10 +373,13 @@ fn main() {
                 let _ = engine.classify(image).expect("classify");
                 lat.record(t0.elapsed());
             }
-            lat
+            (lat, engine.stats())
         },
     )
     .expect("engine start");
+
+    // --- Instrumentation overhead: telemetry on vs no-op recorder. ---
+    let obs = obs_overhead_bench(quick, best, &encoder, &model, &images);
 
     // --- Kernel microbench: scalar fallback vs dispatched SIMD. ---
     let am = am_kernel_bench(quick);
@@ -328,9 +395,32 @@ fn main() {
         serial_classify_ips,
         serial_binarized_ips,
     };
-    let doc = render_report(&workload, &points, best, &latencies, &am);
+    let doc = render_report(
+        &workload,
+        &points,
+        best,
+        &latencies,
+        &engine_stats,
+        &obs,
+        &am,
+    );
     print!("{doc}");
     uhd_bench::write_bench_json("BENCH_throughput.json", &doc);
+
+    // Telemetry must be effectively free: ≤3% throughput cost vs a
+    // no-op recorder. Quick/CI runs on loaded shared machines are too
+    // noisy for a tight bound, so the bar applies to full runs only —
+    // mirroring the kernel speedup bar below.
+    if !quick {
+        assert!(
+            obs.overhead_pct <= 3.0,
+            "instrumentation overhead {:.2}% exceeds the 3% budget \
+             ({:.1} img/s instrumented vs {:.1} img/s no-op)",
+            obs.overhead_pct,
+            obs.instrumented_images_per_sec,
+            obs.noop_images_per_sec
+        );
+    }
 
     assert!(
         best.images_per_sec > serial_classify_ips,

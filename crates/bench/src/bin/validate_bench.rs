@@ -19,6 +19,8 @@ const THROUGHPUT_KEYS: &[&str] = &[
     "serial_binarized_images_per_sec",
     "sweep",
     "best",
+    "engine_latency",
+    "obs_overhead",
     "am_kernel",
 ];
 
@@ -27,6 +29,7 @@ const ONLINE_KEYS: &[&str] = &[
     "learn_only_samples_per_sec",
     "mixed_classify_images_per_sec",
     "mixed_learn_samples_per_sec",
+    "engine_latency",
     "classify_throughput_ratio_under_learning",
 ];
 
@@ -66,16 +69,35 @@ fn check_file(file_name: &str, extra_keys: &[&str], errors: &mut Vec<String>) {
             "{file_name}: machine.kernel missing or not a string"
         )),
     }
-    // Latency percentiles must be present, numeric, and ordered.
-    let lat = doc.get("request_latency");
-    let p50 = lat.and_then(|l| l.get("p50_us")).and_then(Json::as_f64);
-    let p99 = lat.and_then(|l| l.get("p99_us")).and_then(Json::as_f64);
-    match (p50, p99) {
-        (Some(p50), Some(p99)) if p50 > 0.0 && p99 >= p50 => {}
-        _ => errors.push(format!(
-            "{file_name}: request_latency must carry numeric p50_us/p99_us with 0 < p50 <= p99 \
-             (got p50={p50:?}, p99={p99:?})"
-        )),
+    // Latency percentiles must be present, numeric, and ordered —
+    // both the client-side samples and the engine's histogram view.
+    for section in ["request_latency", "engine_latency"] {
+        let lat = doc.get(section);
+        let p50 = lat.and_then(|l| l.get("p50_us")).and_then(Json::as_f64);
+        let p99 = lat.and_then(|l| l.get("p99_us")).and_then(Json::as_f64);
+        match (p50, p99) {
+            (Some(p50), Some(p99)) if p50 > 0.0 && p99 >= p50 => {}
+            _ => errors.push(format!(
+                "{file_name}: {section} must carry numeric p50_us/p99_us with 0 < p50 <= p99 \
+                 (got p50={p50:?}, p99={p99:?})"
+            )),
+        }
+    }
+    // The instrumentation-overhead block must carry both throughput
+    // figures and a numeric overhead percentage.
+    if let Some(obs) = doc.get("obs_overhead") {
+        let instrumented = obs
+            .get("instrumented_images_per_sec")
+            .and_then(Json::as_f64);
+        let noop = obs.get("noop_images_per_sec").and_then(Json::as_f64);
+        let pct = obs.get("overhead_pct").and_then(Json::as_f64);
+        match (instrumented, noop, pct) {
+            (Some(i), Some(n), Some(_)) if i > 0.0 && n > 0.0 => {}
+            _ => errors.push(format!(
+                "{file_name}: obs_overhead must carry positive instrumented/noop \
+                 images_per_sec and a numeric overhead_pct"
+            )),
+        }
     }
 }
 

@@ -1,0 +1,168 @@
+//! Smoke gate for the exposition layer: given a base path, read the
+//! mid-run and end-of-run Prometheus snapshots plus the JSON export
+//! that the serving example wrote (`<base>.mid.prom`, `<base>.end.prom`,
+//! `<base>.json`, see `examples/serving.rs` and `UHD_METRICS_SNAPSHOT`)
+//! and fail (non-zero exit) unless:
+//!
+//! * both text expositions are non-empty and every sample line parses
+//!   as `series value`;
+//! * every counter series (per its `# TYPE … counter` declaration) is
+//!   monotone: the end-of-run value is ≥ the mid-run value;
+//! * the JSON export parses and its latency summaries are ordered
+//!   (p99 ≥ p50).
+//!
+//! Run: `cargo run -p uhd-bench --bin validate_metrics -- <base>`
+//! (`ci.sh --smoke` drives this after the serving example.)
+
+use std::collections::{HashMap, HashSet};
+use uhd_bench::json::{parse, Json};
+
+/// One parsed exposition: counter family names and every
+/// `series → value` sample.
+struct Exposition {
+    counters: HashSet<String>,
+    samples: HashMap<String, f64>,
+}
+
+/// Parse Prometheus text format: `# TYPE name kind` comments plus
+/// `series value` samples. Pushes a message per malformed line.
+fn parse_exposition(label: &str, text: &str, errors: &mut Vec<String>) -> Exposition {
+    let mut counters = HashSet::new();
+    let mut samples = HashMap::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            let mut words = comment.split_whitespace();
+            if words.next() == Some("TYPE") {
+                if let (Some(name), Some("counter")) = (words.next(), words.next()) {
+                    counters.insert(name.to_string());
+                }
+            }
+            continue;
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            errors.push(format!("{label}: sample line {line:?} has no value"));
+            continue;
+        };
+        match value.parse::<f64>() {
+            Ok(value) => {
+                samples.insert(series.to_string(), value);
+            }
+            Err(_) => errors.push(format!("{label}: {series} value {value:?} is not numeric")),
+        }
+    }
+    if samples.is_empty() {
+        errors.push(format!("{label}: exposition carries no samples"));
+    }
+    Exposition { counters, samples }
+}
+
+/// The family a series belongs to: the name up to `{` or `_sum` /
+/// `_count` suffix handling is unnecessary for counters, which render
+/// as bare `name{labels} value` lines.
+fn family(series: &str) -> &str {
+    series.split('{').next().unwrap_or(series)
+}
+
+fn check_counters_monotone(mid: &Exposition, end: &Exposition, errors: &mut Vec<String>) {
+    let mut checked = 0usize;
+    for (series, &mid_value) in &mid.samples {
+        if !mid.counters.contains(family(series)) {
+            continue;
+        }
+        match end.samples.get(series) {
+            Some(&end_value) if end_value >= mid_value => checked += 1,
+            Some(&end_value) => errors.push(format!(
+                "counter {series} went backwards: {mid_value} at mid-run, {end_value} at end"
+            )),
+            None => errors.push(format!(
+                "counter {series} present at mid-run but missing from the end exposition"
+            )),
+        }
+    }
+    if checked == 0 {
+        errors.push("no counter series present in both expositions".to_string());
+    }
+}
+
+/// The JSON export's histogram quantiles must be ordered.
+fn check_json(label: &str, text: &str, errors: &mut Vec<String>) {
+    let doc = match parse(text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            errors.push(format!("{label}: malformed JSON: {e}"));
+            return;
+        }
+    };
+    let Some(histograms) = doc.get("histograms") else {
+        errors.push(format!("{label}: missing \"histograms\" object"));
+        return;
+    };
+    let Json::Obj(entries) = histograms else {
+        errors.push(format!("{label}: \"histograms\" is not an object"));
+        return;
+    };
+    let mut checked = 0usize;
+    for (series, summary) in entries {
+        let p50 = summary.get("p50").and_then(Json::as_f64);
+        let p99 = summary.get("p99").and_then(Json::as_f64);
+        match (p50, p99) {
+            (Some(p50), Some(p99)) if p99 >= p50 => checked += 1,
+            _ => errors.push(format!(
+                "{label}: histogram {series} must carry p50/p99 with p99 >= p50 \
+                 (got p50={p50:?}, p99={p99:?})"
+            )),
+        }
+    }
+    if checked == 0 {
+        errors.push(format!("{label}: no histogram summaries to validate"));
+    }
+}
+
+fn read(path: &str, errors: &mut Vec<String>) -> Option<String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) if !text.trim().is_empty() => Some(text),
+        Ok(_) => {
+            errors.push(format!("{path}: file is empty"));
+            None
+        }
+        Err(e) => {
+            errors.push(format!("{path}: cannot read: {e}"));
+            None
+        }
+    }
+}
+
+fn main() {
+    let base = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!(
+            "usage: validate_metrics <base>  (reads <base>.mid.prom, <base>.end.prom, <base>.json)"
+        );
+        std::process::exit(2);
+    });
+    let mut errors = Vec::new();
+
+    let mid_text = read(&format!("{base}.mid.prom"), &mut errors);
+    let end_text = read(&format!("{base}.end.prom"), &mut errors);
+    let json_text = read(&format!("{base}.json"), &mut errors);
+
+    if let (Some(mid_text), Some(end_text)) = (&mid_text, &end_text) {
+        let mid = parse_exposition("mid.prom", mid_text, &mut errors);
+        let end = parse_exposition("end.prom", end_text, &mut errors);
+        check_counters_monotone(&mid, &end, &mut errors);
+    }
+    if let Some(json_text) = &json_text {
+        check_json("json", json_text, &mut errors);
+    }
+
+    if errors.is_empty() {
+        println!("{base}: metric snapshots are well-formed and counters are monotone");
+    } else {
+        for error in &errors {
+            eprintln!("validate_metrics: {error}");
+        }
+        std::process::exit(1);
+    }
+}

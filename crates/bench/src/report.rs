@@ -42,48 +42,54 @@ pub fn machine_json() -> String {
 }
 
 /// Per-request latency samples with percentile readout.
+///
+/// Backed by the same lock-free log-linear [`uhd_obs::Histogram`] the
+/// serving engine reports its live quantiles from, so `BENCH_*.json`
+/// p50/p99 and `StatsSnapshot::p50_us` come from one quantile
+/// implementation. Percentiles carry the histogram's bounded relative
+/// error ([`uhd_obs::RELATIVE_ERROR`], ≈ 3.1 %) instead of the old
+/// sort-the-samples exactness — a trade made on purpose: the engine
+/// cannot afford to retain every sample, and the bench should measure
+/// what the engine ships.
 #[derive(Debug, Default)]
 pub struct Latencies {
-    micros: Vec<f64>,
+    histogram: uhd_obs::Histogram,
 }
 
 impl Latencies {
-    /// An empty sample set with room for `n` observations.
+    /// An empty sample set. (`n` is accepted for API compatibility;
+    /// the histogram's footprint is fixed.)
     #[must_use]
-    pub fn with_capacity(n: usize) -> Self {
-        Latencies {
-            micros: Vec::with_capacity(n),
-        }
+    pub fn with_capacity(_n: usize) -> Self {
+        Latencies::default()
     }
 
     /// Record one request's wall-clock duration.
     pub fn record(&mut self, elapsed: Duration) {
-        self.micros.push(elapsed.as_secs_f64() * 1e6);
+        self.histogram.record_duration(elapsed);
     }
 
     /// Number of recorded samples.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.micros.len()
+        self.histogram.snapshot().count() as usize
     }
 
     /// Whether no samples have been recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.micros.is_empty()
+        self.len() == 0
     }
 
     /// The `p`-th percentile (0–100) in microseconds, by the
-    /// nearest-rank method; 0.0 when empty.
+    /// nearest-rank method over the histogram buckets; 0.0 when empty.
     #[must_use]
     pub fn percentile(&self, p: f64) -> f64 {
-        if self.micros.is_empty() {
+        let snap = self.histogram.snapshot();
+        if snap.count() == 0 {
             return 0.0;
         }
-        let mut sorted = self.micros.clone();
-        sorted.sort_by(f64::total_cmp);
-        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-        sorted[rank.clamp(1, sorted.len()) - 1]
+        snap.quantile(p / 100.0) as f64 / 1e3
     }
 
     /// `{"p50_us": …, "p99_us": …, "samples": …}` for the report.
@@ -159,15 +165,21 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_use_nearest_rank() {
+    fn percentiles_use_nearest_rank_within_the_histogram_bound() {
         let mut lat = Latencies::with_capacity(4);
         assert_eq!(lat.percentile(50.0), 0.0);
         for us in [100.0, 200.0, 300.0, 400.0] {
             lat.record(Duration::from_secs_f64(us / 1e6));
         }
-        assert!((lat.percentile(50.0) - 200.0).abs() < 1.0);
-        assert!((lat.percentile(99.0) - 400.0).abs() < 1.0);
-        assert!((lat.percentile(0.0) - 100.0).abs() < 1.0);
+        // The log-linear buckets bound the relative error; exactness
+        // was traded for the engine's lock-free histogram on purpose.
+        for (p, exact) in [(50.0, 200.0), (99.0, 400.0), (0.0, 100.0)] {
+            let got = lat.percentile(p);
+            assert!(
+                (got - exact).abs() <= exact * uhd_obs::RELATIVE_ERROR,
+                "p{p}: got {got} vs exact {exact}"
+            );
+        }
         let parsed = crate::json::parse(&lat.json()).unwrap();
         assert_eq!(parsed.get("samples").unwrap().as_f64(), Some(4.0));
     }

@@ -174,6 +174,7 @@ impl Kernel {
     #[must_use]
     pub fn xor_popcount(&self, a: &[u64], b: &[u64]) -> u64 {
         assert_eq!(a.len(), b.len(), "kernel operand length mismatch");
+        crate::telemetry::record_op(crate::telemetry::KernelOp::XorPopcount);
         match self.kind {
             KernelKind::Scalar => xor_popcount_scalar(a, b),
             // SAFETY: construction verified the CPU feature (see the
@@ -192,6 +193,7 @@ impl Kernel {
     /// Sum of `a[i].count_ones()` over the slice.
     #[must_use]
     pub fn popcount(&self, a: &[u64]) -> u64 {
+        crate::telemetry::record_op(crate::telemetry::KernelOp::Popcount);
         match self.kind {
             KernelKind::Scalar => popcount_scalar(a),
             // SAFETY: construction verified the CPU feature.
@@ -226,6 +228,7 @@ impl Kernel {
             "plane store size mismatch"
         );
         assert_eq!(out.len(), classes, "distance buffer size mismatch");
+        crate::telemetry::record_op(crate::telemetry::KernelOp::HammingSweep);
         out.fill(0);
         if classes == 0 {
             return;
@@ -257,6 +260,7 @@ impl Kernel {
     /// Panics if the slices differ in length.
     pub fn carry_save_step(&self, plane: &mut [u64], carry: &mut [u64]) -> bool {
         assert_eq!(plane.len(), carry.len(), "kernel operand length mismatch");
+        crate::telemetry::record_op(crate::telemetry::KernelOp::CarrySaveStep);
         match self.kind {
             KernelKind::Scalar => carry_save_step_scalar(plane, carry),
             // SAFETY: construction verified the CPU feature.

@@ -39,6 +39,7 @@ pub mod online;
 pub mod orthogonality;
 pub mod retrain;
 pub mod similarity;
+pub mod telemetry;
 
 pub use accumulator::{BitSliceAccumulator, DenseAccumulator};
 pub use assoc::AssociativeMemory;

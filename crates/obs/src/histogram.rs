@@ -1,0 +1,391 @@
+//! A lock-free log-linear (HDR-style) histogram with atomic buckets.
+//!
+//! Values (typically latencies in nanoseconds) are binned into buckets
+//! whose width grows with magnitude: within each power-of-two group the
+//! value range is split into `2^SUB_BUCKET_BITS` linear sub-buckets, so
+//! any recorded value lands in a bucket whose width is at most
+//! `value / 2^SUB_BUCKET_BITS`. Quantiles read back from bucket
+//! midpoints therefore carry a **bounded relative error** of
+//! `2^-SUB_BUCKET_BITS` (≈ 3.1 % at the configured 5 bits) — exact for
+//! small values, never worse than one sub-bucket for large ones.
+//!
+//! Recording is a single relaxed `fetch_add` on the bucket plus one on
+//! the running sum: wait-free, allocation-free, safe from any number of
+//! threads. Reads ([`Histogram::snapshot`]) are lock-free too — they
+//! observe each bucket atomically, which is all a monotone counter set
+//! needs. Snapshots are plain data: mergeable ([`HistogramSnapshot::merge`],
+//! proven equivalent to recording the union) and queryable for
+//! nearest-rank quantiles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Linear sub-buckets per power-of-two group, as a bit count. The
+/// quantile relative-error bound is `2^-SUB_BUCKET_BITS`.
+pub const SUB_BUCKET_BITS: u32 = 5;
+
+/// The guaranteed relative-error bound of any quantile read back from
+/// the histogram, versus the exact sorted-sample quantile.
+pub const RELATIVE_ERROR: f64 = 1.0 / (1 << SUB_BUCKET_BITS) as f64;
+
+/// Buckets in group 0, where values are represented exactly
+/// (width-1 buckets covering `0..2^(SUB_BUCKET_BITS + 1)`).
+const GROUP0: usize = 1 << (SUB_BUCKET_BITS + 1);
+
+/// Sub-buckets per log group past group 0.
+const SUBS: usize = 1 << SUB_BUCKET_BITS;
+
+/// Log groups past group 0: bit lengths `SUB_BUCKET_BITS + 2 ..= 64`.
+const GROUPS: usize = 64 - (SUB_BUCKET_BITS as usize + 1);
+
+/// Total bucket count; covers the full `u64` domain with no clamping.
+pub const BUCKETS: usize = GROUP0 + GROUPS * SUBS;
+
+/// Bucket index of a value. Group 0 is exact; group `g ≥ 1` holds
+/// values of bit length `SUB_BUCKET_BITS + 1 + g`, split into `SUBS`
+/// linear sub-buckets of width `2^g`.
+fn bucket_index(v: u64) -> usize {
+    if v < GROUP0 as u64 {
+        return v as usize;
+    }
+    let bits = 64 - v.leading_zeros(); // ≥ SUB_BUCKET_BITS + 2 here
+    let group = (bits - (SUB_BUCKET_BITS + 1)) as usize;
+    let sub = (v >> group) as usize - SUBS;
+    GROUP0 + (group - 1) * SUBS + sub
+}
+
+/// Inclusive lower bound and width of a bucket (`[lo, lo + width)`).
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < GROUP0 {
+        return (index as u64, 1);
+    }
+    let rel = index - GROUP0;
+    let group = (rel / SUBS + 1) as u32;
+    let sub = (rel % SUBS) as u64;
+    ((SUBS as u64 + sub) << group, 1u64 << group)
+}
+
+/// The value a bucket reports for everything recorded into it: the
+/// bucket midpoint (exact for the width-1 buckets of group 0). Any
+/// true value in the bucket differs from this by less than the bucket
+/// width, i.e. by at most `RELATIVE_ERROR` of itself.
+fn bucket_value(index: usize) -> u64 {
+    let (lo, width) = bucket_bounds(index);
+    lo + (width - 1) / 2
+}
+
+/// A lock-free log-linear histogram over `u64` values.
+///
+/// # Example
+///
+/// ```
+/// use uhd_obs::Histogram;
+///
+/// let h = Histogram::new();
+/// for v in 1..=100u64 {
+///     h.record(v);
+/// }
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count(), 100);
+/// assert_eq!(snap.quantile(0.5), 50); // small values are exact
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram covering the full `u64` value domain.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value — two relaxed atomic adds, wait-free.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        // fetch_add wraps on overflow by definition (no panic even with
+        // overflow-checks); at nanosecond magnitudes the sum stays in
+        // range for centuries of recorded time.
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Record a wall-clock duration in **nanoseconds** (saturating).
+    pub fn record_duration(&self, elapsed: Duration) {
+        self.record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// A point-in-time copy of the bucket counts, safe to take while
+    /// writers keep recording (each bucket is read atomically; a
+    /// concurrent record may or may not be included).
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`]: queryable and mergeable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (identity element of [`HistogramSnapshot::merge`]).
+    #[must_use]
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            counts: vec![0; BUCKETS],
+            sum: 0,
+        }
+    }
+
+    /// Total recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of every recorded value (wrapping).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// The value at quantile `q ∈ [0, 1]` by the nearest-rank method,
+    /// reported as the owning bucket's midpoint — within
+    /// [`RELATIVE_ERROR`] of the exact sorted-sample quantile. Returns
+    /// 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return bucket_value(index);
+            }
+        }
+        // Unreachable: seen reaches total ≥ rank on the last nonzero
+        // bucket. Kept total for defense.
+        bucket_value(BUCKETS - 1)
+    }
+
+    /// Largest recorded value, rounded to its bucket midpoint; 0 when
+    /// empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, bucket_value)
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / total as f64
+        }
+    }
+
+    /// Fold another snapshot into this one. Merging two snapshots is
+    /// exactly equivalent to having recorded both value streams into
+    /// one histogram (record-union), which is what makes per-shard
+    /// histograms aggregatable.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use uhd_testutil::fixture_rng;
+
+    #[test]
+    fn bucket_index_covers_the_full_domain_in_order() {
+        // Index is monotone in the value and bounds always contain it.
+        let mut probes: Vec<u64> = Vec::new();
+        for shift in 0..64u32 {
+            for off in [0u64, 1, 3] {
+                probes.push((1u64 << shift).saturating_add(off << shift.saturating_sub(3)));
+            }
+        }
+        probes.push(0);
+        probes.push(u64::MAX);
+        probes.sort_unstable();
+        let mut last = 0usize;
+        for v in probes {
+            let idx = bucket_index(v);
+            assert!(idx < BUCKETS, "index {idx} out of range for {v}");
+            assert!(idx >= last, "index must be monotone in the value ({v})");
+            last = idx;
+            let (lo, width) = bucket_bounds(idx);
+            assert!(
+                lo <= v && v - lo < width,
+                "{v} outside bucket [{lo}, {lo}+{width})"
+            );
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_index(0), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..GROUP0 as u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        for v in 0..GROUP0 as u64 {
+            let q = (v + 1) as f64 / GROUP0 as f64;
+            assert_eq!(snap.quantile(q), v, "group-0 quantiles are exact");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_empty_are_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.quantile(0.5), 0);
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.max(), 0);
+        assert!(snap.is_empty());
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording_totals_reconcile() {
+        let h = Histogram::new();
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 10_000;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let h = &h;
+                scope.spawn(move || {
+                    let mut rng = fixture_rng(&format!("hist-{t}"));
+                    for _ in 0..PER_THREAD {
+                        h.record(rng.next_u64() >> (t * 7 % 40));
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), THREADS * PER_THREAD);
+    }
+
+    #[test]
+    fn record_duration_uses_nanoseconds() {
+        let h = Histogram::new();
+        h.record_duration(Duration::from_micros(10));
+        let snap = h.snapshot();
+        let q = snap.quantile(1.0);
+        assert!(
+            (q as f64 - 10_000.0).abs() <= 10_000.0 * RELATIVE_ERROR,
+            "10 µs must read back as ~10_000 ns, got {q}"
+        );
+    }
+
+    /// Exact nearest-rank quantile over raw samples, the reference the
+    /// histogram is held to.
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Histogram quantiles stay within the log-linear bucket bound
+        /// of the exact sorted reference, across magnitudes.
+        #[test]
+        fn prop_quantile_error_is_bounded(
+            n in 1usize..400,
+            shift in 0u32..50,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = fixture_rng(&format!("qbound-{seed}"));
+            let values: Vec<u64> = (0..n).map(|_| rng.next_u64() >> shift).collect();
+            let h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let snap = h.snapshot();
+            let mut sorted = values;
+            sorted.sort_unstable();
+            for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                let exact = exact_quantile(&sorted, q);
+                let est = snap.quantile(q);
+                let bound = (exact as f64 * RELATIVE_ERROR).max(0.0);
+                prop_assert!(
+                    (est as f64 - exact as f64).abs() <= bound,
+                    "q={q}: est {est} vs exact {exact} (bound {bound})"
+                );
+            }
+            prop_assert_eq!(snap.count(), sorted.len() as u64);
+        }
+
+        /// merge = record-union: merging per-stream snapshots equals
+        /// one histogram fed both streams.
+        #[test]
+        fn prop_merge_equals_record_union(
+            n_a in 0usize..200,
+            n_b in 0usize..200,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = fixture_rng(&format!("merge-{seed}"));
+            let stream_a: Vec<u64> = (0..n_a).map(|_| rng.next_u64() >> (rng.next_u64() % 48)).collect();
+            let stream_b: Vec<u64> = (0..n_b).map(|_| rng.next_u64() >> (rng.next_u64() % 48)).collect();
+            let (ha, hb, hu) = (Histogram::new(), Histogram::new(), Histogram::new());
+            for &v in &stream_a {
+                ha.record(v);
+                hu.record(v);
+            }
+            for &v in &stream_b {
+                hb.record(v);
+                hu.record(v);
+            }
+            let mut merged = ha.snapshot();
+            merged.merge(&hb.snapshot());
+            prop_assert_eq!(&merged, &hu.snapshot());
+            let mut id = HistogramSnapshot::empty();
+            id.merge(&merged);
+            prop_assert_eq!(&id, &merged, "empty() is the merge identity");
+        }
+    }
+}

@@ -4,11 +4,14 @@
 //! trainer that folds client feedback into refreshed generations.
 
 use crate::error::ServeError;
+use crate::obs::ServeObs;
 use crate::queue::{LearnQueue, RequestQueue};
 use crate::request::{LearnSample, Request, Response, Slot, Ticket};
-use crate::stats::{EngineStats, StatsSnapshot};
+use crate::stats::StatsSnapshot;
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 use uhd_core::{HdcError, HdcModel, ImageEncoder, InferenceMode, OnlineLearner};
+use uhd_obs::{Recorder, TraceEvent, TraceKind, TraceLevel};
 
 /// Sizing of the worker pool and its micro-batches, the inference mode
 /// requests are answered in, and the online-learning knobs.
@@ -40,6 +43,16 @@ pub struct ServeConfig {
     /// [`ServeEngine::feedback`] *block* until it catches up —
     /// backpressure instead of unbounded memory growth.
     pub learn_queue_cap: usize,
+    /// Whether the engine records latency histograms, queue gauges,
+    /// and trace events (on by default). With telemetry off the engine
+    /// keeps its counters (they are plain relaxed atomics either way)
+    /// but renders no metrics and reports zero latency quantiles —
+    /// the configuration the throughput bench measures instrumentation
+    /// overhead against.
+    pub telemetry: bool,
+    /// Trace-event verbosity. `None` (the default) follows the
+    /// `UHD_LOG` environment knob at [`ServeEngine::serve`] time.
+    pub trace_level: Option<TraceLevel>,
 }
 
 impl ServeConfig {
@@ -56,6 +69,8 @@ impl ServeConfig {
             snapshot_every: 64,
             max_classes: uhd_core::online::DEFAULT_MAX_CLASSES,
             learn_queue_cap: 4096,
+            telemetry: true,
+            trace_level: None,
         }
     }
 
@@ -87,6 +102,21 @@ impl ServeConfig {
     #[must_use]
     pub fn with_learn_queue_cap(mut self, learn_queue_cap: usize) -> Self {
         self.learn_queue_cap = learn_queue_cap;
+        self
+    }
+
+    /// Enable or disable latency histograms, queue gauges, and trace
+    /// events (see [`ServeConfig::telemetry`]).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Pin the trace-event verbosity instead of reading `UHD_LOG`.
+    #[must_use]
+    pub fn with_trace_level(mut self, level: TraceLevel) -> Self {
+        self.trace_level = Some(level);
         self
     }
 
@@ -141,7 +171,7 @@ struct Shared<'e, E: ?Sized> {
     /// locks it to re-seed from a manually swapped model — lock order
     /// is always learner → model, never the reverse.
     learner: Mutex<OnlineLearner>,
-    stats: EngineStats,
+    obs: ServeObs,
 }
 
 impl<E: ?Sized> Shared<'_, E> {
@@ -215,21 +245,34 @@ impl<E: ImageEncoder + ?Sized> ServeEngine<'_, E> {
             });
         }
         let learner = OnlineLearner::from_model(&model).with_max_classes(config.max_classes);
+        let recorder = if config.telemetry {
+            Recorder::new(config.trace_level.unwrap_or_else(TraceLevel::from_env))
+        } else {
+            Recorder::noop()
+        };
+        let obs = ServeObs::new(recorder, config.shards);
         let shared = Shared {
             encoder,
-            queue: RequestQueue::unbounded(),
-            learn: LearnQueue::bounded(config.learn_queue_cap),
+            queue: RequestQueue::unbounded()
+                .with_gauges(obs.queue_depth.clone(), obs.queue_depth_hw.clone()),
+            learn: LearnQueue::bounded(config.learn_queue_cap)
+                .with_gauges(obs.learn_depth.clone(), obs.learn_depth_hw.clone()),
             model: RwLock::new(Arc::new(ModelGeneration {
                 generation: 0,
                 model,
             })),
             learner: Mutex::new(learner),
-            stats: EngineStats::default(),
+            obs,
         };
+        shared.obs.event(
+            TraceKind::KernelDispatched,
+            kernel_ordinal(uhd_core::Kernel::active().name()),
+            config.shards as u64,
+        );
         Ok(std::thread::scope(|scope| {
-            for _ in 0..config.shards {
+            for shard in 0..config.shards {
                 let shared = &shared;
-                scope.spawn(move || worker_loop(shared, config.max_batch, config.mode));
+                scope.spawn(move || worker_loop(shared, shard, config.max_batch, config.mode));
             }
             {
                 let shared = &shared;
@@ -267,10 +310,11 @@ impl<E: ImageEncoder + ?Sized> ServeEngine<'_, E> {
         let request = Request {
             image,
             slot: Arc::clone(&slot),
+            submitted_at: Instant::now(),
         };
         match self.shared.queue.push(request) {
             Ok(()) => {
-                self.shared.stats.record_submit();
+                self.shared.obs.stats.record_submit();
                 Ok(Ticket { slot })
             }
             Err(_) => Err(ServeError::Closed),
@@ -313,11 +357,12 @@ impl<E: ImageEncoder + ?Sized> ServeEngine<'_, E> {
             requests.push(Request {
                 image: image.clone(),
                 slot,
+                submitted_at: Instant::now(),
             });
         }
         match self.shared.queue.push_all(requests) {
             Ok(()) => {
-                self.shared.stats.record_submit_many(images.len());
+                self.shared.obs.stats.record_submit_many(images.len());
                 Ok(tickets)
             }
             Err(_) => Err(ServeError::Closed),
@@ -374,11 +419,15 @@ impl<E: ImageEncoder + ?Sized> ServeEngine<'_, E> {
         // Holding the learner lock across the publish serializes the
         // swap against the trainer's apply+publish cycle (which takes
         // the same locks in the same learner → model order).
+        let classes = model.classes() as u64;
         let mut learner = self.shared.learner.lock().expect("learner lock poisoned");
         *learner = OnlineLearner::from_model(&model).with_max_classes(self.config.max_classes);
         let generation = self.shared.publish_model(model);
         drop(learner);
-        self.shared.stats.record_swap();
+        self.shared.obs.stats.record_swap();
+        self.shared
+            .obs
+            .event(TraceKind::ModelSwapped, generation, classes);
         Ok(generation)
     }
 
@@ -448,10 +497,11 @@ impl<E: ImageEncoder + ?Sized> ServeEngine<'_, E> {
             image,
             label,
             predicted,
+            submitted_at: Instant::now(),
         };
         match self.shared.learn.push(sample) {
             Ok(()) => {
-                self.shared.stats.record_learn_submit();
+                self.shared.obs.stats.record_learn_submit();
                 Ok(())
             }
             Err(_) => Err(ServeError::Closed),
@@ -484,10 +534,59 @@ impl<E: ImageEncoder + ?Sized> ServeEngine<'_, E> {
             .generation
     }
 
-    /// Point-in-time engine counters.
+    /// Point-in-time engine counters plus histogram-derived latency
+    /// quantiles (`p50_us`/`p99_us` for the classify path,
+    /// `learn_p50_us`/`learn_p99_us` for the learn path, and the
+    /// request-queue high-water mark).
     #[must_use]
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.stats.snapshot()
+        self.shared.obs.snapshot()
+    }
+
+    /// Render every engine metric in the Prometheus text exposition
+    /// format: the counter set, queue depth/high-water gauges, staged
+    /// per-shard latency summaries (queue-wait, batch-compute) plus
+    /// the engine-wide total, the learn drain lag, the dispatched
+    /// kernel (`uhd_kernel_info`), and the kernel op counters
+    /// (`uhd_kernel_ops_total{op=…}`, process-global). Returns the
+    /// empty string when telemetry is disabled.
+    #[must_use]
+    pub fn render_metrics(&self) -> String {
+        let recorder = &self.shared.obs.recorder;
+        if !recorder.enabled() {
+            return String::new();
+        }
+        use std::fmt::Write as _;
+        let mut out = recorder.render_text();
+        out.push_str("# TYPE uhd_kernel_info gauge\n");
+        let _ = writeln!(
+            out,
+            "uhd_kernel_info{{kernel=\"{}\"}} 1",
+            uhd_core::Kernel::active().name()
+        );
+        if uhd_core::telemetry::enabled() {
+            out.push_str("# TYPE uhd_kernel_ops_total counter\n");
+            for (op, count) in uhd_core::telemetry::op_counts().entries() {
+                let _ = writeln!(out, "uhd_kernel_ops_total{{op=\"{op}\"}} {count}");
+            }
+        }
+        out
+    }
+
+    /// Render the engine metrics as JSON (see
+    /// [`uhd_obs::Recorder::render_json`] for the schema). `{}` when
+    /// telemetry is disabled.
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        self.shared.obs.recorder.render_json()
+    }
+
+    /// The trace events currently resident in the engine's ring
+    /// buffer, oldest first. Empty unless tracing is enabled (via
+    /// `UHD_LOG` or [`ServeConfig::with_trace_level`]).
+    #[must_use]
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.shared.obs.recorder.events()
     }
 
     /// Requests currently queued (not yet claimed by a shard).
@@ -581,6 +680,7 @@ fn trainer_loop<E: ImageEncoder + ?Sized>(shared: &Shared<'_, E>, config: ServeC
         sums: Result<Vec<i64>, HdcError>,
         label: usize,
         predicted: Option<usize>,
+        submitted_at: Instant,
     }
     let mut scratch = uhd_core::BitSliceAccumulator::new(shared.encoder.dim());
     let mut batch: Vec<LearnSample> = Vec::with_capacity(config.max_batch);
@@ -601,6 +701,7 @@ fn trainer_loop<E: ImageEncoder + ?Sized>(shared: &Shared<'_, E>, config: ServeC
                 sums: encode_sums(shared.encoder, &mut scratch, &sample.image),
                 label: sample.label,
                 predicted: sample.predicted,
+                submitted_at: sample.submitted_at,
             });
         }
         {
@@ -609,23 +710,34 @@ fn trainer_loop<E: ImageEncoder + ?Sized>(shared: &Shared<'_, E>, config: ServeC
                 sums,
                 label,
                 predicted,
+                submitted_at,
             } in prepared.drain(..)
             {
                 let changed = sums.and_then(|s| match predicted {
                     None => learner.observe_sums(&s, label).map(|()| true),
                     Some(p) => learner.feedback_sums(&s, p, label),
                 });
+                // Submit → applied: how far the trainer runs behind
+                // its producers.
+                shared.obs.record_learn_lag(submitted_at.elapsed());
                 match changed {
                     Ok(true) => {
                         unpublished += 1;
-                        shared.stats.record_learn_update();
+                        shared.obs.stats.record_learn_update();
                     }
                     Ok(false) => {}
                     // Eager submit-side validation makes rejections
                     // rare (a feedback prediction can still race past
-                    // the learner's admitted classes); count, don't
-                    // die.
-                    Err(_) => shared.stats.record_learn_rejected(),
+                    // the learner's admitted classes); count and trace
+                    // the offending label, don't die.
+                    Err(_) => {
+                        shared.obs.stats.record_learn_rejected();
+                        shared.obs.event(
+                            TraceKind::SampleRejected,
+                            label as u64,
+                            predicted.map_or(u64::MAX, |p| p as u64),
+                        );
+                    }
                 }
             }
             // Publish after `snapshot_every` updates, and whenever the
@@ -641,13 +753,16 @@ fn trainer_loop<E: ImageEncoder + ?Sized>(shared: &Shared<'_, E>, config: ServeC
                 && (unpublished >= config.snapshot_every || shared.learn.depth() == 0)
             {
                 if let Ok(model) = learner.snapshot() {
-                    shared.publish_model(model);
-                    shared.stats.record_snapshot();
+                    let generation = shared.publish_model(model);
+                    shared.obs.stats.record_snapshot();
+                    shared
+                        .obs
+                        .event(TraceKind::SnapshotPublished, generation, unpublished as u64);
                     unpublished = 0;
                 }
             }
         }
-        shared.stats.record_learn_consumed(n);
+        shared.obs.stats.record_learn_consumed(n);
         shared.learn.mark_applied(n);
     }
 }
@@ -664,11 +779,24 @@ fn encode_sums<E: ImageEncoder + ?Sized>(
     Ok(scratch.bipolar_sums())
 }
 
+/// Stable ordinal for the dispatched kernel in the
+/// [`TraceKind::KernelDispatched`] event payload.
+fn kernel_ordinal(name: &str) -> u64 {
+    match name {
+        "avx2" => 1,
+        "avx512" => 2,
+        "neon" => 3,
+        _ => 0, // scalar
+    }
+}
+
 /// One worker shard: claim a micro-batch, snapshot the current model
 /// generation once, answer every request in the batch through the
-/// bit-sliced associative memory.
+/// bit-sliced associative memory — attributing each request's life to
+/// queue-wait / batch-compute / total along the way.
 fn worker_loop<E: ImageEncoder + ?Sized>(
     shared: &Shared<'_, E>,
+    shard: usize,
     max_batch: usize,
     mode: InferenceMode,
 ) {
@@ -681,7 +809,18 @@ fn worker_loop<E: ImageEncoder + ?Sized>(
     let mut dists: Vec<u32> = Vec::new();
     while shared.queue.pop_batch(max_batch, &mut batch) {
         let snapshot = Arc::clone(&shared.model.read().expect("model lock poisoned"));
-        shared.stats.record_batch(batch.len());
+        shared.obs.stats.record_batch(batch.len());
+        shared
+            .obs
+            .event(TraceKind::BatchFormed, shard as u64, batch.len() as u64);
+        // One clock read covers the whole batch's queue-wait stamps.
+        let dequeued_at = Instant::now();
+        for request in &batch {
+            shared.obs.record_queue_wait(
+                shard,
+                dequeued_at.saturating_duration_since(request.submitted_at),
+            );
+        }
         // A request is popped only after it has an outcome; if answering
         // panics, the guard errors out everything still claimed
         // (including the request being answered). Reversed so popping
@@ -698,8 +837,13 @@ fn worker_loop<E: ImageEncoder + ?Sized>(
                 &mut dists,
             );
             let request = claimed.0.pop().expect("nonempty: just peeked");
+            // Record before completing: a client returning from its
+            // wait must find its own latency already in the histogram
+            // (count reconciles with the completion counter).
+            shared.obs.record_total(request.submitted_at.elapsed());
             request.slot.complete(outcome);
         }
+        shared.obs.record_compute(shard, dequeued_at.elapsed());
     }
 }
 

@@ -31,6 +31,15 @@
 //!   being served*. [`ServeEngine::sync_learner`] is the drain
 //!   barrier; [`StatsSnapshot`] counts submitted/consumed samples and
 //!   published snapshots.
+//! * **Observability** — every request is staged-timed (queue-wait vs
+//!   batch-compute vs total, per shard) into lock-free
+//!   [`uhd_obs::Histogram`]s; [`StatsSnapshot`] reports p50/p99 for
+//!   the classify and learn paths plus the queue high-water mark, and
+//!   [`ServeEngine::render_metrics`] exposes the whole metric set
+//!   (counters, gauges, latency summaries, kernel op counters) in the
+//!   Prometheus text format. Structured trace events (batch formed,
+//!   model swapped, snapshot published, sample rejected) land in a
+//!   bounded lock-free ring gated by the `UHD_LOG` knob.
 //!
 //! # Example
 //!
@@ -56,6 +65,7 @@
 
 pub mod engine;
 pub mod error;
+pub(crate) mod obs;
 pub mod queue;
 pub mod request;
 pub mod stats;
@@ -64,3 +74,6 @@ pub use engine::{ServeConfig, ServeEngine};
 pub use error::ServeError;
 pub use request::{Response, Ticket};
 pub use stats::StatsSnapshot;
+// Re-exported so clients can configure tracing and decode events
+// without naming `uhd-obs` directly.
+pub use uhd_obs::{TraceEvent, TraceKind, TraceLevel};

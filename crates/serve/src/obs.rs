@@ -1,0 +1,148 @@
+//! The engine's observability bundle: one [`Recorder`] carrying the
+//! counter set ([`EngineStats`]), the staged latency histograms, the
+//! queue gauges, and the trace-event ring.
+//!
+//! ## Staged timing
+//!
+//! Every request is stamped with a monotonic clock at submit. A worker
+//! shard then attributes its life to stages:
+//!
+//! * **queue wait** (`uhd_request_queue_wait_ns{shard=…}`) — submit →
+//!   dequeue, recorded per request when the shard claims a batch;
+//! * **batch compute** (`uhd_batch_compute_ns{shard=…}`) — one sample
+//!   per micro-batch covering encode+search for the whole batch;
+//! * **total** (`uhd_request_total_ns`) — submit → response completed,
+//!   engine-wide (this is the histogram behind
+//!   [`crate::StatsSnapshot::p50_us`]/[`crate::StatsSnapshot::p99_us`]).
+//!
+//! The learn path gets the analogous `uhd_learn_drain_lag_ns`: sample
+//! submit → applied by the background trainer.
+
+use crate::stats::{EngineStats, LatencyFigures};
+use crate::StatsSnapshot;
+use std::sync::Arc;
+use std::time::Duration;
+use uhd_obs::{Gauge, Histogram, Recorder, TraceKind};
+
+/// All telemetry state shared by the engine handle, the worker shards,
+/// and the background trainer.
+#[derive(Debug)]
+pub(crate) struct ServeObs {
+    pub(crate) recorder: Recorder,
+    pub(crate) stats: EngineStats,
+    /// Per-shard submit→dequeue wait.
+    queue_wait: Vec<Arc<Histogram>>,
+    /// Per-shard whole-batch compute time.
+    compute: Vec<Arc<Histogram>>,
+    /// Engine-wide submit→completion latency.
+    total: Arc<Histogram>,
+    /// Learn-path submit→applied lag.
+    learn_lag: Arc<Histogram>,
+    pub(crate) queue_depth: Gauge,
+    pub(crate) queue_depth_hw: Gauge,
+    pub(crate) learn_depth: Gauge,
+    pub(crate) learn_depth_hw: Gauge,
+}
+
+impl ServeObs {
+    /// Register the engine's full metric set for `shards` worker
+    /// shards on `recorder`.
+    pub(crate) fn new(recorder: Recorder, shards: usize) -> Self {
+        let stats = EngineStats::new(&recorder);
+        let mut queue_wait = Vec::with_capacity(shards);
+        let mut compute = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let shard = shard.to_string();
+            let labels: [(&str, &str); 1] = [("shard", shard.as_str())];
+            queue_wait.push(recorder.histogram_with("uhd_request_queue_wait_ns", &labels));
+            compute.push(recorder.histogram_with("uhd_batch_compute_ns", &labels));
+        }
+        ServeObs {
+            stats,
+            queue_wait,
+            compute,
+            total: recorder.histogram("uhd_request_total_ns"),
+            learn_lag: recorder.histogram("uhd_learn_drain_lag_ns"),
+            queue_depth: recorder.gauge("uhd_queue_depth"),
+            queue_depth_hw: recorder.gauge("uhd_queue_depth_hw"),
+            learn_depth: recorder.gauge("uhd_learn_queue_depth"),
+            learn_depth_hw: recorder.gauge("uhd_learn_queue_depth_hw"),
+            recorder,
+        }
+    }
+
+    pub(crate) fn record_queue_wait(&self, shard: usize, waited: Duration) {
+        self.queue_wait[shard].record_duration(waited);
+    }
+
+    pub(crate) fn record_compute(&self, shard: usize, elapsed: Duration) {
+        self.compute[shard].record_duration(elapsed);
+    }
+
+    pub(crate) fn record_total(&self, elapsed: Duration) {
+        self.total.record_duration(elapsed);
+    }
+
+    pub(crate) fn record_learn_lag(&self, lag: Duration) {
+        self.learn_lag.record_duration(lag);
+    }
+
+    /// Forward a trace event to the recorder's ring.
+    pub(crate) fn event(&self, kind: TraceKind, a: u64, b: u64) {
+        self.recorder.event(kind, a, b);
+    }
+
+    /// Assemble the public stats view: counters plus the
+    /// histogram-derived latency figures (nanoseconds → microseconds).
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        let total = self.total.snapshot();
+        let learn = self.learn_lag.snapshot();
+        self.stats.snapshot(LatencyFigures {
+            queue_depth_hw: self.queue_depth_hw.get(),
+            p50_us: total.quantile(0.5) / 1_000,
+            p99_us: total.quantile(0.99) / 1_000,
+            learn_p50_us: learn.quantile(0.5) / 1_000,
+            learn_p99_us: learn.quantile(0.99) / 1_000,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uhd_obs::TraceLevel;
+
+    #[test]
+    fn snapshot_derives_latency_figures_from_the_histograms() {
+        let obs = ServeObs::new(Recorder::new(TraceLevel::Off), 2);
+        obs.record_total(Duration::from_micros(100));
+        obs.record_total(Duration::from_micros(200));
+        obs.record_learn_lag(Duration::from_micros(50));
+        obs.queue_depth_hw.set_max(7);
+        obs.stats.record_batch(3);
+        let snap = obs.snapshot();
+        assert_eq!(snap.queue_depth_hw, 7);
+        // 3.125% bucket error on 100/200 µs is ~±7 µs.
+        assert!((95..=105).contains(&snap.p50_us), "p50 {} off", snap.p50_us);
+        assert!(
+            (190..=210).contains(&snap.p99_us),
+            "p99 {} off",
+            snap.p99_us
+        );
+        assert!((47..=53).contains(&snap.learn_p50_us));
+        assert_eq!(snap.completed, 3);
+    }
+
+    #[test]
+    fn per_shard_series_render_with_shard_labels() {
+        let obs = ServeObs::new(Recorder::new(TraceLevel::Off), 2);
+        obs.record_queue_wait(0, Duration::from_micros(10));
+        obs.record_queue_wait(1, Duration::from_micros(20));
+        obs.record_compute(1, Duration::from_micros(30));
+        let text = obs.recorder.render_text();
+        assert!(text.contains("uhd_request_queue_wait_ns{shard=\"0\",quantile=\"0.5\"}"));
+        assert!(text.contains("uhd_request_queue_wait_ns{shard=\"1\",quantile=\"0.99\"}"));
+        assert!(text.contains("uhd_batch_compute_ns{shard=\"1\",quantile=\"0.999\"}"));
+        assert!(text.contains("uhd_request_queue_wait_ns_count{shard=\"0\"} 1\n"));
+    }
+}

@@ -18,6 +18,7 @@
 use crate::request::{LearnSample, Request};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use uhd_obs::Gauge;
 
 /// The request side: unbounded (classify clients already block on
 /// their tickets, which is backpressure enough).
@@ -64,6 +65,9 @@ pub(crate) struct BatchQueue<T> {
     /// Signals `sync` waiters: everything submitted has been applied.
     drained: Condvar,
     capacity: usize,
+    /// Optional telemetry: current depth and its high-water mark,
+    /// refreshed on every push/pop (see [`BatchQueue::with_gauges`]).
+    gauges: Option<(Gauge, Gauge)>,
 }
 
 impl<T> BatchQueue<T> {
@@ -81,6 +85,24 @@ impl<T> BatchQueue<T> {
             space: Condvar::new(),
             drained: Condvar::new(),
             capacity,
+            gauges: None,
+        }
+    }
+
+    /// Mirror the queue depth into `depth` and its high-water mark
+    /// into `high_water` on every push and pop.
+    pub(crate) fn with_gauges(mut self, depth: Gauge, high_water: Gauge) -> Self {
+        self.gauges = Some((depth, high_water));
+        self
+    }
+
+    /// Publish `len` to the gauges (called right after a push or pop,
+    /// outside the queue lock — a stale write loses only freshness,
+    /// never the monotone high-water).
+    fn update_gauges(&self, len: usize) {
+        if let Some((depth, high_water)) = &self.gauges {
+            depth.set(len as u64);
+            high_water.set_max(len as u64);
         }
     }
 
@@ -96,7 +118,9 @@ impl<T> BatchQueue<T> {
         }
         state.items.push_back(item);
         state.accepted += 1;
+        let len = state.items.len();
         drop(state);
+        self.update_gauges(len);
         self.available.notify_one();
         Ok(())
     }
@@ -115,7 +139,9 @@ impl<T> BatchQueue<T> {
         }
         state.accepted += items.len() as u64;
         state.items.extend(items);
+        let len = state.items.len();
         drop(state);
+        self.update_gauges(len);
         self.available.notify_all();
         Ok(())
     }
@@ -138,7 +164,9 @@ impl<T> BatchQueue<T> {
         if !state.items.is_empty() {
             self.available.notify_one();
         }
+        let len = state.items.len();
         drop(state);
+        self.update_gauges(len);
         if self.capacity != usize::MAX {
             self.space.notify_all();
         }
@@ -207,6 +235,7 @@ mod tests {
         Request {
             image: vec![0u8; 4],
             slot: Arc::new(Slot::default()),
+            submitted_at: std::time::Instant::now(),
         }
     }
 
@@ -257,6 +286,7 @@ mod tests {
             image: vec![0u8; 4],
             label,
             predicted: None,
+            submitted_at: std::time::Instant::now(),
         }
     }
 
@@ -305,6 +335,25 @@ mod tests {
         });
         // With nothing outstanding, sync returns immediately.
         q.sync();
+    }
+
+    #[test]
+    fn gauges_track_depth_and_high_water() {
+        let rec = uhd_obs::Recorder::new(uhd_obs::TraceLevel::Off);
+        let depth = rec.gauge("uhd_test_depth");
+        let hw = rec.gauge("uhd_test_depth_hw");
+        let q = RequestQueue::unbounded().with_gauges(depth.clone(), hw.clone());
+        q.push_all((0..5).map(|_| request()).collect()).unwrap();
+        assert_eq!(depth.get(), 5);
+        assert_eq!(hw.get(), 5);
+        let mut batch = Vec::new();
+        assert!(q.pop_batch(3, &mut batch));
+        assert_eq!(depth.get(), 2, "pop publishes the remaining depth");
+        assert_eq!(hw.get(), 5, "high-water never recedes");
+        batch.clear();
+        assert!(q.pop_batch(3, &mut batch));
+        assert_eq!(depth.get(), 0);
+        assert_eq!(hw.get(), 5);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::error::ServeError;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// One answered classification request.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,6 +75,9 @@ impl Ticket {
 pub(crate) struct Request {
     pub(crate) image: Vec<u8>,
     pub(crate) slot: Arc<Slot>,
+    /// Monotonic submit time, the anchor of the staged latency
+    /// breakdown (queue-wait at dequeue, total at completion).
+    pub(crate) submitted_at: Instant,
 }
 
 /// A labelled sample enqueued for the background online learner.
@@ -86,6 +90,9 @@ pub(crate) struct LearnSample {
     pub(crate) image: Vec<u8>,
     pub(crate) label: usize,
     pub(crate) predicted: Option<usize>,
+    /// Monotonic submit time; the trainer reports submit→apply as its
+    /// drain lag.
+    pub(crate) submitted_at: Instant,
 }
 
 #[cfg(test)]

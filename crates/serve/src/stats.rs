@@ -1,77 +1,118 @@
 //! Engine counters: cheap relaxed atomics updated on the hot path,
 //! snapshotted on demand.
+//!
+//! Since the observability PR the counters are [`uhd_obs::Counter`] /
+//! [`uhd_obs::Gauge`] handles registered on the engine's
+//! [`uhd_obs::Recorder`], so the same cells that back
+//! [`StatsSnapshot`] also appear in `ServeEngine::render_metrics` —
+//! one set of numbers, two views.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use uhd_obs::{Counter, Gauge, Recorder};
 
-/// Internal atomic counters owned by the engine.
-#[derive(Debug, Default)]
+/// Internal counters owned by the engine, registered on its recorder
+/// under the `uhd_*` metric names shown in the exposition.
+#[derive(Debug)]
 pub(crate) struct EngineStats {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    batches: AtomicU64,
-    largest_batch: AtomicU64,
-    model_swaps: AtomicU64,
-    learn_submitted: AtomicU64,
-    learn_consumed: AtomicU64,
-    learn_updates: AtomicU64,
-    learn_rejected: AtomicU64,
-    snapshots_published: AtomicU64,
+    submitted: Counter,
+    completed: Counter,
+    batches: Counter,
+    largest_batch: Gauge,
+    model_swaps: Counter,
+    learn_submitted: Counter,
+    learn_consumed: Counter,
+    learn_updates: Counter,
+    learn_rejected: Counter,
+    snapshots_published: Counter,
 }
 
 impl EngineStats {
+    /// Register the engine counter set on `recorder`.
+    pub(crate) fn new(recorder: &Recorder) -> Self {
+        EngineStats {
+            submitted: recorder.counter("uhd_requests_submitted_total"),
+            completed: recorder.counter("uhd_requests_completed_total"),
+            batches: recorder.counter("uhd_batches_total"),
+            largest_batch: recorder.gauge("uhd_largest_batch"),
+            model_swaps: recorder.counter("uhd_model_swaps_total"),
+            learn_submitted: recorder.counter("uhd_learn_submitted_total"),
+            learn_consumed: recorder.counter("uhd_learn_consumed_total"),
+            learn_updates: recorder.counter("uhd_learn_updates_total"),
+            learn_rejected: recorder.counter("uhd_learn_rejected_total"),
+            snapshots_published: recorder.counter("uhd_snapshots_published_total"),
+        }
+    }
+
     pub(crate) fn record_submit(&self) {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.submitted.inc();
     }
 
     pub(crate) fn record_submit_many(&self, n: usize) {
-        self.submitted.fetch_add(n as u64, Ordering::Relaxed);
+        self.submitted.add(n as u64);
     }
 
     pub(crate) fn record_batch(&self, size: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.completed.fetch_add(size as u64, Ordering::Relaxed);
-        self.largest_batch.fetch_max(size as u64, Ordering::Relaxed);
+        self.batches.inc();
+        self.completed.add(size as u64);
+        self.largest_batch.set_max(size as u64);
     }
 
     pub(crate) fn record_swap(&self) {
-        self.model_swaps.fetch_add(1, Ordering::Relaxed);
+        self.model_swaps.inc();
     }
 
     pub(crate) fn record_learn_submit(&self) {
-        self.learn_submitted.fetch_add(1, Ordering::Relaxed);
+        self.learn_submitted.inc();
     }
 
     pub(crate) fn record_learn_consumed(&self, n: u64) {
-        self.learn_consumed.fetch_add(n, Ordering::Relaxed);
+        self.learn_consumed.add(n);
     }
 
     pub(crate) fn record_learn_update(&self) {
-        self.learn_updates.fetch_add(1, Ordering::Relaxed);
+        self.learn_updates.inc();
     }
 
     pub(crate) fn record_learn_rejected(&self) {
-        self.learn_rejected.fetch_add(1, Ordering::Relaxed);
+        self.learn_rejected.inc();
     }
 
     pub(crate) fn record_snapshot(&self) {
-        self.snapshots_published.fetch_add(1, Ordering::Relaxed);
+        self.snapshots_published.inc();
     }
 
-    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+    /// Assemble a [`StatsSnapshot`] from the counters plus the
+    /// latency/queue figures the caller reads off its histograms
+    /// (see `ServeObs::snapshot`, which owns those).
+    pub(crate) fn snapshot(&self, latency: LatencyFigures) -> StatsSnapshot {
         StatsSnapshot {
             kernel: uhd_core::kernels::Kernel::active().name(),
-            submitted: self.submitted.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            largest_batch: self.largest_batch.load(Ordering::Relaxed),
-            model_swaps: self.model_swaps.load(Ordering::Relaxed),
-            learn_submitted: self.learn_submitted.load(Ordering::Relaxed),
-            learn_consumed: self.learn_consumed.load(Ordering::Relaxed),
-            learn_updates: self.learn_updates.load(Ordering::Relaxed),
-            learn_rejected: self.learn_rejected.load(Ordering::Relaxed),
-            snapshots_published: self.snapshots_published.load(Ordering::Relaxed),
+            submitted: self.submitted.get(),
+            completed: self.completed.get(),
+            batches: self.batches.get(),
+            largest_batch: self.largest_batch.get(),
+            model_swaps: self.model_swaps.get(),
+            learn_submitted: self.learn_submitted.get(),
+            learn_consumed: self.learn_consumed.get(),
+            learn_updates: self.learn_updates.get(),
+            learn_rejected: self.learn_rejected.get(),
+            snapshots_published: self.snapshots_published.get(),
+            queue_depth_hw: latency.queue_depth_hw,
+            p50_us: latency.p50_us,
+            p99_us: latency.p99_us,
+            learn_p50_us: latency.learn_p50_us,
+            learn_p99_us: latency.learn_p99_us,
         }
     }
+}
+
+/// The histogram-derived half of a [`StatsSnapshot`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct LatencyFigures {
+    pub(crate) queue_depth_hw: u64,
+    pub(crate) p50_us: u64,
+    pub(crate) p99_us: u64,
+    pub(crate) learn_p50_us: u64,
+    pub(crate) learn_p99_us: u64,
 }
 
 /// A point-in-time view of the engine counters.
@@ -105,10 +146,27 @@ pub struct StatsSnapshot {
     pub learn_updates: u64,
     /// Samples the learner rejected (e.g. a label past the admission
     /// cap, or feedback naming a class the learner never admitted).
+    /// Each rejection also emits a `SampleRejected` trace event
+    /// carrying the offending label.
     pub learn_rejected: u64,
     /// Rebinarized model snapshots the background trainer published
     /// through the hot-swap path (not counted in `model_swaps`).
     pub snapshots_published: u64,
+    /// High-water mark of the request queue depth — the signal the
+    /// ROADMAP's load-shedding item needs.
+    pub queue_depth_hw: u64,
+    /// Median end-to-end request latency (submit → response) in
+    /// microseconds, from the engine's lock-free histogram. 0 until a
+    /// request completes; bounded relative error
+    /// [`uhd_obs::RELATIVE_ERROR`].
+    pub p50_us: u64,
+    /// 99th-percentile end-to-end request latency in microseconds.
+    pub p99_us: u64,
+    /// Median learn-path drain lag (sample submit → applied by the
+    /// background trainer) in microseconds.
+    pub learn_p50_us: u64,
+    /// 99th-percentile learn-path drain lag in microseconds.
+    pub learn_p99_us: u64,
 }
 
 impl StatsSnapshot {
@@ -126,10 +184,12 @@ impl StatsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use uhd_obs::TraceLevel;
 
     #[test]
     fn counters_accumulate() {
-        let stats = EngineStats::default();
+        let recorder = Recorder::new(TraceLevel::Off);
+        let stats = EngineStats::new(&recorder);
         stats.record_submit();
         stats.record_submit();
         stats.record_batch(2);
@@ -140,7 +200,13 @@ mod tests {
         stats.record_learn_update();
         stats.record_learn_rejected();
         stats.record_snapshot();
-        let snap = stats.snapshot();
+        let snap = stats.snapshot(LatencyFigures {
+            queue_depth_hw: 3,
+            p50_us: 100,
+            p99_us: 900,
+            learn_p50_us: 40,
+            learn_p99_us: 70,
+        });
         assert_eq!(snap.kernel, uhd_core::kernels::Kernel::active().name());
         assert_eq!(snap.submitted, 2);
         assert_eq!(snap.completed, 2);
@@ -152,11 +218,30 @@ mod tests {
         assert_eq!(snap.learn_updates, 1);
         assert_eq!(snap.learn_rejected, 1);
         assert_eq!(snap.snapshots_published, 1);
+        assert_eq!(snap.queue_depth_hw, 3);
+        assert_eq!((snap.p50_us, snap.p99_us), (100, 900));
+        assert_eq!((snap.learn_p50_us, snap.learn_p99_us), (40, 70));
         assert!((snap.mean_batch() - 2.0).abs() < f64::EPSILON);
     }
 
     #[test]
+    fn counters_surface_in_the_recorder_exposition() {
+        let recorder = Recorder::new(TraceLevel::Off);
+        let stats = EngineStats::new(&recorder);
+        stats.record_submit();
+        stats.record_batch(1);
+        let text = recorder.render_text();
+        assert!(text.contains("uhd_requests_submitted_total 1\n"));
+        assert!(text.contains("uhd_requests_completed_total 1\n"));
+        assert!(text.contains("uhd_largest_batch 1\n"));
+    }
+
+    #[test]
     fn empty_snapshot_has_zero_mean() {
-        assert_eq!(EngineStats::default().snapshot().mean_batch(), 0.0);
+        let recorder = Recorder::noop();
+        let stats = EngineStats::new(&recorder);
+        let snap = stats.snapshot(LatencyFigures::default());
+        assert_eq!(snap.mean_batch(), 0.0);
+        assert_eq!((snap.p50_us, snap.p99_us), (0, 0));
     }
 }

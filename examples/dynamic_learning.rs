@@ -81,9 +81,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             acc_final,
             engine.generation(),
             engine.stats(),
+            engine.trace_events(),
         ))
     })?;
-    let (acc_cold, acc_bundled, acc_final, generation, stats) = report?;
+    let (acc_cold, acc_bundled, acc_final, generation, stats, events) = report?;
 
     println!(
         "accuracy: cold {:.2} % -> bundled stream {:.2} % -> after feedback {:.2} %",
@@ -107,6 +108,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.mean_batch(),
         stats.largest_batch,
     );
+    println!(
+        "latency:  classify p50 {} us / p99 {} us | learn drain lag p50 {} us / p99 {} us",
+        stats.p50_us, stats.p99_us, stats.learn_p50_us, stats.learn_p99_us,
+    );
+    // `UHD_LOG=1` fills the trace ring (model swaps, snapshot
+    // publishes, rejected samples); off by default, so this usually
+    // prints nothing.
+    if !events.is_empty() {
+        let publishes = events
+            .iter()
+            .filter(|e| e.kind == uhd::serve::TraceKind::SnapshotPublished)
+            .count();
+        println!(
+            "trace:    {} events in the ring ({publishes} snapshot publishes); \
+             last: {:?} a={} b={} at {} us",
+            events.len(),
+            events[events.len() - 1].kind,
+            events[events.len() - 1].a,
+            events[events.len() - 1].b,
+            events[events.len() - 1].at_micros,
+        );
+    }
 
     assert_eq!(stats.learn_submitted, stats.learn_consumed);
     assert!(stats.snapshots_published >= 1);

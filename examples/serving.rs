@@ -14,6 +14,13 @@
 //! a generation trained on the full stream into the live engine —
 //! single-pass HDC training makes such refreshes cheap enough to do
 //! continuously.
+//!
+//! Also demonstrates the observability layer: per-shard p50/p99
+//! queue-wait and batch-compute latencies land in the Prometheus text
+//! exposition (`render_metrics`). Set `UHD_METRICS_SNAPSHOT=<base>` to
+//! write `<base>.mid.prom` / `<base>.end.prom` / `<base>.json`
+//! snapshots — `ci.sh --smoke` validates them with `validate_metrics`.
+//! `UHD_LOG=1` additionally fills the trace-event ring.
 
 use uhd::core::encoder::uhd::{UhdConfig, UhdEncoder};
 use uhd::core::model::{HdcModel, InferenceMode, LabelledImages};
@@ -36,10 +43,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Serve in the integer-similarity mode the accuracy tables use; the
     // binarized fast path through the bit-sliced associative memory is
     // what the `throughput` bench sweeps.
+    // `UHD_METRICS_SNAPSHOT=<base>` writes exposition snapshots for the
+    // smoke gate: one mid-run, one at end-of-run, plus the JSON export.
+    let snapshot_base = std::env::var("UHD_METRICS_SNAPSHOT")
+        .ok()
+        .filter(|base| !base.is_empty());
+
     let config = ServeConfig::new(2, 16).with_mode(InferenceMode::IntegerBoth);
     let summary = ServeEngine::serve(config, &encoder, model_early, |engine| {
         // First wave of traffic, answered by generation 0.
         let wave0 = engine.classify_many(test.images())?;
+
+        if let Some(base) = &snapshot_base {
+            std::fs::write(format!("{base}.mid.prom"), engine.render_metrics())
+                .expect("write mid-run metrics snapshot");
+        }
 
         // Hot swap while the engine stays up; the next wave is
         // answered by generation 1.
@@ -53,9 +71,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .filter(|(r, &label)| r.class == label)
                 .count()
         };
-        Ok::<_, uhd::serve::ServeError>((hits(&wave0), hits(&wave1), engine.stats()))
+        Ok::<_, uhd::serve::ServeError>((
+            hits(&wave0),
+            hits(&wave1),
+            engine.stats(),
+            engine.render_metrics(),
+            engine.metrics_json(),
+        ))
     })?;
-    let (correct_before, correct_after, stats) = summary?;
+    let (correct_before, correct_after, stats, metrics_text, metrics_json) = summary?;
+
+    if let Some(base) = &snapshot_base {
+        std::fs::write(format!("{base}.end.prom"), &metrics_text)?;
+        std::fs::write(format!("{base}.json"), &metrics_json)?;
+        eprintln!("wrote {base}.mid.prom, {base}.end.prom, {base}.json");
+    }
 
     let n = test.len();
     println!(
@@ -70,10 +100,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.model_swaps,
     );
     println!(
+        "latency:  p50 {} us, p99 {} us submit->completion | queue high-water {}",
+        stats.p50_us, stats.p99_us, stats.queue_depth_hw
+    );
+    println!(
         "accuracy: generation 0 (300 samples) {:.2} % -> generation 1 (900 samples) {:.2} %",
         100.0 * correct_before as f64 / n as f64,
         100.0 * correct_after as f64 / n as f64,
     );
+
+    // The per-shard staged-latency summaries from the Prometheus text
+    // exposition (the full document also carries every counter, the
+    // queue gauges, and — under `--features telemetry` — kernel op
+    // counts).
+    println!("telemetry excerpt (render_metrics):");
+    for line in metrics_text.lines().filter(|line| {
+        (line.starts_with("uhd_request_queue_wait_ns") || line.starts_with("uhd_batch_compute_ns"))
+            && (line.contains("quantile=\"0.5\"") || line.contains("quantile=\"0.99\""))
+    }) {
+        println!("  {line}");
+    }
 
     // Sanity: the engine's answers match the serial evaluation path.
     let serial =

@@ -14,6 +14,9 @@
 //! * [`datasets`] — IDX loading and procedural synthetic datasets.
 //! * [`serve`] — batched, sharded inference engine with micro-batching,
 //!   a bit-sliced associative memory and hot model swap.
+//! * [`obs`] — lock-free latency histograms, trace-event ring, and the
+//!   Prometheus-text/JSON metrics exposition behind the engine's
+//!   telemetry.
 
 #![warn(missing_docs)]
 
@@ -22,4 +25,5 @@ pub use uhd_core as core;
 pub use uhd_datasets as datasets;
 pub use uhd_hw as hw;
 pub use uhd_lowdisc as lowdisc;
+pub use uhd_obs as obs;
 pub use uhd_serve as serve;

@@ -1,0 +1,190 @@
+//! Integration suite for the observability layer: staged request
+//! timing flowing from the engine's monotonic clocks into the
+//! lock-free histograms, the Prometheus text / JSON expositions, the
+//! queue high-water gauge, the trace-event ring, and the no-op
+//! recorder's zero-surface guarantee.
+
+use uhd::core::encoder::uhd::{UhdConfig, UhdEncoder};
+use uhd::core::model::{HdcModel, LabelledImages};
+use uhd::datasets::image::Dataset;
+use uhd::datasets::synth::{generate, SynthSpec, SyntheticKind};
+use uhd::serve::{ServeConfig, ServeEngine, TraceKind, TraceLevel};
+use uhd_bench::json::{parse, Json};
+
+fn fixture(train_n: usize, test_n: usize, dim: u32, seed: u64) -> (UhdEncoder, HdcModel, Dataset) {
+    let (train, test) =
+        generate(SynthSpec::new(SyntheticKind::Mnist, train_n, test_n, seed)).expect("generate");
+    let encoder = UhdEncoder::new(UhdConfig::new(dim, train.pixels())).unwrap();
+    let data = LabelledImages::new(train.images(), train.labels()).unwrap();
+    let model = HdcModel::train(&encoder, data, train.classes()).unwrap();
+    (encoder, model, test)
+}
+
+/// One wave of traffic through a single shard: every request's staged
+/// timing must land in the histograms (count reconciles with the
+/// completion counter), the per-shard series must render with shard
+/// labels, and the queue high-water mark must have seen the whole wave
+/// (`submit_many` enqueues it under one lock acquisition).
+#[test]
+fn staged_timing_lands_in_the_exposition_with_per_shard_labels() {
+    let (encoder, model, test) = fixture(200, 100, 512, 42);
+    let config = ServeConfig::new(1, 8).with_trace_level(TraceLevel::Off);
+    let (stats, text) = ServeEngine::serve(config, &encoder, model, |engine| {
+        let responses = engine.classify_many(test.images()).unwrap();
+        assert_eq!(responses.len(), test.len());
+        (engine.stats(), engine.render_metrics())
+    })
+    .unwrap();
+
+    assert_eq!(stats.completed, 100);
+    assert!(
+        stats.queue_depth_hw >= 100,
+        "one wave of 100 into a single shard must drive the high-water \
+         mark to the wave size (got {})",
+        stats.queue_depth_hw
+    );
+    assert!(
+        stats.p99_us > 0,
+        "submit->completion latency must be recorded"
+    );
+    assert!(stats.p99_us >= stats.p50_us);
+
+    // Per-shard staged series with shard labels, and the engine-wide
+    // total whose count reconciles with the completion counter.
+    assert!(text.contains("uhd_request_queue_wait_ns{shard=\"0\",quantile=\"0.5\"}"));
+    assert!(text.contains("uhd_batch_compute_ns{shard=\"0\",quantile=\"0.99\"}"));
+    assert!(text.contains("uhd_request_total_ns_count 100\n"));
+    assert!(text.contains("uhd_requests_completed_total 100\n"));
+    assert!(text.contains("uhd_queue_depth_hw"));
+    assert!(text.contains("uhd_kernel_info{kernel=\""));
+}
+
+/// The JSON export parses with the same parser the bench validators
+/// use, and its histogram counts agree with the counters.
+#[test]
+fn metrics_json_round_trips_through_the_bench_parser() {
+    let (encoder, model, test) = fixture(150, 60, 512, 7);
+    let json = ServeEngine::serve(
+        ServeConfig::new(2, 16).with_trace_level(TraceLevel::Off),
+        &encoder,
+        model,
+        |engine| {
+            engine.classify_many(test.images()).unwrap();
+            engine.metrics_json()
+        },
+    )
+    .unwrap();
+
+    let doc = parse(&json).expect("metrics JSON export must parse");
+    let completed = doc
+        .get("counters")
+        .and_then(|c| c.get("uhd_requests_completed_total"))
+        .and_then(Json::as_f64)
+        .expect("completed counter present");
+    assert_eq!(completed, 60.0);
+    let total = doc
+        .get("histograms")
+        .and_then(|h| h.get("uhd_request_total_ns"))
+        .expect("total-latency histogram present");
+    assert_eq!(total.get("count").and_then(Json::as_f64), Some(60.0));
+    let p50 = total.get("p50").and_then(Json::as_f64).unwrap();
+    let p99 = total.get("p99").and_then(Json::as_f64).unwrap();
+    assert!(
+        p50 > 0.0 && p99 >= p50,
+        "p50 {p50} / p99 {p99} out of order"
+    );
+}
+
+/// A feedback prediction past the learner's admitted classes is
+/// rejected by the trainer — and the trace ring must carry the
+/// offending sample: `a` = label, `b` = the out-of-range prediction.
+#[test]
+fn learner_rejections_trace_the_offending_label() {
+    let (encoder, model, test) = fixture(150, 10, 512, 11);
+    let config = ServeConfig::new(1, 8)
+        .with_max_classes(32)
+        .with_trace_level(TraceLevel::Info);
+    let (stats, events) = ServeEngine::serve(config, &encoder, model, |engine| {
+        // predicted=20 passes submit-side validation (< max_classes)
+        // but is past the learner's 10 admitted classes, so the
+        // trainer rejects it.
+        engine.feedback(test.images()[0].clone(), 20, 0).unwrap();
+        engine.sync_learner();
+        (engine.stats(), engine.trace_events())
+    })
+    .unwrap();
+
+    assert_eq!(stats.learn_rejected, 1);
+    let rejection = events
+        .iter()
+        .find(|e| e.kind == TraceKind::SampleRejected)
+        .expect("a SampleRejected trace event must be recorded");
+    assert_eq!(rejection.a, 0, "payload a carries the sample's label");
+    assert_eq!(
+        rejection.b, 20,
+        "payload b carries the offending prediction"
+    );
+}
+
+/// Under `TraceLevel::Trace` the ring captures the engine's lifecycle:
+/// kernel dispatch at startup, batch formation, the hot model swap
+/// (with its generation), and the learner's snapshot publish.
+#[test]
+fn trace_ring_records_the_engine_lifecycle() {
+    let (encoder, model, test) = fixture(150, 40, 512, 13);
+    let (_, model_b, _) = fixture(180, 10, 512, 99);
+    let config = ServeConfig::new(2, 8).with_trace_level(TraceLevel::Trace);
+    let events = ServeEngine::serve(config, &encoder, model, |engine| {
+        engine.classify_many(test.images()).unwrap();
+        let generation = engine.update_model(model_b.clone()).unwrap();
+        assert_eq!(generation, 1);
+        engine.learn(test.images()[0].clone(), 0).unwrap();
+        engine.sync_learner();
+        engine.trace_events()
+    })
+    .unwrap();
+
+    let kinds: Vec<TraceKind> = events.iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&TraceKind::KernelDispatched));
+    assert!(kinds.contains(&TraceKind::BatchFormed));
+    assert!(kinds.contains(&TraceKind::SnapshotPublished));
+    let swap = events
+        .iter()
+        .find(|e| e.kind == TraceKind::ModelSwapped)
+        .expect("the hot swap must be traced");
+    assert_eq!(swap.a, 1, "payload a carries the new generation");
+    // Sequence numbers are monotone: the ring never reorders.
+    for pair in events.windows(2) {
+        assert!(pair[1].seq > pair[0].seq);
+    }
+}
+
+/// `with_telemetry(false)` swaps in the no-op recorder: the engine
+/// serves identically but exposes nothing — empty text exposition,
+/// empty JSON object, no trace events even at `Trace` level.
+#[test]
+fn telemetry_off_serves_identically_but_exposes_nothing() {
+    let (encoder, model, test) = fixture(150, 30, 512, 5);
+    let config = ServeConfig::new(2, 8)
+        .with_telemetry(false)
+        .with_trace_level(TraceLevel::Trace);
+    let (responses, stats, text, json, events) =
+        ServeEngine::serve(config, &encoder, model, |engine| {
+            (
+                engine.classify_many(test.images()).unwrap(),
+                engine.stats(),
+                engine.render_metrics(),
+                engine.metrics_json(),
+                engine.trace_events(),
+            )
+        })
+        .unwrap();
+
+    assert_eq!(responses.len(), 30);
+    // The counter surface still works (stats are cheap atomics); only
+    // the exposition and the trace ring go dark.
+    assert_eq!(stats.completed, 30);
+    assert_eq!(text, "");
+    assert_eq!(json, "{}");
+    assert!(events.is_empty());
+}
