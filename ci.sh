@@ -54,7 +54,7 @@ if [ "$smoke" -eq 1 ]; then
     step "smoke: validate BENCH_*.json perf trajectory"
     cargo run --release -q -p uhd-bench --bin validate_bench
     for ex in quickstart custom_encoder orthogonality_study hardware_report \
-              signal_classification serving dynamic_learning; do
+              signal_classification serving dynamic_learning language_id tabular; do
         step "smoke: example $ex"
         cargo run --release -q --example "$ex" > /dev/null
     done

@@ -7,7 +7,7 @@ use std::hint::black_box;
 use uhd_core::accumulator::BitSliceAccumulator;
 use uhd_core::encoder::baseline::{BaselineConfig, BaselineEncoder};
 use uhd_core::encoder::uhd::{UhdConfig, UhdEncoder};
-use uhd_core::ImageEncoder;
+use uhd_core::Encoder;
 use uhd_lowdisc::rng::Xoshiro256StarStar;
 
 fn test_image(pixels: usize) -> Vec<u8> {

@@ -89,18 +89,18 @@ fn main() {
         println!("   {name:36} {:6.2}%", accuracy(&enc, &bench, &cfg) * 100.0);
     }
 
-    println!("\n4. Binding elimination (operation counts per image):");
+    println!("\n4. Binding elimination (operation counts per sample):");
     let uhd = UhdEncoder::new(UhdConfig::new(d, px)).expect("encoder");
     let mut rng = Xoshiro256StarStar::seeded(5);
     let base = BaselineEncoder::new(BaselineConfig::paper(d, px), &mut rng).expect("encoder");
-    use uhd_core::ImageEncoder;
+    use uhd_core::Encoder;
     let (pu, pb) = (uhd.profile(), base.profile());
     println!(
         "   uHD:      {} comparisons, {} bind ops, {} rng draws/iter",
-        pu.comparisons_per_image, pu.bind_bitops_per_image, pu.rng_draws_per_iteration
+        pu.comparisons_per_sample, pu.bind_bitops_per_sample, pu.rng_draws_per_iteration
     );
     println!(
         "   baseline: {} comparisons, {} bind ops, {} rng draws/iter",
-        pb.comparisons_per_image, pb.bind_bitops_per_image, pb.rng_draws_per_iteration
+        pb.comparisons_per_sample, pb.bind_bitops_per_sample, pb.rng_draws_per_iteration
     );
 }

@@ -27,13 +27,18 @@
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use uhd_bench::{env_flag, machine_json, uhd_encoder, ExperimentConfig, Latencies, Workbench};
+use uhd_bench::{
+    env_flag, machine_json, tabular_encoder, text_encoder, uhd_encoder, ExperimentConfig,
+    Latencies, Workbench,
+};
 use uhd_core::assoc::AssociativeMemory;
 use uhd_core::encoder::uhd::UhdEncoder;
 use uhd_core::hypervector::Hypervector;
 use uhd_core::kernels::Kernel;
-use uhd_core::model::{HdcModel, InferenceMode};
+use uhd_core::model::{HdcModel, InferenceMode, LabelledSamples};
+use uhd_core::Encoder;
 use uhd_datasets::synth::SyntheticKind;
+use uhd_datasets::{generate_language_id, generate_sensor_rows, SensorSpec, TextSpec};
 use uhd_lowdisc::rng::Xoshiro256StarStar;
 use uhd_serve::{ServeConfig, ServeEngine};
 
@@ -157,6 +162,119 @@ fn obs_overhead_bench(
     }
 }
 
+/// One row of the per-workload comparison: the same engine, same best
+/// sweep configuration, serving a different feature-stream family.
+struct WorkloadThroughput {
+    workload: &'static str,
+    encoder: String,
+    queries: usize,
+    classes: usize,
+    samples_per_sec: f64,
+}
+
+/// Serve a sample stream through the engine at the best configuration
+/// and return samples per second.
+fn serve_rate<E: Encoder + ?Sized>(
+    best: &SweepPoint,
+    encoder: &E,
+    model: &HdcModel,
+    samples: &[Vec<u8>],
+) -> f64 {
+    ServeEngine::serve(
+        ServeConfig::new(best.shards, best.max_batch),
+        encoder,
+        model.clone(),
+        |engine| {
+            let t0 = Instant::now();
+            let responses = engine.classify_many(samples).expect("serve");
+            assert_eq!(responses.len(), samples.len());
+            samples.len() as f64 / t0.elapsed().as_secs_f64()
+        },
+    )
+    .expect("engine start")
+}
+
+/// The per-workload section: image, text and tabular streams through
+/// the *same* engine code path at the best sweep configuration. The
+/// image row reuses the already-trained MNIST model; the other two
+/// train their own small models on synthetic corpora.
+fn per_workload_bench(
+    quick: bool,
+    d: u32,
+    best: &SweepPoint,
+    cfg: &ExperimentConfig,
+    image_encoder: &UhdEncoder,
+    image_model: &HdcModel,
+    images: &[Vec<u8>],
+) -> Vec<WorkloadThroughput> {
+    let (train_n, test_n, queries) = if quick {
+        (120, 60, 400)
+    } else {
+        (600, 120, 2000)
+    };
+    let mut rows = Vec::new();
+
+    rows.push(WorkloadThroughput {
+        workload: "image",
+        encoder: image_encoder.profile().name.into_owned(),
+        queries: images.len(),
+        classes: image_model.classes(),
+        samples_per_sec: serve_rate(best, image_encoder, image_model, images),
+    });
+
+    let text_spec = TextSpec::new(train_n, test_n, cfg.seed);
+    let (train, test) = generate_language_id(text_spec).expect("language-id generation");
+    let encoder = text_encoder(d, text_spec.max_len);
+    let model = HdcModel::train_parallel(
+        &encoder,
+        LabelledSamples::new(train.samples(), train.labels()).expect("train split"),
+        train.classes(),
+        cfg.threads,
+    )
+    .expect("text training failed");
+    let sentences: Vec<Vec<u8>> = test
+        .samples()
+        .iter()
+        .cycle()
+        .take(queries)
+        .cloned()
+        .collect();
+    rows.push(WorkloadThroughput {
+        workload: "text",
+        encoder: encoder.profile().name.into_owned(),
+        queries: sentences.len(),
+        classes: train.classes(),
+        samples_per_sec: serve_rate(best, &encoder, &model, &sentences),
+    });
+
+    let (train, test) =
+        generate_sensor_rows(SensorSpec::new(train_n, test_n, cfg.seed)).expect("sensor rows");
+    let encoder = tabular_encoder(d, train.max_sample_len());
+    let model = HdcModel::train_parallel(
+        &encoder,
+        LabelledSamples::new(train.samples(), train.labels()).expect("train split"),
+        train.classes(),
+        cfg.threads,
+    )
+    .expect("tabular training failed");
+    let sensor_rows: Vec<Vec<u8>> = test
+        .samples()
+        .iter()
+        .cycle()
+        .take(queries)
+        .cloned()
+        .collect();
+    rows.push(WorkloadThroughput {
+        workload: "tabular",
+        encoder: encoder.profile().name.into_owned(),
+        queries: sensor_rows.len(),
+        classes: train.classes(),
+        samples_per_sec: serve_rate(best, &encoder, &model, &sensor_rows),
+    });
+
+    rows
+}
+
 /// The two serial per-image baselines the engine is judged against:
 /// (default integer-cosine classify, binarized-query classify), both in
 /// images per second.
@@ -233,16 +351,30 @@ struct Workload {
     serial_binarized_ips: f64,
 }
 
+/// The measured sections rendered after the sweep: latency, overhead,
+/// per-workload throughput, and the kernel microbench.
+struct Measurements<'a> {
+    latencies: &'a Latencies,
+    engine_stats: &'a uhd_serve::StatsSnapshot,
+    obs: &'a ObsOverhead,
+    workloads: &'a [WorkloadThroughput],
+    am: &'a AmKernelResult,
+}
+
 /// Assemble the full `BENCH_throughput.json` document.
 fn render_report(
     w: &Workload,
     points: &[SweepPoint],
     best: &SweepPoint,
-    latencies: &Latencies,
-    engine_stats: &uhd_serve::StatsSnapshot,
-    obs: &ObsOverhead,
-    am: &AmKernelResult,
+    m: &Measurements,
 ) -> String {
+    let Measurements {
+        latencies,
+        engine_stats,
+        obs,
+        workloads,
+        am,
+    } = m;
     let mut doc = String::new();
     let out = &mut doc;
     writeln!(out, "{{").unwrap();
@@ -303,6 +435,19 @@ fn render_report(
         obs.instrumented_images_per_sec, obs.noop_images_per_sec, obs.overhead_pct
     )
     .unwrap();
+    // The same engine, same best configuration, across the three
+    // feature-stream families — the workload-agnostic serving claim.
+    writeln!(out, "  \"workloads\": [").unwrap();
+    for (i, w) in workloads.iter().enumerate() {
+        let comma = if i + 1 == workloads.len() { "" } else { "," };
+        writeln!(
+            out,
+            "    {{\"workload\": \"{}\", \"encoder\": \"{}\", \"queries\": {}, \"classes\": {}, \"samples_per_sec\": {:.1}}}{comma}",
+            w.workload, w.encoder, w.queries, w.classes, w.samples_per_sec
+        )
+        .unwrap();
+    }
+    writeln!(out, "  ],").unwrap();
     writeln!(
         out,
         "  \"am_kernel\": {{\"classes\": {}, \"dim\": {}, \"reps\": {}, \"scalar_kernel\": \"{}\", \
@@ -381,6 +526,10 @@ fn main() {
     // --- Instrumentation overhead: telemetry on vs no-op recorder. ---
     let obs = obs_overhead_bench(quick, best, &encoder, &model, &images);
 
+    // --- Per-workload throughput: image / text / tabular streams
+    // through the same engine at the best configuration. ---
+    let workloads = per_workload_bench(quick, d, best, &cfg, &encoder, &model, &images);
+
     // --- Kernel microbench: scalar fallback vs dispatched SIMD. ---
     let am = am_kernel_bench(quick);
 
@@ -399,10 +548,13 @@ fn main() {
         &workload,
         &points,
         best,
-        &latencies,
-        &engine_stats,
-        &obs,
-        &am,
+        &Measurements {
+            latencies: &latencies,
+            engine_stats: &engine_stats,
+            obs: &obs,
+            workloads: &workloads,
+            am: &am,
+        },
     );
     print!("{doc}");
     uhd_bench::write_bench_json("BENCH_throughput.json", &doc);

@@ -21,8 +21,12 @@ const THROUGHPUT_KEYS: &[&str] = &[
     "best",
     "engine_latency",
     "obs_overhead",
+    "workloads",
     "am_kernel",
 ];
+
+/// Feature-stream families the per-workload section must cover.
+const WORKLOAD_FAMILIES: &[&str] = &["image", "text", "tabular"];
 
 const ONLINE_KEYS: &[&str] = &[
     "classify_only_images_per_sec",
@@ -83,6 +87,27 @@ fn check_file(file_name: &str, extra_keys: &[&str], errors: &mut Vec<String>) {
             )),
         }
     }
+    // The per-workload section must cover every feature-stream family
+    // with a positive throughput — the workload-agnostic serving gate.
+    if let Some(workloads) = doc.get("workloads") {
+        let rows = workloads.as_arr().unwrap_or(&[]);
+        for &family in WORKLOAD_FAMILIES {
+            let row = rows
+                .iter()
+                .find(|r| r.get("workload").and_then(Json::as_str) == Some(family));
+            let rate = row
+                .and_then(|r| r.get("samples_per_sec"))
+                .and_then(Json::as_f64);
+            match rate {
+                Some(rate) if rate > 0.0 => {}
+                _ => errors.push(format!(
+                    "{file_name}: workloads must carry a \"{family}\" row with \
+                     positive samples_per_sec"
+                )),
+            }
+        }
+    }
+
     // The instrumentation-overhead block must carry both throughput
     // figures and a numeric overhead percentage.
     if let Some(obs) = doc.get("obs_overhead") {

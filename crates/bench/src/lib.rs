@@ -14,9 +14,11 @@ pub mod report;
 pub use report::{env_flag, machine_json, repo_root, write_bench_json, Latencies};
 
 use uhd_core::encoder::baseline::{BaselineConfig, BaselineEncoder};
+use uhd_core::encoder::tabular::{TabularConfig, TabularEncoder};
+use uhd_core::encoder::text::{NgramTextConfig, NgramTextEncoder};
 use uhd_core::encoder::uhd::{UhdConfig, UhdEncoder};
-use uhd_core::model::{HdcModel, InferenceMode, LabelledImages};
-use uhd_core::ImageEncoder;
+use uhd_core::model::{HdcModel, InferenceMode, LabelledSamples};
+use uhd_core::Encoder;
 use uhd_datasets::image::Dataset;
 use uhd_datasets::synth::{generate, SynthSpec, SyntheticKind};
 use uhd_lowdisc::rng::Xoshiro256StarStar;
@@ -84,15 +86,15 @@ impl Workbench {
 
     /// Labelled view of the training split.
     #[must_use]
-    pub fn train_data(&self) -> LabelledImages<'_> {
-        LabelledImages::new(self.train.images(), self.train.labels())
+    pub fn train_data(&self) -> LabelledSamples<'_> {
+        LabelledSamples::new(self.train.images(), self.train.labels())
             .expect("train split is valid by construction")
     }
 
     /// Labelled view of the test split.
     #[must_use]
-    pub fn test_data(&self) -> LabelledImages<'_> {
-        LabelledImages::new(self.test.images(), self.test.labels())
+    pub fn test_data(&self) -> LabelledSamples<'_> {
+        LabelledSamples::new(self.test.images(), self.test.labels())
             .expect("test split is valid by construction")
     }
 }
@@ -103,25 +105,39 @@ impl Workbench {
 ///
 /// Panics on encoder/model errors (fatal in a bench binary).
 #[must_use]
-pub fn accuracy<E: ImageEncoder + ?Sized>(
+pub fn accuracy<E: Encoder + ?Sized>(
     encoder: &E,
     bench: &Workbench,
     cfg: &ExperimentConfig,
 ) -> f64 {
-    let model = HdcModel::train_parallel(
+    accuracy_on(
         encoder,
         bench.train_data(),
+        bench.test_data(),
         bench.train.classes(),
         cfg.threads,
     )
-    .expect("training failed");
+}
+
+/// Train on one labelled split and evaluate on another — the
+/// workload-agnostic core [`accuracy`] wraps for image benches, usable
+/// directly for text/tabular feature streams.
+///
+/// # Panics
+///
+/// Panics on encoder/model errors (fatal in a bench binary).
+#[must_use]
+pub fn accuracy_on<E: Encoder + ?Sized>(
+    encoder: &E,
+    train: LabelledSamples<'_>,
+    test: LabelledSamples<'_>,
+    classes: usize,
+    threads: usize,
+) -> f64 {
+    let model =
+        HdcModel::train_parallel(encoder, train, classes, threads).expect("training failed");
     model
-        .evaluate_parallel_with(
-            encoder,
-            bench.test_data(),
-            cfg.threads,
-            InferenceMode::IntegerBoth,
-        )
+        .evaluate_parallel_with(encoder, test, threads, InferenceMode::IntegerBoth)
         .expect("evaluation failed")
 }
 
@@ -145,6 +161,29 @@ pub fn baseline_encoder(d: u32, pixels: usize, seed: u64) -> BaselineEncoder {
     let mut rng = Xoshiro256StarStar::seeded(seed);
     BaselineEncoder::new(BaselineConfig::paper(d, pixels), &mut rng)
         .expect("baseline encoder construction failed")
+}
+
+/// Build the default tri-gram text encoder for the language-ID bench.
+///
+/// # Panics
+///
+/// Panics if the encoder cannot be constructed (fatal in a bench).
+#[must_use]
+pub fn text_encoder(d: u32, max_len: usize) -> NgramTextEncoder {
+    let mut cfg = NgramTextConfig::new(d);
+    cfg.max_len = max_len;
+    NgramTextEncoder::new(cfg).expect("text encoder construction failed")
+}
+
+/// Build the default record encoder for the sensor-row bench.
+///
+/// # Panics
+///
+/// Panics if the encoder cannot be constructed (fatal in a bench).
+#[must_use]
+pub fn tabular_encoder(d: u32, columns: usize) -> TabularEncoder {
+    TabularEncoder::new(TabularConfig::new(d, columns))
+        .expect("tabular encoder construction failed")
 }
 
 /// Literature rows of Table III: `(framework, platform, efficiency ×)`.
@@ -226,6 +265,25 @@ mod tests {
         let base = baseline_encoder(256, bench.train.pixels(), 3);
         let acc_b = accuracy(&base, &bench, &cfg);
         assert!((0.0..=1.0).contains(&acc_b));
+    }
+
+    #[test]
+    fn feature_stream_benches_run_end_to_end() {
+        let (train, test) =
+            uhd_datasets::generate_language_id(uhd_datasets::TextSpec::new(18, 6, 7)).unwrap();
+        let tr = LabelledSamples::new(train.samples(), train.labels()).unwrap();
+        let te = LabelledSamples::new(test.samples(), test.labels()).unwrap();
+        let enc = text_encoder(1024, train.max_sample_len());
+        let acc = accuracy_on(&enc, tr, te, train.classes(), 2);
+        assert!((0.0..=1.0).contains(&acc));
+
+        let (rows_tr, rows_te) =
+            uhd_datasets::generate_sensor_rows(uhd_datasets::SensorSpec::new(18, 6, 7)).unwrap();
+        let tr = LabelledSamples::new(rows_tr.samples(), rows_tr.labels()).unwrap();
+        let te = LabelledSamples::new(rows_te.samples(), rows_te.labels()).unwrap();
+        let enc = tabular_encoder(1024, rows_tr.max_sample_len());
+        let acc = accuracy_on(&enc, tr, te, rows_tr.classes(), 2);
+        assert!((0.0..=1.0).contains(&acc));
     }
 
     #[test]

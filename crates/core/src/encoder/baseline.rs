@@ -8,8 +8,10 @@
 //! accuracy spread — so [`BaselineEncoder::regenerate`] supports exactly
 //! that iteration loop.
 
+use std::borrow::Cow;
+
 use super::level::{generate_level_hypervectors, LevelScheme};
-use super::{check_acc, check_image, EncoderProfile, ImageEncoder};
+use super::{check_acc, check_feature_len, Encoder, EncoderProfile};
 use crate::accumulator::BitSliceAccumulator;
 use crate::error::HdcError;
 use crate::hypervector::{words_for_dim, Hypervector};
@@ -149,17 +151,17 @@ impl BaselineEncoder {
     }
 }
 
-impl ImageEncoder for BaselineEncoder {
+impl Encoder for BaselineEncoder {
     fn dim(&self) -> u32 {
         self.config.dim
     }
 
-    fn pixels(&self) -> usize {
+    fn features(&self) -> usize {
         self.config.pixels
     }
 
     fn accumulate(&self, image: &[u8], acc: &mut BitSliceAccumulator) -> Result<(), HdcError> {
-        check_image(self.config.pixels, image)?;
+        check_feature_len(self.config.pixels, image)?;
         check_acc(self.config.dim, acc)?;
         let wc = words_for_dim(self.config.dim);
         let mut scratch = vec![0u64; wc];
@@ -190,14 +192,14 @@ impl ImageEncoder for BaselineEncoder {
         let d = u64::from(self.config.dim);
         let levels = u64::from(self.config.levels);
         EncoderProfile {
-            name: "baseline",
-            pixels: self.config.pixels,
+            name: Cow::Borrowed("baseline"),
+            features: self.config.pixels,
             dim: self.config.dim,
             // Hypervector generation compares a random number against a
             // threshold per dimension (P) plus the level construction.
-            comparisons_per_image: 0,
-            bind_bitops_per_image: h * d,
-            accumulate_ops_per_image: h * d,
+            comparisons_per_sample: 0,
+            bind_bitops_per_sample: h * d,
+            accumulate_ops_per_sample: h * d,
             rng_draws_per_iteration: (h + levels) * d,
             // The C baseline stores P and L as int arrays (4 bytes per
             // element), the convention used for Table I's footprints.
@@ -304,7 +306,7 @@ mod tests {
         let enc = small_encoder(8);
         let p = enc.profile();
         assert_eq!(p.name, "baseline");
-        assert_eq!(p.bind_bitops_per_image, 16 * 256);
+        assert_eq!(p.bind_bitops_per_sample, 16 * 256);
         assert_eq!(p.rng_draws_per_iteration, (16 + 4) * 256);
     }
 }

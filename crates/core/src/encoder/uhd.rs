@@ -20,7 +20,9 @@
 //!   comparison, used to measure what quantization costs (the paper
 //!   claims: nothing measurable).
 
-use super::{check_acc, check_image, EncoderProfile, ImageEncoder};
+use std::borrow::Cow;
+
+use super::{check_acc, check_feature_len, Encoder, EncoderProfile};
 use crate::accumulator::BitSliceAccumulator;
 use crate::error::HdcError;
 use crate::hypervector::{words_for_dim, Hypervector};
@@ -267,7 +269,7 @@ impl UhdEncoder {
         image: &[u8],
         ust: &UnaryStreamTable,
     ) -> Result<Hypervector, HdcError> {
-        check_image(self.config.pixels, image)?;
+        check_feature_len(self.config.pixels, image)?;
         let mut acc = BitSliceAccumulator::new(self.config.dim);
         let wc = self.words;
         let mut mask = vec![0u64; wc];
@@ -286,17 +288,17 @@ impl UhdEncoder {
     }
 }
 
-impl ImageEncoder for UhdEncoder {
+impl Encoder for UhdEncoder {
     fn dim(&self) -> u32 {
         self.config.dim
     }
 
-    fn pixels(&self) -> usize {
+    fn features(&self) -> usize {
         self.config.pixels
     }
 
     fn accumulate(&self, image: &[u8], acc: &mut BitSliceAccumulator) -> Result<(), HdcError> {
-        check_image(self.config.pixels, image)?;
+        check_feature_len(self.config.pixels, image)?;
         check_acc(self.config.dim, acc)?;
         for (pixel, &v) in image.iter().enumerate() {
             let level = self.level_of(v);
@@ -310,12 +312,12 @@ impl ImageEncoder for UhdEncoder {
         let d = u64::from(self.config.dim);
         let m_bits = u64::from(self.quantizer.bits());
         EncoderProfile {
-            name: "uhd",
-            pixels: self.config.pixels,
+            name: Cow::Borrowed("uhd"),
+            features: self.config.pixels,
             dim: self.config.dim,
-            comparisons_per_image: h * d,
-            bind_bitops_per_image: 0,
-            accumulate_ops_per_image: h * d,
+            comparisons_per_sample: h * d,
+            bind_bitops_per_sample: 0,
+            accumulate_ops_per_sample: h * d,
             rng_draws_per_iteration: 0,
             // M-bit quantized Sobol scalars in BRAM (Fig. 3(a)).
             table_bytes: h * d * m_bits / 8,
@@ -371,17 +373,17 @@ impl UhdExactEncoder {
     }
 }
 
-impl ImageEncoder for UhdExactEncoder {
+impl Encoder for UhdExactEncoder {
     fn dim(&self) -> u32 {
         self.dim
     }
 
-    fn pixels(&self) -> usize {
+    fn features(&self) -> usize {
         self.pixels
     }
 
     fn accumulate(&self, image: &[u8], acc: &mut BitSliceAccumulator) -> Result<(), HdcError> {
-        check_image(self.pixels, image)?;
+        check_feature_len(self.pixels, image)?;
         check_acc(self.dim, acc)?;
         let wc = words_for_dim(self.dim);
         let mut mask = vec![0u64; wc];
@@ -404,12 +406,12 @@ impl ImageEncoder for UhdExactEncoder {
         let h = self.pixels as u64;
         let d = u64::from(self.dim);
         EncoderProfile {
-            name: "uhd-exact",
-            pixels: self.pixels,
+            name: Cow::Borrowed("uhd-exact"),
+            features: self.pixels,
             dim: self.dim,
-            comparisons_per_image: h * d,
-            bind_bitops_per_image: 0,
-            accumulate_ops_per_image: h * d,
+            comparisons_per_sample: h * d,
+            bind_bitops_per_sample: 0,
+            accumulate_ops_per_sample: h * d,
             rng_draws_per_iteration: 0,
             table_bytes: h * d * 4,
             working_bytes: d * 4,
@@ -582,9 +584,9 @@ mod tests {
     fn profile_is_multiplier_free() {
         let enc = UhdEncoder::new(tiny_config()).unwrap();
         let p = enc.profile();
-        assert_eq!(p.bind_bitops_per_image, 0);
+        assert_eq!(p.bind_bitops_per_sample, 0);
         assert_eq!(p.rng_draws_per_iteration, 0);
-        assert_eq!(p.comparisons_per_image, 9 * 128);
+        assert_eq!(p.comparisons_per_sample, 9 * 128);
     }
 
     #[test]

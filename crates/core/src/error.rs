@@ -23,11 +23,23 @@ pub enum HdcError {
         /// Words actually supplied.
         got: usize,
     },
-    /// An image of the wrong pixel count was passed to an encoder.
+    /// A sample with the wrong feature count was passed to a
+    /// fixed-shape encoder. (The variant keeps its historical name for
+    /// compatibility; the message speaks in features.)
     ImageSizeMismatch {
-        /// Pixels the encoder was built for.
+        /// Features the encoder was built for.
         expected: usize,
-        /// Pixels in the offending image.
+        /// Features in the offending sample.
+        got: usize,
+    },
+    /// A sample outside the accepted length range was passed to a
+    /// variable-length encoder (e.g. n-gram text).
+    FeatureCountOutOfRange {
+        /// Minimum accepted feature count.
+        min: usize,
+        /// Maximum accepted feature count.
+        max: usize,
+        /// Features in the offending sample.
         got: usize,
     },
     /// Training was attempted with no samples, or with a label outside
@@ -60,7 +72,13 @@ impl fmt::Display for HdcError {
                 write!(f, "expected {expected} packed words, got {got}")
             }
             HdcError::ImageSizeMismatch { expected, got } => {
-                write!(f, "encoder expects {expected} pixels, image has {got}")
+                write!(f, "encoder expects {expected} features, input has {got}")
+            }
+            HdcError::FeatureCountOutOfRange { min, max, got } => {
+                write!(
+                    f,
+                    "encoder accepts between {min} and {max} features, input has {got}"
+                )
             }
             HdcError::InvalidTrainingData { reason } => {
                 write!(f, "invalid training data: {reason}")

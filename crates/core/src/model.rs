@@ -1,16 +1,18 @@
 //! Class-hypervector training and inference.
 //!
-//! Training in HDC is a single pass: every labelled image's hypervector
+//! Training in HDC is a single pass: every labelled sample's hypervector
 //! contributions are bundled into its class accumulator, and once all
 //! samples are seen each class accumulator is binarized by sign into a
 //! class hypervector (paper §II: "This operation is performed only once,
 //! different from the conventional learning systems having iterative
 //! forward passes"). Inference encodes the query the same way and picks
-//! the class with the highest cosine similarity.
+//! the class with the highest cosine similarity. Everything here is
+//! generic over [`Encoder`], so the same model code trains and serves
+//! image, text and tabular workloads.
 
 use crate::accumulator::BitSliceAccumulator;
 use crate::assoc::AssociativeMemory;
-use crate::encoder::ImageEncoder;
+use crate::encoder::Encoder;
 use crate::error::HdcError;
 use crate::hypervector::Hypervector;
 use crate::similarity::cosine_int;
@@ -54,64 +56,69 @@ pub struct HdcModel {
     dim: u32,
 }
 
-/// A labelled dataset view: images plus class labels.
+/// A labelled dataset view: feature-stream samples plus class labels.
 #[derive(Debug, Clone, Copy)]
-pub struct LabelledImages<'a> {
-    /// Image pixel buffers, one `&[u8]` per image.
-    pub images: &'a [Vec<u8>],
-    /// Class label per image, in `0..classes`.
+pub struct LabelledSamples<'a> {
+    /// Feature-stream buffers (pixels, text bytes, tabular rows), one
+    /// `&[u8]` per sample.
+    pub samples: &'a [Vec<u8>],
+    /// Class label per sample, in `0..classes`.
     pub labels: &'a [usize],
 }
 
-impl<'a> LabelledImages<'a> {
-    /// Bundle images and labels, checking the obvious invariants.
+/// Deprecated image-era alias for [`LabelledSamples`].
+#[deprecated(note = "renamed to `LabelledSamples`; the model layer is no longer image-specific")]
+pub type LabelledImages<'a> = LabelledSamples<'a>;
+
+impl<'a> LabelledSamples<'a> {
+    /// Bundle samples and labels, checking the obvious invariants.
     ///
     /// # Errors
     ///
     /// [`HdcError::InvalidTrainingData`] when the two slices disagree in
     /// length or are empty.
-    pub fn new(images: &'a [Vec<u8>], labels: &'a [usize]) -> Result<Self, HdcError> {
-        if images.is_empty() {
+    pub fn new(samples: &'a [Vec<u8>], labels: &'a [usize]) -> Result<Self, HdcError> {
+        if samples.is_empty() {
             return Err(HdcError::InvalidTrainingData {
-                reason: "no images".into(),
+                reason: "no samples".into(),
             });
         }
-        if images.len() != labels.len() {
+        if samples.len() != labels.len() {
             return Err(HdcError::InvalidTrainingData {
-                reason: format!("{} images but {} labels", images.len(), labels.len()),
+                reason: format!("{} samples but {} labels", samples.len(), labels.len()),
             });
         }
-        Ok(LabelledImages { images, labels })
+        Ok(LabelledSamples { samples, labels })
     }
 
     /// Number of samples.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.images.len()
+        self.samples.len()
     }
 
     /// Whether the set is empty (never true once constructed).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.images.is_empty()
+        self.samples.is_empty()
     }
 }
 
 impl HdcModel {
     /// Single-pass training.
     ///
-    /// All hypervector contributions of all images of a class are bundled
-    /// into one accumulator which is then binarized with
-    /// TOB = (H × images-in-class) / 2.
+    /// All hypervector contributions of all samples of a class are
+    /// bundled into one accumulator which is then binarized with
+    /// TOB = (contributions-in-class) / 2.
     ///
     /// # Errors
     ///
     /// * [`HdcError::InvalidTrainingData`] for empty data, label ≥
     ///   `classes`, or classes with no samples.
-    /// * Encoder errors for malformed images.
-    pub fn train<E: ImageEncoder + ?Sized>(
+    /// * Encoder errors for malformed samples.
+    pub fn train<E: Encoder + ?Sized>(
         encoder: &E,
-        data: LabelledImages<'_>,
+        data: LabelledSamples<'_>,
         classes: usize,
     ) -> Result<Self, HdcError> {
         if classes == 0 {
@@ -122,13 +129,13 @@ impl HdcModel {
         let mut accs: Vec<BitSliceAccumulator> = (0..classes)
             .map(|_| BitSliceAccumulator::new(encoder.dim()))
             .collect();
-        for (image, &label) in data.images.iter().zip(data.labels.iter()) {
+        for (sample, &label) in data.samples.iter().zip(data.labels.iter()) {
             if label >= classes {
                 return Err(HdcError::InvalidTrainingData {
                     reason: format!("label {label} out of range for {classes} classes"),
                 });
             }
-            encoder.accumulate(image, &mut accs[label])?;
+            encoder.accumulate(sample, &mut accs[label])?;
         }
         Self::from_accumulators(&accs, encoder.dim())
     }
@@ -139,9 +146,9 @@ impl HdcModel {
     /// # Errors
     ///
     /// Same conditions as [`HdcModel::train`].
-    pub fn train_parallel<E: ImageEncoder + ?Sized>(
+    pub fn train_parallel<E: Encoder + ?Sized>(
         encoder: &E,
-        data: LabelledImages<'_>,
+        data: LabelledSamples<'_>,
         classes: usize,
         threads: usize,
     ) -> Result<Self, HdcError> {
@@ -171,14 +178,14 @@ impl HdcModel {
                     if lo >= hi {
                         continue;
                     }
-                    let images = &data.images[lo..hi];
+                    let samples = &data.samples[lo..hi];
                     let labels = &data.labels[lo..hi];
                     handles.push(scope.spawn(move || {
                         let mut accs: Vec<BitSliceAccumulator> = (0..classes)
                             .map(|_| BitSliceAccumulator::new(encoder.dim()))
                             .collect();
-                        for (image, &label) in images.iter().zip(labels.iter()) {
-                            encoder.accumulate(image, &mut accs[label])?;
+                        for (sample, &label) in samples.iter().zip(labels.iter()) {
+                            encoder.accumulate(sample, &mut accs[label])?;
                         }
                         Ok(accs)
                     }));
@@ -293,39 +300,40 @@ impl HdcModel {
         &self.assoc
     }
 
-    /// Classify one image with the default [`InferenceMode::IntegerBoth`]:
-    /// encode, then cosine-similarity argmax.
+    /// Classify one sample with the default
+    /// [`InferenceMode::IntegerBoth`]: encode, then cosine-similarity
+    /// argmax.
     ///
     /// # Errors
     ///
-    /// Encoder errors for malformed images.
-    pub fn classify<E: ImageEncoder + ?Sized>(
+    /// Encoder errors for malformed samples.
+    pub fn classify<E: Encoder + ?Sized>(
         &self,
         encoder: &E,
-        image: &[u8],
+        sample: &[u8],
     ) -> Result<(usize, f64), HdcError> {
-        self.classify_with(encoder, image, InferenceMode::default())
+        self.classify_with(encoder, sample, InferenceMode::default())
     }
 
-    /// Classify one image under an explicit [`InferenceMode`].
+    /// Classify one sample under an explicit [`InferenceMode`].
     ///
     /// # Errors
     ///
-    /// Encoder errors for malformed images.
-    pub fn classify_with<E: ImageEncoder + ?Sized>(
+    /// Encoder errors for malformed samples.
+    pub fn classify_with<E: Encoder + ?Sized>(
         &self,
         encoder: &E,
-        image: &[u8],
+        sample: &[u8],
         mode: InferenceMode,
     ) -> Result<(usize, f64), HdcError> {
         match mode {
             InferenceMode::BinarizedQuery => {
-                let query = encoder.encode(image)?;
+                let query = encoder.encode(sample)?;
                 self.assoc.nearest(&query)
             }
             InferenceMode::IntegerQuery | InferenceMode::IntegerBoth => {
                 let mut acc = BitSliceAccumulator::new(encoder.dim());
-                encoder.accumulate(image, &mut acc)?;
+                encoder.accumulate(sample, &mut acc)?;
                 let query = acc.bipolar_sums();
                 let mut best = (0usize, f64::NEG_INFINITY);
                 for c in 0..self.classes() {
@@ -359,33 +367,33 @@ impl HdcModel {
         self.assoc.nearest(query)
     }
 
-    /// Classify a batch of images with the default
+    /// Classify a batch of samples with the default
     /// [`InferenceMode::IntegerBoth`]; bit-identical to calling
     /// [`HdcModel::classify`] in a loop.
     ///
     /// # Errors
     ///
-    /// Encoder errors for malformed images.
-    pub fn classify_batch<E: ImageEncoder + ?Sized>(
+    /// Encoder errors for malformed samples.
+    pub fn classify_batch<E: Encoder + ?Sized>(
         &self,
         encoder: &E,
-        images: &[Vec<u8>],
+        samples: &[Vec<u8>],
     ) -> Result<Vec<(usize, f64)>, HdcError> {
-        self.classify_batch_with(encoder, images, InferenceMode::default())
+        self.classify_batch_with(encoder, samples, InferenceMode::default())
     }
 
-    /// Classify a batch of images under an explicit [`InferenceMode`];
+    /// Classify a batch of samples under an explicit [`InferenceMode`];
     /// bit-identical to calling [`HdcModel::classify_with`] in a loop.
     /// In [`InferenceMode::BinarizedQuery`] mode every query is answered
     /// by the bit-sliced associative memory.
     ///
     /// # Errors
     ///
-    /// Encoder errors for malformed images.
-    pub fn classify_batch_with<E: ImageEncoder + ?Sized>(
+    /// Encoder errors for malformed samples.
+    pub fn classify_batch_with<E: Encoder + ?Sized>(
         &self,
         encoder: &E,
-        images: &[Vec<u8>],
+        samples: &[Vec<u8>],
         mode: InferenceMode,
     ) -> Result<Vec<(usize, f64)>, HdcError> {
         match mode {
@@ -395,17 +403,17 @@ impl HdcModel {
                 // allocates only the per-query Hypervector.
                 let mut scratch = BitSliceAccumulator::new(encoder.dim());
                 let mut dists = Vec::with_capacity(self.classes());
-                images
+                samples
                     .iter()
-                    .map(|image| {
-                        let query = encoder.encode_into(image, &mut scratch)?;
+                    .map(|sample| {
+                        let query = encoder.encode_into(sample, &mut scratch)?;
                         self.assoc.nearest_with(&query, &mut dists)
                     })
                     .collect()
             }
-            InferenceMode::IntegerQuery | InferenceMode::IntegerBoth => images
+            InferenceMode::IntegerQuery | InferenceMode::IntegerBoth => samples
                 .iter()
-                .map(|image| self.classify_with(encoder, image, mode))
+                .map(|sample| self.classify_with(encoder, sample, mode))
                 .collect(),
         }
     }
@@ -414,11 +422,11 @@ impl HdcModel {
     ///
     /// # Errors
     ///
-    /// Encoder errors for malformed images.
-    pub fn evaluate<E: ImageEncoder + ?Sized>(
+    /// Encoder errors for malformed samples.
+    pub fn evaluate<E: Encoder + ?Sized>(
         &self,
         encoder: &E,
-        data: LabelledImages<'_>,
+        data: LabelledSamples<'_>,
     ) -> Result<f64, HdcError> {
         self.evaluate_with(encoder, data, InferenceMode::default())
     }
@@ -427,14 +435,14 @@ impl HdcModel {
     ///
     /// # Errors
     ///
-    /// Encoder errors for malformed images.
-    pub fn evaluate_with<E: ImageEncoder + ?Sized>(
+    /// Encoder errors for malformed samples.
+    pub fn evaluate_with<E: Encoder + ?Sized>(
         &self,
         encoder: &E,
-        data: LabelledImages<'_>,
+        data: LabelledSamples<'_>,
         mode: InferenceMode,
     ) -> Result<f64, HdcError> {
-        let predictions = self.classify_batch_with(encoder, data.images, mode)?;
+        let predictions = self.classify_batch_with(encoder, data.samples, mode)?;
         let correct = predictions
             .iter()
             .zip(data.labels.iter())
@@ -448,11 +456,11 @@ impl HdcModel {
     ///
     /// # Errors
     ///
-    /// Encoder errors for malformed images.
-    pub fn evaluate_parallel<E: ImageEncoder + ?Sized>(
+    /// Encoder errors for malformed samples.
+    pub fn evaluate_parallel<E: Encoder + ?Sized>(
         &self,
         encoder: &E,
-        data: LabelledImages<'_>,
+        data: LabelledSamples<'_>,
         threads: usize,
     ) -> Result<f64, HdcError> {
         self.evaluate_parallel_with(encoder, data, threads, InferenceMode::default())
@@ -463,11 +471,11 @@ impl HdcModel {
     ///
     /// # Errors
     ///
-    /// Encoder errors for malformed images.
-    pub fn evaluate_parallel_with<E: ImageEncoder + ?Sized>(
+    /// Encoder errors for malformed samples.
+    pub fn evaluate_parallel_with<E: Encoder + ?Sized>(
         &self,
         encoder: &E,
-        data: LabelledImages<'_>,
+        data: LabelledSamples<'_>,
         threads: usize,
         mode: InferenceMode,
     ) -> Result<f64, HdcError> {
@@ -484,13 +492,13 @@ impl HdcModel {
                 if lo >= hi {
                     continue;
                 }
-                let images = &data.images[lo..hi];
+                let samples = &data.samples[lo..hi];
                 let labels = &data.labels[lo..hi];
                 let model = &*self;
                 handles.push(scope.spawn(move || {
                     let mut correct = 0usize;
-                    for (image, &label) in images.iter().zip(labels.iter()) {
-                        if model.classify_with(encoder, image, mode)?.0 == label {
+                    for (sample, &label) in samples.iter().zip(labels.iter()) {
+                        if model.classify_with(encoder, sample, mode)?.0 == label {
                             correct += 1;
                         }
                     }
@@ -631,7 +639,7 @@ mod tests {
     fn trains_and_separates_toy_classes() {
         let (images, labels) = toy_data(40, 16, 1);
         let enc = toy_encoder(16);
-        let data = LabelledImages::new(&images, &labels).unwrap();
+        let data = LabelledSamples::new(&images, &labels).unwrap();
         let model = HdcModel::train(&enc, data, 2).unwrap();
         let acc = model.evaluate(&enc, data).unwrap();
         assert!(acc > 0.95, "train accuracy {acc}");
@@ -641,7 +649,7 @@ mod tests {
     fn parallel_training_is_bit_identical() {
         let (images, labels) = toy_data(30, 16, 2);
         let enc = toy_encoder(16);
-        let data = LabelledImages::new(&images, &labels).unwrap();
+        let data = LabelledSamples::new(&images, &labels).unwrap();
         let serial = HdcModel::train(&enc, data, 2).unwrap();
         let parallel = HdcModel::train_parallel(&enc, data, 2, 4).unwrap();
         assert_eq!(serial.class_hypervectors(), parallel.class_hypervectors());
@@ -652,7 +660,7 @@ mod tests {
     fn parallel_evaluation_matches_serial() {
         let (images, labels) = toy_data(25, 16, 3);
         let enc = toy_encoder(16);
-        let data = LabelledImages::new(&images, &labels).unwrap();
+        let data = LabelledSamples::new(&images, &labels).unwrap();
         let model = HdcModel::train(&enc, data, 2).unwrap();
         let a = model.evaluate(&enc, data).unwrap();
         let b = model.evaluate_parallel(&enc, data, 3).unwrap();
@@ -663,14 +671,14 @@ mod tests {
     fn rejects_bad_training_inputs() {
         let enc = toy_encoder(16);
         let (images, labels) = toy_data(5, 16, 4);
-        assert!(LabelledImages::new(&[], &[]).is_err());
-        assert!(LabelledImages::new(&images, &labels[..5]).is_err());
-        let data = LabelledImages::new(&images, &labels).unwrap();
+        assert!(LabelledSamples::new(&[], &[]).is_err());
+        assert!(LabelledSamples::new(&images, &labels[..5]).is_err());
+        let data = LabelledSamples::new(&images, &labels).unwrap();
         // Zero classes.
         assert!(HdcModel::train(&enc, data, 0).is_err());
         // Label out of range.
         let bad_labels = vec![9usize; images.len()];
-        let bad = LabelledImages::new(&images, &bad_labels).unwrap();
+        let bad = LabelledSamples::new(&images, &bad_labels).unwrap();
         assert!(matches!(
             HdcModel::train(&enc, bad, 2),
             Err(HdcError::InvalidTrainingData { .. })
@@ -686,7 +694,7 @@ mod tests {
     fn serialization_round_trips() {
         let (images, labels) = toy_data(10, 16, 5);
         let enc = toy_encoder(16);
-        let data = LabelledImages::new(&images, &labels).unwrap();
+        let data = LabelledSamples::new(&images, &labels).unwrap();
         let model = HdcModel::train(&enc, data, 2).unwrap();
         let bytes = model.to_bytes();
         let back = HdcModel::from_bytes(&bytes).unwrap();
@@ -701,7 +709,7 @@ mod tests {
         assert!(HdcModel::from_bytes(b"NOPE").is_err());
         let (images, labels) = toy_data(5, 16, 6);
         let enc = toy_encoder(16);
-        let data = LabelledImages::new(&images, &labels).unwrap();
+        let data = LabelledSamples::new(&images, &labels).unwrap();
         let model = HdcModel::train(&enc, data, 2).unwrap();
         let mut bytes = model.to_bytes();
         bytes.truncate(bytes.len() - 3);
@@ -751,7 +759,7 @@ mod tests {
     fn classify_encoded_checks_dimension() {
         let (images, labels) = toy_data(5, 16, 7);
         let enc = toy_encoder(16);
-        let data = LabelledImages::new(&images, &labels).unwrap();
+        let data = LabelledSamples::new(&images, &labels).unwrap();
         let model = HdcModel::train(&enc, data, 2).unwrap();
         let bad = Hypervector::ones(64);
         assert!(model.classify_encoded(&bad).is_err());

@@ -395,8 +395,8 @@ impl OnlineLearner {
 mod tests {
     use super::*;
     use crate::encoder::uhd::{UhdConfig, UhdEncoder};
-    use crate::encoder::ImageEncoder;
-    use crate::model::LabelledImages;
+    use crate::encoder::Encoder;
+    use crate::model::LabelledSamples;
     use crate::retrain::retrain;
     use uhd_lowdisc::rng::Xoshiro256StarStar;
 
@@ -451,7 +451,7 @@ mod tests {
                 labels.push(c);
             }
         }
-        let data = LabelledImages::new(&images, &labels).unwrap();
+        let data = LabelledSamples::new(&images, &labels).unwrap();
         let model = HdcModel::train(&enc, data, 3).unwrap();
         let encodings: Vec<_> = images.iter().map(|img| enc.encode(img).unwrap()).collect();
 
@@ -495,7 +495,7 @@ mod tests {
                 labels.push(c);
             }
         }
-        let data = LabelledImages::new(&images, &labels).unwrap();
+        let data = LabelledSamples::new(&images, &labels).unwrap();
         let batch = HdcModel::train(&enc, data, 3).unwrap();
 
         let mut learner = OnlineLearner::new(dim).unwrap();

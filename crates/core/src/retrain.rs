@@ -101,8 +101,8 @@ pub fn retrain(
 mod tests {
     use super::*;
     use crate::encoder::uhd::{UhdConfig, UhdEncoder};
-    use crate::encoder::ImageEncoder;
-    use crate::model::LabelledImages;
+    use crate::encoder::Encoder;
+    use crate::model::LabelledSamples;
     use uhd_lowdisc::rng::Xoshiro256StarStar;
 
     /// Three overlapping intensity classes: hard enough that single-pass
@@ -133,7 +133,7 @@ mod tests {
         let pixels = 16usize;
         let enc = UhdEncoder::new(UhdConfig::new(1024, pixels)).unwrap();
         let (images, labels) = overlapping_data(60, pixels, 11);
-        let data = LabelledImages::new(&images, &labels).unwrap();
+        let data = LabelledSamples::new(&images, &labels).unwrap();
         let model = HdcModel::train(&enc, data, 3).unwrap();
         let before = model.evaluate(&enc, data).unwrap();
 
@@ -156,7 +156,7 @@ mod tests {
             .map(|i| vec![if i < 10 { 10u8 } else { 240 }; pixels])
             .collect();
         let labels: Vec<usize> = (0..20).map(|i| usize::from(i >= 10)).collect();
-        let data = LabelledImages::new(&images, &labels).unwrap();
+        let data = LabelledSamples::new(&images, &labels).unwrap();
         let model = HdcModel::train(&enc, data, 2).unwrap();
         let encodings: Vec<_> = images.iter().map(|img| enc.encode(img).unwrap()).collect();
         let (_, history) = retrain(&model, &encodings, &labels, 5).unwrap();
@@ -170,7 +170,7 @@ mod tests {
         let enc = UhdEncoder::new(UhdConfig::new(256, pixels)).unwrap();
         let images: Vec<Vec<u8>> = (0..4).map(|_| vec![100u8; pixels]).collect();
         let labels = vec![0usize, 0, 1, 1];
-        let data = LabelledImages::new(&images, &labels).unwrap();
+        let data = LabelledSamples::new(&images, &labels).unwrap();
         let model = HdcModel::train(&enc, data, 2).unwrap();
         let encodings: Vec<_> = images.iter().map(|img| enc.encode(img).unwrap()).collect();
 

@@ -1,0 +1,152 @@
+//! Labelled non-image sample container for workload-agnostic encoders.
+//!
+//! [`Dataset`](crate::image::Dataset) validates uniform image geometry;
+//! text sentences and sensor rows need a looser contract — samples are
+//! arbitrary byte feature streams, possibly of varying length. This
+//! container mirrors the `Dataset` accessors so downstream code (the
+//! `Workbench`, `LabelledSamples`, serving examples) treats both
+//! identically.
+
+use crate::error::DatasetError;
+
+/// A labelled collection of byte feature-stream samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureSet {
+    name: String,
+    classes: usize,
+    samples: Vec<Vec<u8>>,
+    labels: Vec<usize>,
+}
+
+impl FeatureSet {
+    /// Assemble a feature set, validating labels and counts.
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::InvalidSpec`] for empty data, empty samples or
+    /// labels out of range; [`DatasetError::CountMismatch`] when samples
+    /// and labels disagree in count.
+    pub fn new(
+        name: impl Into<String>,
+        classes: usize,
+        samples: Vec<Vec<u8>>,
+        labels: Vec<usize>,
+    ) -> Result<Self, DatasetError> {
+        if classes == 0 {
+            return Err(DatasetError::InvalidSpec {
+                reason: "zero classes".into(),
+            });
+        }
+        if samples.is_empty() {
+            return Err(DatasetError::InvalidSpec {
+                reason: "no samples".into(),
+            });
+        }
+        if samples.len() != labels.len() {
+            return Err(DatasetError::CountMismatch {
+                images: samples.len(),
+                labels: labels.len(),
+            });
+        }
+        if samples.iter().any(Vec::is_empty) {
+            return Err(DatasetError::InvalidSpec {
+                reason: "empty sample".into(),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
+            return Err(DatasetError::InvalidSpec {
+                reason: format!("label {bad} out of range for {classes} classes"),
+            });
+        }
+        Ok(FeatureSet {
+            name: name.into(),
+            classes,
+            samples,
+            labels,
+        })
+    }
+
+    /// Human-readable dataset name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the set is empty (never true for a validated set).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw samples.
+    #[must_use]
+    pub fn samples(&self) -> &[Vec<u8>] {
+        &self.samples
+    }
+
+    /// The labels, parallel to [`FeatureSet::samples`].
+    #[must_use]
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Samples per class.
+    #[must_use]
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Shortest sample length in the set.
+    #[must_use]
+    pub fn min_sample_len(&self) -> usize {
+        self.samples.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Longest sample length in the set.
+    #[must_use]
+    pub fn max_sample_len(&self) -> usize {
+        self.samples.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_and_exposes_accessors() {
+        let fs = FeatureSet::new("toy", 2, vec![vec![1, 2, 3], vec![4, 5]], vec![0, 1]).unwrap();
+        assert_eq!(fs.name(), "toy");
+        assert_eq!(fs.classes(), 2);
+        assert_eq!(fs.len(), 2);
+        assert!(!fs.is_empty());
+        assert_eq!(fs.class_counts(), vec![1, 1]);
+        assert_eq!(fs.min_sample_len(), 2);
+        assert_eq!(fs.max_sample_len(), 3);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(FeatureSet::new("t", 0, vec![vec![1]], vec![0]).is_err());
+        assert!(FeatureSet::new("t", 2, vec![], vec![]).is_err());
+        assert!(FeatureSet::new("t", 2, vec![vec![1]], vec![0, 1]).is_err());
+        assert!(FeatureSet::new("t", 2, vec![vec![]], vec![0]).is_err());
+        assert!(FeatureSet::new("t", 2, vec![vec![1]], vec![2]).is_err());
+    }
+}

@@ -1,16 +1,20 @@
-//! Image dataset substrate for the uHD reproduction.
+//! Dataset substrate for the uHD reproduction.
 //!
 //! Provides the evaluation data for every accuracy experiment in the
-//! paper (Tables IV and V, Fig. 6):
+//! paper (Tables IV and V, Fig. 6), plus the non-image workloads that
+//! exercise the workload-agnostic encoder layer:
 //!
 //! * [`idx`] — parsing of real MNIST-format (`idx-ubyte`) files when they
 //!   are available on disk;
 //! * [`synth`] — deterministic procedural analogues of MNIST, CIFAR-10,
 //!   BloodMNIST, BreastMNIST, Fashion-MNIST and SVHN (the repository
 //!   carries no binary assets — see DESIGN.md §5 for why the substitution
-//!   preserves the paper's claims);
+//!   preserves the paper's claims), along with a synthetic language-ID
+//!   corpus ([`synth::text`]) and sensor-row tables ([`synth::tabular`]);
 //! * [`split`] — stratified splitting and shuffling;
-//! * [`image`] — the validated [`image::Dataset`] container.
+//! * [`image`] — the validated [`image::Dataset`] container;
+//! * [`features`] — the [`features::FeatureSet`] container for labelled
+//!   byte feature streams of arbitrary (possibly varying) length.
 //!
 //! # Example
 //!
@@ -27,11 +31,15 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod features;
 pub mod idx;
 pub mod image;
 pub mod split;
 pub mod synth;
 
 pub use error::DatasetError;
+pub use features::FeatureSet;
 pub use image::Dataset;
+pub use synth::tabular::{generate_sensor_rows, SensorSpec};
+pub use synth::text::{generate_language_id, TextSpec};
 pub use synth::{SynthSpec, SyntheticKind};

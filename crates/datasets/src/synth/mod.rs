@@ -8,12 +8,20 @@
 //! baseline ordering, accuracy growth with D, iteration variance of the
 //! baseline) are exercised on realistic structure. See DESIGN.md §5 for
 //! the substitution rationale.
+//!
+//! The non-image workloads follow the same convention: [`text`]
+//! generates a synthetic language-ID corpus for the n-gram encoder and
+//! [`tabular`] generates fixed-width sensor rows for the record
+//! encoder, both as [`crate::FeatureSet`] pairs with disjoint
+//! train/test RNG streams.
 
 pub mod digits;
 pub mod fashion;
 pub mod medical;
 pub mod natural;
 pub mod raster;
+pub mod tabular;
+pub mod text;
 
 use crate::error::DatasetError;
 use crate::image::Dataset;

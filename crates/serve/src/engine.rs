@@ -10,7 +10,7 @@ use crate::request::{LearnSample, Request, Response, Slot, Ticket};
 use crate::stats::StatsSnapshot;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
-use uhd_core::{HdcError, HdcModel, ImageEncoder, InferenceMode, OnlineLearner};
+use uhd_core::{Encoder, HdcError, HdcModel, InferenceMode, OnlineLearner};
 use uhd_obs::{Recorder, TraceEvent, TraceKind, TraceLevel};
 
 /// Sizing of the worker pool and its micro-batches, the inference mode
@@ -203,7 +203,7 @@ impl<E: ?Sized> Clone for ServeEngine<'_, E> {
 }
 impl<E: ?Sized> Copy for ServeEngine<'_, E> {}
 
-impl<E: ImageEncoder + ?Sized> ServeEngine<'_, E> {
+impl<E: Encoder + ?Sized> ServeEngine<'_, E> {
     /// Run a serving session: spawn `config.shards` workers over a
     /// shared micro-batching queue, hand the client closure an engine
     /// handle, and shut the pool down (draining every pending request)
@@ -215,7 +215,9 @@ impl<E: ImageEncoder + ?Sized> ServeEngine<'_, E> {
     /// [`HdcModel::classify_encoded`].
     ///
     /// The scoped-thread design means `encoder` is borrowed, not
-    /// `'static`: any `ImageEncoder` usable on the stack is servable.
+    /// `'static`: any [`Encoder`] usable on the stack is servable —
+    /// image, text or tabular alike; the engine has no
+    /// workload-specific paths.
     ///
     /// # Errors
     ///
@@ -290,25 +292,23 @@ impl<E: ImageEncoder + ?Sized> ServeEngine<'_, E> {
         }))
     }
 
-    /// Enqueue one image for classification; redeem the ticket with
+    /// Enqueue one sample for classification; redeem the ticket with
     /// [`Ticket::wait`].
     ///
     /// # Errors
     ///
-    /// * [`ServeError::Core`] for an image of the wrong pixel count
-    ///   (rejected eagerly, before it reaches the queue).
+    /// * [`ServeError::Core`] for a sample failing the encoder's
+    ///   [`Encoder::check_features`] (rejected eagerly, before it
+    ///   reaches the queue).
     /// * [`ServeError::Closed`] after shutdown.
-    pub fn submit(&self, image: Vec<u8>) -> Result<Ticket, ServeError> {
-        let expected = self.shared.encoder.pixels();
-        if image.len() != expected {
-            return Err(ServeError::Core(HdcError::ImageSizeMismatch {
-                expected,
-                got: image.len(),
-            }));
-        }
+    pub fn submit(&self, input: Vec<u8>) -> Result<Ticket, ServeError> {
+        self.shared
+            .encoder
+            .check_features(&input)
+            .map_err(ServeError::Core)?;
         let slot = Arc::new(Slot::default());
         let request = Request {
-            image,
+            input,
             slot: Arc::clone(&slot),
             submitted_at: Instant::now(),
         };
@@ -321,63 +321,60 @@ impl<E: ImageEncoder + ?Sized> ServeEngine<'_, E> {
         }
     }
 
-    /// Submit one image and block for its answer.
+    /// Submit one sample and block for its answer.
     ///
     /// # Errors
     ///
     /// Same conditions as [`ServeEngine::submit`] plus any per-request
     /// classification error.
-    pub fn classify(&self, image: &[u8]) -> Result<Response, ServeError> {
-        self.submit(image.to_vec())?.wait()
+    pub fn classify(&self, input: &[u8]) -> Result<Response, ServeError> {
+        self.submit(input.to_vec())?.wait()
     }
 
-    /// Enqueue a whole slice of images as one wave — a single queue
+    /// Enqueue a whole slice of samples as one wave — a single queue
     /// lock acquisition and one worker broadcast — returning a ticket
-    /// per image in input order. The whole wave is validated before
+    /// per sample in input order. The whole wave is validated before
     /// anything is enqueued (all-or-nothing).
     ///
     /// # Errors
     ///
     /// Same conditions as [`ServeEngine::submit`].
-    pub fn submit_many(&self, images: &[Vec<u8>]) -> Result<Vec<Ticket>, ServeError> {
-        let expected = self.shared.encoder.pixels();
-        let mut tickets = Vec::with_capacity(images.len());
-        let mut requests = Vec::with_capacity(images.len());
-        for image in images {
-            if image.len() != expected {
-                return Err(ServeError::Core(HdcError::ImageSizeMismatch {
-                    expected,
-                    got: image.len(),
-                }));
-            }
+    pub fn submit_many(&self, inputs: &[Vec<u8>]) -> Result<Vec<Ticket>, ServeError> {
+        let mut tickets = Vec::with_capacity(inputs.len());
+        let mut requests = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            self.shared
+                .encoder
+                .check_features(input)
+                .map_err(ServeError::Core)?;
             let slot = Arc::new(Slot::default());
             tickets.push(Ticket {
                 slot: Arc::clone(&slot),
             });
             requests.push(Request {
-                image: image.clone(),
+                input: input.clone(),
                 slot,
                 submitted_at: Instant::now(),
             });
         }
         match self.shared.queue.push_all(requests) {
             Ok(()) => {
-                self.shared.obs.stats.record_submit_many(images.len());
+                self.shared.obs.stats.record_submit_many(inputs.len());
                 Ok(tickets)
             }
             Err(_) => Err(ServeError::Closed),
         }
     }
 
-    /// Submit a whole slice of images before waiting on any of them, so
-    /// the worker shards can drain them as micro-batches. Responses are
-    /// returned in input order.
+    /// Submit a whole slice of samples before waiting on any of them,
+    /// so the worker shards can drain them as micro-batches. Responses
+    /// are returned in input order.
     ///
     /// # Errors
     ///
     /// Same conditions as [`ServeEngine::classify`].
-    pub fn classify_many(&self, images: &[Vec<u8>]) -> Result<Vec<Response>, ServeError> {
-        self.submit_many(images)?
+    pub fn classify_many(&self, inputs: &[Vec<u8>]) -> Result<Vec<Response>, ServeError> {
+        self.submit_many(inputs)?
             .into_iter()
             .map(Ticket::wait)
             .collect()
@@ -444,16 +441,17 @@ impl<E: ImageEncoder + ?Sized> ServeEngine<'_, E> {
     ///
     /// # Errors
     ///
-    /// * [`ServeError::Core`] for an image of the wrong pixel count.
+    /// * [`ServeError::Core`] for a sample failing the encoder's
+    ///   [`Encoder::check_features`].
     /// * [`ServeError::InvalidLabel`] for a label at or beyond
     ///   [`ServeConfig::max_classes`].
     /// * [`ServeError::Closed`] after shutdown.
-    pub fn learn(&self, image: Vec<u8>, label: usize) -> Result<(), ServeError> {
-        self.submit_sample(image, label, None)
+    pub fn learn(&self, input: Vec<u8>, label: usize) -> Result<(), ServeError> {
+        self.submit_sample(input, label, None)
     }
 
     /// Enqueue served-prediction feedback: the client observed the
-    /// engine answer `predicted` for `image` whose true class is
+    /// engine answer `predicted` for `input` whose true class is
     /// `label`. The background learner applies the AdaptHD perceptron
     /// correction (only when `predicted != label`), and mispredictions
     /// steadily reshape the published model.
@@ -464,26 +462,23 @@ impl<E: ImageEncoder + ?Sized> ServeEngine<'_, E> {
     /// index is validated against the cap too).
     pub fn feedback(
         &self,
-        image: Vec<u8>,
+        input: Vec<u8>,
         predicted: usize,
         label: usize,
     ) -> Result<(), ServeError> {
-        self.submit_sample(image, label, Some(predicted))
+        self.submit_sample(input, label, Some(predicted))
     }
 
     fn submit_sample(
         &self,
-        image: Vec<u8>,
+        input: Vec<u8>,
         label: usize,
         predicted: Option<usize>,
     ) -> Result<(), ServeError> {
-        let expected = self.shared.encoder.pixels();
-        if image.len() != expected {
-            return Err(ServeError::Core(HdcError::ImageSizeMismatch {
-                expected,
-                got: image.len(),
-            }));
-        }
+        self.shared
+            .encoder
+            .check_features(&input)
+            .map_err(ServeError::Core)?;
         let limit = self.config.max_classes;
         for index in std::iter::once(label).chain(predicted) {
             if index >= limit {
@@ -494,7 +489,7 @@ impl<E: ImageEncoder + ?Sized> ServeEngine<'_, E> {
             }
         }
         let sample = LearnSample {
-            image,
+            input,
             label,
             predicted,
             submitted_at: Instant::now(),
@@ -673,7 +668,7 @@ impl Drop for TrainerFailGuard<'_> {
 /// Manual [`ServeEngine::update_model`] swaps share the generation
 /// stream but do **not** re-seed the learner: online state accumulates
 /// from the model the engine started with.
-fn trainer_loop<E: ImageEncoder + ?Sized>(shared: &Shared<'_, E>, config: ServeConfig) {
+fn trainer_loop<E: Encoder + ?Sized>(shared: &Shared<'_, E>, config: ServeConfig) {
     let _fail_guard = TrainerFailGuard(&shared.learn);
     /// A sample encoded (outside the learner lock) and ready to apply.
     struct Prepared {
@@ -691,14 +686,14 @@ fn trainer_loop<E: ImageEncoder + ?Sized>(shared: &Shared<'_, E>, config: ServeC
         // Encoding needs no learner state: do it outside the learner
         // lock so a concurrent `update_model` re-seed never waits on
         // a whole batch of encodes. The trainer works in the *integer*
-        // encoding domain (per-image bipolar accumulator sums):
+        // encoding domain (per-sample bipolar accumulator sums):
         // bundling is linear there, so streaming observations
         // reproduce single-pass batch training exactly — the
         // convergent path — where bundling binarized ±1 encodings
         // would collapse on the dark, sparse datasets of DESIGN.md §4.
         for sample in batch.drain(..) {
             prepared.push(Prepared {
-                sums: encode_sums(shared.encoder, &mut scratch, &sample.image),
+                sums: encode_sums(shared.encoder, &mut scratch, &sample.input),
                 label: sample.label,
                 predicted: sample.predicted,
                 submitted_at: sample.submitted_at,
@@ -767,15 +762,15 @@ fn trainer_loop<E: ImageEncoder + ?Sized>(shared: &Shared<'_, E>, config: ServeC
     }
 }
 
-/// Encode one image to its integer (bipolar-sums) encoding, reusing
+/// Encode one sample to its integer (bipolar-sums) encoding, reusing
 /// the trainer's scratch accumulator.
-fn encode_sums<E: ImageEncoder + ?Sized>(
+fn encode_sums<E: Encoder + ?Sized>(
     encoder: &E,
     scratch: &mut uhd_core::BitSliceAccumulator,
-    image: &[u8],
+    input: &[u8],
 ) -> Result<Vec<i64>, HdcError> {
     scratch.clear();
-    encoder.accumulate(image, scratch)?;
+    encoder.accumulate(input, scratch)?;
     Ok(scratch.bipolar_sums())
 }
 
@@ -794,7 +789,7 @@ fn kernel_ordinal(name: &str) -> u64 {
 /// generation once, answer every request in the batch through the
 /// bit-sliced associative memory — attributing each request's life to
 /// queue-wait / batch-compute / total along the way.
-fn worker_loop<E: ImageEncoder + ?Sized>(
+fn worker_loop<E: Encoder + ?Sized>(
     shared: &Shared<'_, E>,
     shard: usize,
     max_batch: usize,
@@ -831,7 +826,7 @@ fn worker_loop<E: ImageEncoder + ?Sized>(
             let outcome = answer(
                 shared.encoder,
                 &snapshot,
-                &request.image,
+                &request.input,
                 mode,
                 &mut scratch,
                 &mut dists,
@@ -847,10 +842,10 @@ fn worker_loop<E: ImageEncoder + ?Sized>(
     }
 }
 
-fn answer<E: ImageEncoder + ?Sized>(
+fn answer<E: Encoder + ?Sized>(
     encoder: &E,
     snapshot: &ModelGeneration,
-    image: &[u8],
+    input: &[u8],
     mode: InferenceMode,
     scratch: &mut uhd_core::BitSliceAccumulator,
     dists: &mut Vec<u32>,
@@ -861,14 +856,14 @@ fn answer<E: ImageEncoder + ?Sized>(
         // (bit-identical to `classify_encoded`, which delegates to the
         // same search).
         InferenceMode::BinarizedQuery => {
-            let query = encoder.encode_into(image, scratch)?;
+            let query = encoder.encode_into(input, scratch)?;
             snapshot
                 .model
                 .associative_memory()
                 .nearest_with(&query, dists)?
         }
         InferenceMode::IntegerQuery | InferenceMode::IntegerBoth => {
-            snapshot.model.classify_with(encoder, image, mode)?
+            snapshot.model.classify_with(encoder, input, mode)?
         }
     };
     Ok(Response {
@@ -882,7 +877,7 @@ fn answer<E: ImageEncoder + ?Sized>(
 mod tests {
     use super::*;
     use uhd_core::encoder::uhd::{UhdConfig, UhdEncoder};
-    use uhd_core::model::{InferenceMode, LabelledImages};
+    use uhd_core::model::{InferenceMode, LabelledSamples};
 
     const PIXELS: usize = 8;
 
@@ -892,7 +887,7 @@ mod tests {
             .map(|i| vec![if i % 2 == 0 { 20u8 } else { 230 }; PIXELS])
             .collect();
         let labels: Vec<usize> = (0..20).map(|i| i % 2).collect();
-        let data = LabelledImages::new(&images, &labels).unwrap();
+        let data = LabelledSamples::new(&images, &labels).unwrap();
         let model = HdcModel::train(&encoder, data, 2).unwrap();
         (encoder, model, images, labels)
     }
@@ -986,7 +981,7 @@ mod tests {
             let tiny_encoder = UhdEncoder::new(UhdConfig::new(64, PIXELS)).unwrap();
             let tiny_images: Vec<Vec<u8>> = vec![vec![10u8; PIXELS], vec![200u8; PIXELS]];
             let tiny_labels = vec![0usize, 1];
-            let tiny_data = LabelledImages::new(&tiny_images, &tiny_labels).unwrap();
+            let tiny_data = LabelledSamples::new(&tiny_images, &tiny_labels).unwrap();
             let tiny_model = HdcModel::train(&tiny_encoder, tiny_data, 2).unwrap();
             assert!(matches!(
                 engine.update_model(tiny_model),
@@ -1081,7 +1076,7 @@ mod tests {
         // derived from the stale initial model, clobbering the swap.
         let (encoder, model, images, labels) = fixture();
         let swapped_labels: Vec<usize> = labels.iter().map(|&l| 1 - l).collect();
-        let data = LabelledImages::new(&images, &swapped_labels).unwrap();
+        let data = LabelledSamples::new(&images, &swapped_labels).unwrap();
         let swapped = HdcModel::train(&encoder, data, 2).unwrap();
         ServeEngine::serve(ServeConfig::new(1, 4), &encoder, model, |engine| {
             engine.update_model(swapped.clone()).unwrap();
@@ -1156,15 +1151,15 @@ mod tests {
     }
 
     /// Delegates to a real encoder but panics on a poison image —
-    /// stands in for a buggy user-supplied `ImageEncoder`.
+    /// stands in for a buggy user-supplied `Encoder`.
     struct PanickingEncoder(UhdEncoder);
 
-    impl ImageEncoder for PanickingEncoder {
+    impl Encoder for PanickingEncoder {
         fn dim(&self) -> u32 {
             self.0.dim()
         }
-        fn pixels(&self) -> usize {
-            self.0.pixels()
+        fn features(&self) -> usize {
+            self.0.features()
         }
         fn accumulate(
             &self,
@@ -1205,8 +1200,22 @@ mod tests {
     #[test]
     fn trait_object_encoders_are_servable() {
         let (encoder, model, images, _) = fixture();
-        let dyn_encoder: &dyn ImageEncoder = &encoder;
+        let dyn_encoder: &dyn Encoder = &encoder;
         let response = ServeEngine::serve(ServeConfig::new(1, 1), dyn_encoder, model, |engine| {
+            engine.classify(&images[0]).unwrap()
+        })
+        .unwrap();
+        assert_eq!(response.generation, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_image_encoder_trait_objects_still_serve() {
+        // Pre-refactor callers held `&dyn ImageEncoder`; the alias
+        // trait's supertrait keeps those objects servable unchanged.
+        let (encoder, model, images, _) = fixture();
+        let legacy: &dyn uhd_core::ImageEncoder = &encoder;
+        let response = ServeEngine::serve(ServeConfig::new(1, 1), legacy, model, |engine| {
             engine.classify(&images[0]).unwrap()
         })
         .unwrap();

@@ -1,8 +1,11 @@
 //! Batched, sharded inference serving for the uHD reproduction.
 //!
-//! The core crates answer one image at a time; this crate turns a
+//! The core crates answer one sample at a time; this crate turns a
 //! trained [`uhd_core::HdcModel`] into a **serving engine** shaped for
-//! heavy traffic:
+//! heavy traffic. The engine is generic over [`uhd_core::Encoder`]
+//! feature streams — image, n-gram text and tabular workloads all flow
+//! through the same queues, shards, trainer and stats, with no
+//! workload-specific branches:
 //!
 //! * **Micro-batching** — clients submit requests into a
 //!   lock-protected, condvar-signalled queue; worker shards drain
@@ -45,13 +48,13 @@
 //!
 //! ```
 //! use uhd_core::encoder::uhd::{UhdConfig, UhdEncoder};
-//! use uhd_core::model::{HdcModel, LabelledImages};
+//! use uhd_core::model::{HdcModel, LabelledSamples};
 //! use uhd_serve::{ServeConfig, ServeEngine};
 //!
 //! let encoder = UhdEncoder::new(UhdConfig::new(256, 4))?;
 //! let images = vec![vec![0u8; 4], vec![255u8; 4], vec![10u8; 4], vec![245u8; 4]];
 //! let labels = vec![0, 1, 0, 1];
-//! let model = HdcModel::train(&encoder, LabelledImages::new(&images, &labels)?, 2)?;
+//! let model = HdcModel::train(&encoder, LabelledSamples::new(&images, &labels)?, 2)?;
 //!
 //! let responses = ServeEngine::serve(ServeConfig::new(2, 8), &encoder, model, |engine| {
 //!     engine.classify_many(&images)

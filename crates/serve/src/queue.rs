@@ -233,7 +233,7 @@ mod tests {
 
     fn request() -> Request {
         Request {
-            image: vec![0u8; 4],
+            input: vec![0u8; 4],
             slot: Arc::new(Slot::default()),
             submitted_at: std::time::Instant::now(),
         }
@@ -283,7 +283,7 @@ mod tests {
 
     fn sample(label: usize) -> LearnSample {
         LearnSample {
-            image: vec![0u8; 4],
+            input: vec![0u8; 4],
             label,
             predicted: None,
             submitted_at: std::time::Instant::now(),

@@ -73,7 +73,7 @@ impl Ticket {
 /// An enqueued classification request.
 #[derive(Debug)]
 pub(crate) struct Request {
-    pub(crate) image: Vec<u8>,
+    pub(crate) input: Vec<u8>,
     pub(crate) slot: Arc<Slot>,
     /// Monotonic submit time, the anchor of the staged latency
     /// breakdown (queue-wait at dequeue, total at completion).
@@ -87,7 +87,7 @@ pub(crate) struct Request {
 /// correction applied only when `p != label`).
 #[derive(Debug, Clone)]
 pub(crate) struct LearnSample {
-    pub(crate) image: Vec<u8>,
+    pub(crate) input: Vec<u8>,
     pub(crate) label: usize,
     pub(crate) predicted: Option<usize>,
     /// Monotonic submit time; the trainer reports submit→apply as its

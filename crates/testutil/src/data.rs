@@ -1,7 +1,10 @@
 //! Synthetic-dataset builders sized for tests.
 
-use uhd_core::model::LabelledImages;
+use uhd_core::model::LabelledSamples;
+use uhd_datasets::features::FeatureSet;
 use uhd_datasets::image::Dataset;
+use uhd_datasets::synth::tabular::{generate_sensor_rows, SensorSpec};
+use uhd_datasets::synth::text::{generate_language_id, TextSpec};
 use uhd_datasets::synth::{generate, SynthSpec, SyntheticKind};
 
 /// The dataset seed every fixture uses unless a test needs to vary it.
@@ -29,15 +32,49 @@ pub fn tiny_dataset(kind: SyntheticKind, train_n: usize, test_n: usize) -> (Data
         .expect("synthetic fixture generation failed")
 }
 
-/// Labelled view over a dataset split — the boilerplate every
+/// A small synthetic language-ID train/test pair at [`TINY_SEED`].
+///
+/// # Panics
+///
+/// Panics when generation fails (a fixture bug, fatal in tests).
+#[must_use]
+pub fn tiny_language_id(train_n: usize, test_n: usize) -> (FeatureSet, FeatureSet) {
+    generate_language_id(TextSpec::new(train_n, test_n, TINY_SEED))
+        .expect("synthetic language-id generation failed")
+}
+
+/// A small synthetic sensor-row train/test pair at [`TINY_SEED`].
+///
+/// # Panics
+///
+/// Panics when generation fails (a fixture bug, fatal in tests).
+#[must_use]
+pub fn tiny_sensor_rows(train_n: usize, test_n: usize) -> (FeatureSet, FeatureSet) {
+    generate_sensor_rows(SensorSpec::new(train_n, test_n, TINY_SEED))
+        .expect("synthetic sensor-row generation failed")
+}
+
+/// Labelled view over an image dataset split — the boilerplate every
 /// integration test repeats before training.
 ///
 /// # Panics
 ///
 /// Panics when the split is malformed (a fixture bug, fatal in tests).
 #[must_use]
-pub fn tiny_labelled(split: &Dataset) -> LabelledImages<'_> {
-    LabelledImages::new(split.images(), split.labels())
+pub fn tiny_labelled(split: &Dataset) -> LabelledSamples<'_> {
+    LabelledSamples::new(split.images(), split.labels())
+        .expect("synthetic split is valid by construction")
+}
+
+/// Labelled view over a feature-stream split, mirroring
+/// [`tiny_labelled`] for the non-image workloads.
+///
+/// # Panics
+///
+/// Panics when the split is malformed (a fixture bug, fatal in tests).
+#[must_use]
+pub fn tiny_labelled_features(split: &FeatureSet) -> LabelledSamples<'_> {
+    LabelledSamples::new(split.samples(), split.labels())
         .expect("synthetic split is valid by construction")
 }
 
@@ -61,5 +98,15 @@ mod tests {
         let (b, _) = tiny_mnist(30, 10);
         assert_eq!(a.images(), b.images());
         assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn tiny_feature_fixtures_have_expected_shapes() {
+        let (train, test) = tiny_language_id(18, 6);
+        assert_eq!(train.classes(), 6);
+        assert_eq!(test.len(), 6);
+        assert_eq!(tiny_labelled_features(&train).len(), 18);
+        let (rows, _) = tiny_sensor_rows(12, 6);
+        assert_eq!(rows.min_sample_len(), rows.max_sample_len());
     }
 }

@@ -19,5 +19,8 @@ pub mod data;
 pub mod rng;
 
 pub use approx::{assert_close, close, rel_close};
-pub use data::{tiny_labelled, tiny_mnist, TINY_SEED};
+pub use data::{
+    tiny_labelled, tiny_labelled_features, tiny_language_id, tiny_mnist, tiny_sensor_rows,
+    TINY_SEED,
+};
 pub use rng::{fixture_rng, random_image, random_masks};

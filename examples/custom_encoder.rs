@@ -1,5 +1,5 @@
 //! Building a custom encoder on the public API: a Halton-sequence uHD
-//! variant plus a from-scratch `ImageEncoder` implementation (random
+//! variant plus a from-scratch `Encoder` implementation (random
 //! projection), both trained and compared on the same data.
 //!
 //! Run with:
@@ -8,11 +8,12 @@
 //! cargo run --release --example custom_encoder
 //! ```
 
+use std::borrow::Cow;
 use uhd::core::accumulator::BitSliceAccumulator;
 use uhd::core::encoder::uhd::{LdFamily, UhdConfig, UhdEncoder};
-use uhd::core::encoder::{EncoderProfile, ImageEncoder};
+use uhd::core::encoder::{Encoder, EncoderProfile};
 use uhd::core::hypervector::{words_for_dim, Hypervector};
-use uhd::core::model::{HdcModel, LabelledImages};
+use uhd::core::model::{HdcModel, LabelledSamples};
 use uhd::core::HdcError;
 use uhd::datasets::synth::{generate, SynthSpec, SyntheticKind};
 use uhd::lowdisc::rng::Xoshiro256StarStar;
@@ -47,12 +48,12 @@ impl RandomProjectionEncoder {
     }
 }
 
-impl ImageEncoder for RandomProjectionEncoder {
+impl Encoder for RandomProjectionEncoder {
     fn dim(&self) -> u32 {
         self.dim
     }
 
-    fn pixels(&self) -> usize {
+    fn features(&self) -> usize {
         self.pixels
     }
 
@@ -72,12 +73,12 @@ impl ImageEncoder for RandomProjectionEncoder {
 
     fn profile(&self) -> EncoderProfile {
         EncoderProfile {
-            name: "random-projection",
-            pixels: self.pixels,
+            name: Cow::Borrowed("random-projection"),
+            features: self.pixels,
             dim: self.dim,
-            comparisons_per_image: 0,
-            bind_bitops_per_image: 0,
-            accumulate_ops_per_image: self.pixels as u64 * u64::from(self.dim),
+            comparisons_per_sample: 0,
+            bind_bitops_per_sample: 0,
+            accumulate_ops_per_sample: self.pixels as u64 * u64::from(self.dim),
             rng_draws_per_iteration: self.pixels as u64
                 * u64::from(self.levels)
                 * u64::from(self.dim),
@@ -90,8 +91,8 @@ impl ImageEncoder for RandomProjectionEncoder {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let d = 1024u32;
     let (train, test) = generate(SynthSpec::new(SyntheticKind::Mnist, 1500, 500, 9))?;
-    let tr = LabelledImages::new(train.images(), train.labels())?;
-    let te = LabelledImages::new(test.images(), test.labels())?;
+    let tr = LabelledSamples::new(train.images(), train.labels())?;
+    let te = LabelledSamples::new(test.images(), test.labels())?;
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
 
     // uHD with a different LD family — one config field away.
@@ -107,9 +108,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sobol = UhdEncoder::new(UhdConfig::new(d, train.pixels()))?;
 
     for (name, enc) in [
-        ("uHD (sobol, paper default)", &sobol as &dyn ImageEncoder),
-        ("uHD (halton family)", &halton as &dyn ImageEncoder),
-        ("custom random-projection", &custom as &dyn ImageEncoder),
+        ("uHD (sobol, paper default)", &sobol as &dyn Encoder),
+        ("uHD (halton family)", &halton as &dyn Encoder),
+        ("custom random-projection", &custom as &dyn Encoder),
     ] {
         let model = HdcModel::train_parallel(enc, tr, train.classes(), threads)?;
         let acc = model.evaluate_parallel(enc, te, threads)?;

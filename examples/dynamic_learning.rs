@@ -17,7 +17,7 @@
 
 use uhd::core::encoder::uhd::{UhdConfig, UhdEncoder};
 use uhd::core::model::InferenceMode;
-use uhd::core::{BitSliceAccumulator, ImageEncoder, OnlineLearner};
+use uhd::core::{BitSliceAccumulator, Encoder, OnlineLearner};
 use uhd::datasets::synth::{generate, SynthSpec, SyntheticKind};
 use uhd::serve::{ServeConfig, ServeEngine};
 

@@ -13,7 +13,7 @@
 
 use uhd::core::encoder::baseline::{BaselineConfig, BaselineEncoder};
 use uhd::core::encoder::uhd::{UhdConfig, UhdEncoder};
-use uhd::core::model::{HdcModel, LabelledImages};
+use uhd::core::model::{HdcModel, LabelledSamples};
 use uhd::datasets::synth::{generate, SynthSpec, SyntheticKind};
 use uhd::lowdisc::rng::Xoshiro256StarStar;
 
@@ -36,8 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-    let train_data = LabelledImages::new(train.images(), train.labels())?;
-    let test_data = LabelledImages::new(test.images(), test.labels())?;
+    let train_data = LabelledSamples::new(train.images(), train.labels())?;
+    let test_data = LabelledSamples::new(test.images(), test.labels())?;
 
     // --- uHD: deterministic Sobol encoding, single iteration ---
     let uhd_encoder = UhdEncoder::new(UhdConfig::new(dim, train.pixels()))?;

@@ -23,7 +23,7 @@
 //! `UHD_LOG=1` additionally fills the trace-event ring.
 
 use uhd::core::encoder::uhd::{UhdConfig, UhdEncoder};
-use uhd::core::model::{HdcModel, InferenceMode, LabelledImages};
+use uhd::core::model::{HdcModel, InferenceMode, LabelledSamples};
 use uhd::datasets::synth::{generate, SynthSpec, SyntheticKind};
 use uhd::serve::{ServeConfig, ServeEngine};
 
@@ -35,8 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Generation 0: only the first 300 samples of the stream have been
     // seen. Generation 1: the full 900 (single-pass training, so the
     // refresh costs one scan).
-    let early = LabelledImages::new(&train.images()[..300], &train.labels()[..300])?;
-    let full = LabelledImages::new(train.images(), train.labels())?;
+    let early = LabelledSamples::new(&train.images()[..300], &train.labels()[..300])?;
+    let full = LabelledSamples::new(train.images(), train.labels())?;
     let model_early = HdcModel::train(&encoder, early, train.classes())?;
     let model_full = HdcModel::train(&encoder, full, train.classes())?;
 
@@ -122,8 +122,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Sanity: the engine's answers match the serial evaluation path.
-    let serial =
-        model_full.evaluate(&encoder, LabelledImages::new(test.images(), test.labels())?)?;
+    let serial = model_full.evaluate(
+        &encoder,
+        LabelledSamples::new(test.images(), test.labels())?,
+    )?;
     assert_eq!(correct_after as f64 / n as f64, serial);
     println!("serial evaluation agrees: {:.2} %", 100.0 * serial);
     Ok(())

@@ -13,7 +13,7 @@
 //! ```
 
 use uhd::core::encoder::uhd::{UhdConfig, UhdEncoder};
-use uhd::core::model::{HdcModel, LabelledImages};
+use uhd::core::model::{HdcModel, LabelledSamples};
 use uhd::lowdisc::rng::Xoshiro256StarStar;
 
 const SAMPLES: usize = 64;
@@ -59,8 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (test_x, test_y) = make(300, &mut rng);
 
     let encoder = UhdEncoder::new(UhdConfig::new(2048, SAMPLES))?;
-    let train = LabelledImages::new(&train_x, &train_y)?;
-    let test = LabelledImages::new(&test_x, &test_y)?;
+    let train = LabelledSamples::new(&train_x, &train_y)?;
+    let test = LabelledSamples::new(&test_x, &test_y)?;
     let model = HdcModel::train(&encoder, train, 3)?;
     let acc = model.evaluate(&encoder, test)?;
     println!("waveform classes: sine / clipped-sine / chirp ({SAMPLES} samples each)");

@@ -7,11 +7,13 @@
 //! * [`lowdisc`] — Sobol / Halton / R2 low-discrepancy sequences, LFSRs,
 //!   quantization, deterministic RNG.
 //! * [`bitstream`] — unary (thermometer) bit-stream computing substrate.
-//! * [`core`] — hypervectors, the baseline and uHD encoders, training and
-//!   inference.
+//! * [`core`] — hypervectors, the workload-agnostic [`core::Encoder`]
+//!   layer (baseline, uHD, n-gram text and tabular record encoders),
+//!   training and inference.
 //! * [`hw`] — gate-level energy/area/delay model and the embedded ARM
 //!   cost model.
-//! * [`datasets`] — IDX loading and procedural synthetic datasets.
+//! * [`datasets`] — IDX loading and procedural synthetic datasets
+//!   (images, language-ID text, sensor rows).
 //! * [`serve`] — batched, sharded inference engine with micro-batching,
 //!   a bit-sliced associative memory and hot model swap.
 //! * [`obs`] — lock-free latency histograms, trace-event ring, and the

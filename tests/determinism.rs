@@ -96,6 +96,32 @@ fn classify_batch_is_bit_identical_to_a_loop_of_classify() {
 }
 
 #[test]
+fn text_workload_is_bit_identical_across_runs() {
+    use uhd::core::encoder::text::{NgramTextConfig, NgramTextEncoder};
+    use uhd::datasets::{generate_language_id, TextSpec};
+    use uhd_testutil::tiny_labelled_features;
+
+    let run = |seed: u64| -> HdcModel {
+        let (train, _) = generate_language_id(TextSpec::new(60, 12, seed)).expect("generate");
+        let enc = NgramTextEncoder::new(NgramTextConfig::new(1024)).unwrap();
+        HdcModel::train(&enc, tiny_labelled_features(&train), train.classes()).unwrap()
+    };
+    let (a, b) = (run(42), run(42));
+    assert_eq!(
+        a.class_hypervectors(),
+        b.class_hypervectors(),
+        "two seeded text runs must produce bit-identical class hypervectors"
+    );
+    assert_eq!(a.class_sums(), b.class_sums());
+    assert_eq!(a.to_bytes(), b.to_bytes());
+    assert_ne!(
+        a.to_bytes(),
+        run(43).to_bytes(),
+        "distinct corpus seeds must give distinct text models"
+    );
+}
+
+#[test]
 fn rng_streams_are_reproducible_and_seed_sensitive() {
     let take = |seed: u64| -> Vec<u64> {
         let mut r = Xoshiro256StarStar::seeded(seed);

@@ -3,8 +3,8 @@
 
 use uhd::bitstream::{BitstreamError, UnaryBitstream, UnaryStreamTable};
 use uhd::core::encoder::uhd::{UhdConfig, UhdEncoder};
-use uhd::core::model::{HdcModel, LabelledImages};
-use uhd::core::{HdcError, ImageEncoder};
+use uhd::core::model::{HdcModel, LabelledSamples};
+use uhd::core::{Encoder, HdcError};
 use uhd::datasets::idx::{parse_idx_images, parse_idx_labels};
 use uhd::datasets::DatasetError;
 use uhd::lowdisc::sobol::SobolDimension;
@@ -79,7 +79,7 @@ fn training_validates_labels_and_shapes() {
     let enc = UhdEncoder::new(UhdConfig::new(128, 4)).unwrap();
     let images = vec![vec![0u8; 4]; 6];
     let bad_labels = vec![0usize, 1, 2, 0, 1, 99];
-    let data = LabelledImages::new(&images, &bad_labels).unwrap();
+    let data = LabelledSamples::new(&images, &bad_labels).unwrap();
     assert!(matches!(
         HdcModel::train(&enc, data, 3),
         Err(HdcError::InvalidTrainingData { .. })
@@ -88,7 +88,7 @@ fn training_validates_labels_and_shapes() {
     let mut ragged = images.clone();
     ragged[3] = vec![0u8; 5];
     let labels = vec![0usize, 1, 2, 0, 1, 2];
-    let data = LabelledImages::new(&ragged, &labels).unwrap();
+    let data = LabelledSamples::new(&ragged, &labels).unwrap();
     assert!(matches!(
         HdcModel::train(&enc, data, 3),
         Err(HdcError::ImageSizeMismatch { .. })
@@ -100,7 +100,7 @@ fn model_bytes_fuzzing_never_panics() {
     let enc = UhdEncoder::new(UhdConfig::new(128, 4)).unwrap();
     let images = vec![vec![10u8; 4], vec![240u8; 4]];
     let labels = vec![0usize, 1];
-    let data = LabelledImages::new(&images, &labels).unwrap();
+    let data = LabelledSamples::new(&images, &labels).unwrap();
     let model = HdcModel::train(&enc, data, 2).unwrap();
     let bytes = model.to_bytes();
     // Truncations at every length and a few corruptions must return Err.

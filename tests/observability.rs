@@ -5,7 +5,7 @@
 //! recorder's zero-surface guarantee.
 
 use uhd::core::encoder::uhd::{UhdConfig, UhdEncoder};
-use uhd::core::model::{HdcModel, LabelledImages};
+use uhd::core::model::{HdcModel, LabelledSamples};
 use uhd::datasets::image::Dataset;
 use uhd::datasets::synth::{generate, SynthSpec, SyntheticKind};
 use uhd::serve::{ServeConfig, ServeEngine, TraceKind, TraceLevel};
@@ -15,7 +15,7 @@ fn fixture(train_n: usize, test_n: usize, dim: u32, seed: u64) -> (UhdEncoder, H
     let (train, test) =
         generate(SynthSpec::new(SyntheticKind::Mnist, train_n, test_n, seed)).expect("generate");
     let encoder = UhdEncoder::new(UhdConfig::new(dim, train.pixels())).unwrap();
-    let data = LabelledImages::new(train.images(), train.labels()).unwrap();
+    let data = LabelledSamples::new(train.images(), train.labels()).unwrap();
     let model = HdcModel::train(&encoder, data, train.classes()).unwrap();
     (encoder, model, test)
 }

@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use uhd::core::encoder::uhd::{UhdConfig, UhdEncoder};
 use uhd::core::model::{HdcModel, InferenceMode};
-use uhd::core::{ImageEncoder, OnlineLearner};
+use uhd::core::{Encoder, OnlineLearner};
 use uhd::datasets::synth::{generate, SynthSpec, SyntheticKind};
 use uhd::serve::{ServeConfig, ServeEngine};
 
@@ -109,6 +109,84 @@ fn serve_while_learn_strictly_improves_accuracy() {
         assert!(
             acc_warm >= accuracy_threshold,
             "warm accuracy {acc_warm} below threshold {accuracy_threshold}"
+        );
+    })
+    .unwrap();
+}
+
+/// The same serve-while-learn acceptance on a *text* stream: the n-gram
+/// encoder drives the identical engine code path, a cold language-ID
+/// model converges from labelled sentence feedback, accuracy strictly
+/// improves past a fixed threshold, and the learn counters reconcile.
+#[test]
+fn serve_while_learn_improves_language_id_accuracy() {
+    use uhd::core::encoder::text::{NgramTextConfig, NgramTextEncoder};
+    use uhd::datasets::{generate_language_id, TextSpec};
+
+    let dim = 1024u32;
+    let spec = TextSpec::new(240, 60, 42);
+    let (train, test) = generate_language_id(spec).expect("generate");
+    let mut text_cfg = NgramTextConfig::new(dim);
+    text_cfg.max_len = spec.max_len;
+    let encoder = NgramTextEncoder::new(text_cfg).unwrap();
+
+    // Cold start: one sentence per language.
+    let mut boot = OnlineLearner::new(dim).unwrap();
+    let mut scratch = uhd::core::BitSliceAccumulator::new(dim);
+    for (sentence, &label) in train.samples()[..6].iter().zip(&train.labels()[..6]) {
+        scratch.clear();
+        encoder.accumulate(sentence, &mut scratch).unwrap();
+        boot.observe_sums(&scratch.bipolar_sums(), label).unwrap();
+    }
+
+    let config = ServeConfig::new(2, 8)
+        .with_mode(InferenceMode::IntegerBoth)
+        .with_snapshot_every(32);
+    let accuracy_threshold = 0.85;
+
+    ServeEngine::serve(config, &encoder, boot.snapshot().unwrap(), |engine| {
+        let accuracy = || {
+            let responses = engine.classify_many(test.samples()).unwrap();
+            let hits = responses
+                .iter()
+                .zip(test.labels())
+                .filter(|(r, &label)| r.class == label)
+                .count();
+            hits as f64 / test.len() as f64
+        };
+        let acc_cold = accuracy();
+
+        // Phase 1: bundle the full labelled sentence stream.
+        for (sentence, &label) in train.samples().iter().zip(train.labels()) {
+            engine.learn(sentence.clone(), label).unwrap();
+        }
+        // Phase 2: feedback driven by the engine's own predictions.
+        for (sentence, &label) in train.samples().iter().zip(train.labels()) {
+            let response = engine.classify(sentence).unwrap();
+            engine
+                .feedback(sentence.clone(), response.class, label)
+                .unwrap();
+        }
+        engine.sync_learner();
+
+        let stats = engine.stats();
+        assert_eq!(stats.learn_submitted, 2 * train.len() as u64);
+        assert_eq!(
+            stats.learn_consumed, stats.learn_submitted,
+            "every accepted sentence must be applied"
+        );
+        assert_eq!(stats.learn_rejected, 0);
+        assert!(stats.snapshots_published >= 1);
+        assert!(engine.generation() >= 1);
+
+        let acc_warm = accuracy();
+        assert!(
+            acc_warm > acc_cold,
+            "text serve-while-learn must strictly improve accuracy ({acc_cold} -> {acc_warm})"
+        );
+        assert!(
+            acc_warm >= accuracy_threshold,
+            "warm language-ID accuracy {acc_warm} below threshold {accuracy_threshold}"
         );
     })
     .unwrap();

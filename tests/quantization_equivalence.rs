@@ -5,7 +5,7 @@
 use uhd::bitstream::comparator::unary_geq;
 use uhd::bitstream::ust::UnaryStreamTable;
 use uhd::core::encoder::uhd::{UhdConfig, UhdEncoder};
-use uhd::core::ImageEncoder;
+use uhd::core::Encoder;
 use uhd::hw::cell_library::CellLibrary;
 use uhd::hw::circuits::unary_comparator;
 use uhd::lowdisc::quantize::Quantizer;

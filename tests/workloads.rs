@@ -1,0 +1,262 @@
+//! Integration suite for the workload-agnostic encoder layer: text and
+//! tabular feature streams through the *same* `ServeEngine` +
+//! `OnlineLearner` stack as images — including trait-object encoders,
+//! hot model swap, eager length validation, and counter reconciliation.
+
+use uhd::core::encoder::tabular::{TabularConfig, TabularEncoder};
+use uhd::core::encoder::text::{NgramTextConfig, NgramTextEncoder};
+use uhd::core::model::{HdcModel, InferenceMode, LabelledSamples};
+use uhd::core::{Encoder, HdcError};
+use uhd::datasets::{generate_language_id, generate_sensor_rows, SensorSpec, TextSpec};
+use uhd::serve::{ServeConfig, ServeEngine, ServeError};
+use uhd_testutil::tiny_labelled_features;
+
+fn text_fixture(dim: u32) -> (NgramTextEncoder, HdcModel, uhd::datasets::FeatureSet) {
+    let spec = TextSpec::new(180, 60, 42);
+    let (train, test) = generate_language_id(spec).expect("generate");
+    let mut cfg = NgramTextConfig::new(dim);
+    cfg.max_len = spec.max_len;
+    let encoder = NgramTextEncoder::new(cfg).unwrap();
+    let model = HdcModel::train(&encoder, tiny_labelled_features(&train), train.classes()).unwrap();
+    (encoder, model, test)
+}
+
+fn tabular_fixture(dim: u32) -> (TabularEncoder, HdcModel, uhd::datasets::FeatureSet) {
+    let (train, test) = generate_sensor_rows(SensorSpec::new(180, 60, 42)).expect("generate");
+    let encoder = TabularEncoder::new(TabularConfig::new(dim, train.max_sample_len())).unwrap();
+    let model = HdcModel::train(&encoder, tiny_labelled_features(&train), train.classes()).unwrap();
+    (encoder, model, test)
+}
+
+fn served_accuracy<E: Encoder + ?Sized>(
+    engine: &ServeEngine<'_, E>,
+    samples: &[Vec<u8>],
+    labels: &[usize],
+) -> f64 {
+    let responses = engine.classify_many(samples).unwrap();
+    let hits = responses
+        .iter()
+        .zip(labels)
+        .filter(|(r, &label)| r.class == label)
+        .count();
+    hits as f64 / labels.len() as f64
+}
+
+/// Acceptance: both non-image workloads serve end-to-end through the
+/// engine — batched answers bit-identical to the serial binarized
+/// path, counters reconciling — with zero workload-specific engine
+/// code (the same `ServeEngine` type serves all three families).
+#[test]
+fn text_and_tabular_streams_serve_bit_identically_to_the_serial_path() {
+    let (text_enc, text_model, sentences) = text_fixture(1024);
+    let (tab_enc, tab_model, rows) = tabular_fixture(1024);
+
+    // Text through the engine vs the serial loop.
+    let serial: Vec<(usize, f64)> = sentences
+        .samples()
+        .iter()
+        .map(|s| {
+            text_model
+                .classify_with(&text_enc, s, InferenceMode::BinarizedQuery)
+                .unwrap()
+        })
+        .collect();
+    let (responses, stats) =
+        ServeEngine::serve(ServeConfig::new(2, 8), &text_enc, text_model, |engine| {
+            (
+                engine.classify_many(sentences.samples()).unwrap(),
+                engine.stats(),
+            )
+        })
+        .unwrap();
+    for (response, expected) in responses.iter().zip(&serial) {
+        assert_eq!((response.class, response.score), *expected);
+    }
+    assert_eq!(stats.submitted, sentences.len() as u64);
+    assert_eq!(stats.completed, sentences.len() as u64);
+
+    // Tabular through the engine vs the serial loop.
+    let serial: Vec<(usize, f64)> = rows
+        .samples()
+        .iter()
+        .map(|r| {
+            tab_model
+                .classify_with(&tab_enc, r, InferenceMode::BinarizedQuery)
+                .unwrap()
+        })
+        .collect();
+    let (responses, stats) =
+        ServeEngine::serve(ServeConfig::new(3, 4), &tab_enc, tab_model, |engine| {
+            (
+                engine.classify_many(rows.samples()).unwrap(),
+                engine.stats(),
+            )
+        })
+        .unwrap();
+    for (response, expected) in responses.iter().zip(&serial) {
+        assert_eq!((response.class, response.score), *expected);
+    }
+    assert_eq!(stats.completed, rows.len() as u64);
+}
+
+/// Trait-object encoders (`&dyn Encoder`) of *different concrete types*
+/// drive the engine through one code path — the monomorphized engine is
+/// not specialized to any workload.
+#[test]
+fn dyn_encoder_trait_objects_serve_every_workload() {
+    let (text_enc, text_model, sentences) = text_fixture(512);
+    let (tab_enc, tab_model, rows) = tabular_fixture(512);
+
+    type Case<'a> = (&'a dyn Encoder, HdcModel, &'a [Vec<u8>], &'a [usize]);
+    let cases: Vec<Case> = vec![
+        (
+            &text_enc,
+            text_model,
+            sentences.samples(),
+            sentences.labels(),
+        ),
+        (&tab_enc, tab_model, rows.samples(), rows.labels()),
+    ];
+    for (encoder, model, samples, labels) in cases {
+        let acc = ServeEngine::serve(ServeConfig::new(2, 8), encoder, model, |engine| {
+            served_accuracy(engine, samples, labels)
+        })
+        .unwrap();
+        assert!(
+            acc > 1.5 / 6.0,
+            "dyn-encoder serving must beat chance, got {acc}"
+        );
+    }
+}
+
+/// Submit-time validation is eager and encoder-driven: the engine asks
+/// the encoder (`check_features`), so a variable-length text encoder
+/// rejects out-of-range sentences with `FeatureCountOutOfRange` while
+/// the fixed-shape tabular encoder rejects with the exact-length error
+/// — no length policy lives in `uhd-serve`.
+#[test]
+fn submit_validation_is_delegated_to_the_encoder() {
+    let (text_enc, text_model, _) = text_fixture(512);
+    let max_len = text_enc.config().max_len;
+    ServeEngine::serve(ServeConfig::new(1, 4), &text_enc, text_model, |engine| {
+        // In-range lengths are accepted even though they differ.
+        assert!(engine.classify(&[b'a'; 10]).is_ok());
+        assert!(engine.classify(&vec![b'b'; max_len]).is_ok());
+        // Too short and too long are rejected before queueing.
+        match engine.submit(vec![b'a'; 2]) {
+            Err(ServeError::Core(HdcError::FeatureCountOutOfRange { got: 2, .. })) => {}
+            other => panic!("expected FeatureCountOutOfRange, got {other:?}"),
+        }
+        match engine.submit(vec![b'a'; max_len + 1]) {
+            Err(ServeError::Core(HdcError::FeatureCountOutOfRange { .. })) => {}
+            other => panic!("expected FeatureCountOutOfRange, got {other:?}"),
+        }
+    })
+    .unwrap();
+
+    let (tab_enc, tab_model, rows) = tabular_fixture(512);
+    let columns = rows.max_sample_len();
+    ServeEngine::serve(ServeConfig::new(1, 4), &tab_enc, tab_model, |engine| {
+        assert!(engine.classify(&vec![128u8; columns]).is_ok());
+        match engine.submit(vec![128u8; columns - 1]) {
+            Err(ServeError::Core(HdcError::ImageSizeMismatch { expected, got })) => {
+                assert_eq!((expected, got), (columns, columns - 1));
+            }
+            other => panic!("expected exact-length mismatch, got {other:?}"),
+        }
+    })
+    .unwrap();
+}
+
+/// Hot model swap under a non-image workload: a weak tabular model is
+/// replaced mid-flight by a strong one through the generation-tagged
+/// swap, and served accuracy does not regress.
+#[test]
+fn hot_swap_improves_a_served_tabular_model() {
+    let (train, test) = generate_sensor_rows(SensorSpec::new(240, 60, 7)).expect("generate");
+    let encoder = TabularEncoder::new(TabularConfig::new(1024, train.max_sample_len())).unwrap();
+    // Weak model: exactly two rows per class (the shuffled prefix may
+    // miss a class entirely, which training rightly rejects).
+    let picks: Vec<usize> = (0..train.classes())
+        .flat_map(|class| {
+            train
+                .labels()
+                .iter()
+                .enumerate()
+                .filter(move |&(_, &l)| l == class)
+                .take(2)
+                .map(|(i, _)| i)
+        })
+        .collect();
+    let weak_samples: Vec<Vec<u8>> = picks.iter().map(|&i| train.samples()[i].clone()).collect();
+    let weak_labels: Vec<usize> = picks.iter().map(|&i| train.labels()[i]).collect();
+    let weak_view = LabelledSamples::new(&weak_samples, &weak_labels).unwrap();
+    let weak = HdcModel::train(&encoder, weak_view, train.classes()).unwrap();
+    let strong =
+        HdcModel::train(&encoder, tiny_labelled_features(&train), train.classes()).unwrap();
+
+    ServeEngine::serve(ServeConfig::new(2, 8), &encoder, weak, |engine| {
+        assert_eq!(engine.generation(), 0);
+        let before = served_accuracy(engine, test.samples(), test.labels());
+        let generation = engine.update_model(strong).unwrap();
+        assert_eq!(generation, 1);
+        let after = served_accuracy(engine, test.samples(), test.labels());
+        assert!(
+            after >= before,
+            "hot-swapped strong model must not serve worse ({before} -> {after})"
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.completed, 2 * test.len() as u64);
+        assert_eq!(stats.submitted, stats.completed);
+    })
+    .unwrap();
+}
+
+/// Online learning converges a cold *tabular* model while it serves —
+/// the mirror of the text case in `online_learning.rs`, proving the
+/// serve-while-learn loop is workload-agnostic too.
+#[test]
+fn serve_while_learn_improves_a_tabular_model() {
+    use uhd::core::OnlineLearner;
+
+    let dim = 1024u32;
+    let (train, test) = generate_sensor_rows(SensorSpec::new(240, 60, 42)).expect("generate");
+    let encoder = TabularEncoder::new(TabularConfig::new(dim, train.max_sample_len())).unwrap();
+
+    // Cold start: one row per class.
+    let mut boot = OnlineLearner::new(dim).unwrap();
+    let mut scratch = uhd::core::BitSliceAccumulator::new(dim);
+    for (row, &label) in train.samples()[..6].iter().zip(&train.labels()[..6]) {
+        scratch.clear();
+        encoder.accumulate(row, &mut scratch).unwrap();
+        boot.observe_sums(&scratch.bipolar_sums(), label).unwrap();
+    }
+
+    let config = ServeConfig::new(2, 8)
+        .with_mode(InferenceMode::IntegerBoth)
+        .with_snapshot_every(32);
+    ServeEngine::serve(config, &encoder, boot.snapshot().unwrap(), |engine| {
+        let acc_cold = served_accuracy(engine, test.samples(), test.labels());
+        for (row, &label) in train.samples().iter().zip(train.labels()) {
+            engine.learn(row.clone(), label).unwrap();
+        }
+        engine.sync_learner();
+
+        let stats = engine.stats();
+        assert_eq!(stats.learn_submitted, train.len() as u64);
+        assert_eq!(stats.learn_consumed, stats.learn_submitted);
+        assert_eq!(stats.learn_rejected, 0);
+        assert!(stats.snapshots_published >= 1);
+
+        let acc_warm = served_accuracy(engine, test.samples(), test.labels());
+        assert!(
+            acc_warm >= acc_cold,
+            "tabular serve-while-learn must not regress ({acc_cold} -> {acc_warm})"
+        );
+        assert!(
+            acc_warm >= 0.85,
+            "warm tabular accuracy {acc_warm} below threshold"
+        );
+    })
+    .unwrap();
+}
