@@ -58,6 +58,12 @@ if [ "$smoke" -eq 1 ]; then
         step "smoke: example $ex"
         cargo run --release -q --example "$ex" > /dev/null
     done
+    # The same quickstart on the rematerialized item-memory backend:
+    # encoders hold O(seed) state and derive rows on demand, answers
+    # unchanged (the property suite proves bit-identity; this proves the
+    # wiring end-to-end).
+    step "smoke: example quickstart (UHD_REMAT=1)"
+    UHD_REMAT=1 cargo run --release -q --example quickstart > /dev/null
     # The serving example doubles as the exposition smoke: rerun it
     # writing mid-run/end-of-run Prometheus snapshots plus the JSON
     # export, then validate them (non-empty, parseable, counters

@@ -32,10 +32,8 @@ fn main() {
     ];
     for (name, family) in families {
         let enc = UhdEncoder::new(UhdConfig {
-            dim: d,
-            pixels: px,
-            levels: 16,
             family,
+            ..UhdConfig::new(d, px)
         })
         .expect("encoder");
         println!("   {name:28} {:6.2}%", accuracy(&enc, &bench, &cfg) * 100.0);
@@ -44,10 +42,9 @@ fn main() {
     println!("\n2. Quantization level xi (Sobol uHD):");
     for levels in [4u32, 8, 16, 32, 64] {
         let enc = UhdEncoder::new(UhdConfig {
-            dim: d,
-            pixels: px,
             levels,
             family: LdFamily::sobol(),
+            ..UhdConfig::new(d, px)
         })
         .expect("encoder");
         println!(

@@ -43,6 +43,17 @@ fn main() {
         );
     }
 
+    // Footprint win of the rematerialized item memory (seed-resident
+    // Sobol scalars instead of the stored h x d byte table).
+    for d in [1024u64, 8192] {
+        let resident = platform.dynamic_memory_kb(&WorkloadProfile::uhd(h as u64, d));
+        let remat = platform.dynamic_memory_kb(&WorkloadProfile::uhd_rematerialized(h as u64, d));
+        println!(
+            "rematerialized footprint at D={d}: {remat:.1} KB vs {resident:.0} KB resident ({:.0}x smaller)",
+            resident / remat
+        );
+    }
+
     // Ground the model: wall-clock of the actual Rust encoder on this
     // machine (single thread, per image).
     let bench = Workbench::new(SyntheticKind::Mnist, &cfg);

@@ -56,6 +56,63 @@ struct ObsOverhead {
     overhead_pct: f64,
 }
 
+/// Resident vs rematerialized item memory at the paper's encoder
+/// geometry: identical answers, heap measured from the encoders' own
+/// profiles, encode throughput for both backends.
+struct RematResult {
+    pixels: usize,
+    levels: u32,
+    dim: u32,
+    resident_heap_bytes: u64,
+    rematerialized_heap_bytes: u64,
+    heap_ratio: f64,
+    resident_images_per_sec: f64,
+    rematerialized_images_per_sec: f64,
+    throughput_ratio: f64,
+}
+
+/// Time the serial encode loop for one backend, images per second.
+fn time_encodes(encoder: &UhdEncoder, images: &[Vec<u8>], reps: usize) -> f64 {
+    let t0 = Instant::now();
+    let mut sink = 0u64;
+    for image in images.iter().cycle().take(reps) {
+        let hv = encoder.encode(image).expect("encode");
+        sink = sink.wrapping_add(hv.words()[0]);
+    }
+    std::hint::black_box(sink);
+    reps as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// The rematerialization bench: the paper-config uHD encoder with
+/// materialized threshold planes against the seed-resident backend.
+/// Equality of answers is the property suite's job; here we record the
+/// footprint and the compute cost of regenerating rows on the fly.
+fn remat_bench(quick: bool, d: u32, pixels: usize, images: &[Vec<u8>]) -> RematResult {
+    let resident = uhd_core::encoder::uhd::UhdConfig::new(d, pixels);
+    let levels = resident.levels;
+    let rem = UhdEncoder::new(resident.clone().rematerialized()).expect("remat encoder");
+    let res = UhdEncoder::new(resident).expect("resident encoder");
+    let resident_heap_bytes = res.profile().resident_bytes;
+    let rematerialized_heap_bytes = rem.profile().resident_bytes;
+    let reps = if quick { 50 } else { 300 };
+    // Warm both (fault in the planes / fill the hot-row cache).
+    time_encodes(&res, images, reps / 10 + 1);
+    time_encodes(&rem, images, reps / 10 + 1);
+    let resident_images_per_sec = time_encodes(&res, images, reps);
+    let rematerialized_images_per_sec = time_encodes(&rem, images, reps);
+    RematResult {
+        pixels,
+        levels,
+        dim: d,
+        resident_heap_bytes,
+        rematerialized_heap_bytes,
+        heap_ratio: resident_heap_bytes as f64 / rematerialized_heap_bytes.max(1) as f64,
+        resident_images_per_sec,
+        rematerialized_images_per_sec,
+        throughput_ratio: rematerialized_images_per_sec / resident_images_per_sec,
+    }
+}
+
 struct AmKernelResult {
     classes: usize,
     dim: u32,
@@ -358,7 +415,31 @@ struct Measurements<'a> {
     engine_stats: &'a uhd_serve::StatsSnapshot,
     obs: &'a ObsOverhead,
     workloads: &'a [WorkloadThroughput],
+    remat: &'a RematResult,
     am: &'a AmKernelResult,
+}
+
+/// Render the `rematerialization` JSON section: the footprint and
+/// throughput trade of regenerating the threshold planes from the seed
+/// instead of keeping them resident.
+fn render_remat(out: &mut String, remat: &RematResult) {
+    writeln!(
+        out,
+        "  \"rematerialization\": {{\"pixels\": {}, \"levels\": {}, \"dim\": {}, \
+         \"resident_heap_bytes\": {}, \"rematerialized_heap_bytes\": {}, \"heap_ratio\": {:.1}, \
+         \"resident_images_per_sec\": {:.1}, \"rematerialized_images_per_sec\": {:.1}, \
+         \"throughput_ratio\": {:.3}}},",
+        remat.pixels,
+        remat.levels,
+        remat.dim,
+        remat.resident_heap_bytes,
+        remat.rematerialized_heap_bytes,
+        remat.heap_ratio,
+        remat.resident_images_per_sec,
+        remat.rematerialized_images_per_sec,
+        remat.throughput_ratio
+    )
+    .unwrap();
 }
 
 /// Assemble the full `BENCH_throughput.json` document.
@@ -373,6 +454,7 @@ fn render_report(
         engine_stats,
         obs,
         workloads,
+        remat,
         am,
     } = m;
     let mut doc = String::new();
@@ -448,6 +530,7 @@ fn render_report(
         .unwrap();
     }
     writeln!(out, "  ],").unwrap();
+    render_remat(out, remat);
     writeln!(
         out,
         "  \"am_kernel\": {{\"classes\": {}, \"dim\": {}, \"reps\": {}, \"scalar_kernel\": \"{}\", \
@@ -530,6 +613,9 @@ fn main() {
     // through the same engine at the best configuration. ---
     let workloads = per_workload_bench(quick, d, best, &cfg, &encoder, &model, &images);
 
+    // --- Rematerialized vs resident item memory at paper geometry. ---
+    let remat = remat_bench(quick, d, bench.train.pixels(), &images);
+
     // --- Kernel microbench: scalar fallback vs dispatched SIMD. ---
     let am = am_kernel_bench(quick);
 
@@ -553,6 +639,7 @@ fn main() {
             engine_stats: &engine_stats,
             obs: &obs,
             workloads: &workloads,
+            remat: &remat,
             am: &am,
         },
     );

@@ -22,6 +22,7 @@ const THROUGHPUT_KEYS: &[&str] = &[
     "engine_latency",
     "obs_overhead",
     "workloads",
+    "rematerialization",
     "am_kernel",
 ];
 
@@ -108,6 +109,10 @@ fn check_file(file_name: &str, extra_keys: &[&str], errors: &mut Vec<String>) {
         }
     }
 
+    if let Some(remat) = doc.get("rematerialization") {
+        check_rematerialization(file_name, remat, errors);
+    }
+
     // The instrumentation-overhead block must carry both throughput
     // figures and a numeric overhead percentage.
     if let Some(obs) = doc.get("obs_overhead") {
@@ -123,6 +128,47 @@ fn check_file(file_name: &str, extra_keys: &[&str], errors: &mut Vec<String>) {
                  images_per_sec and a numeric overhead_pct"
             )),
         }
+    }
+}
+
+/// The rematerialization block is the footprint acceptance gate: both
+/// heap figures, a heap ratio holding the paper-config >= 50x floor,
+/// and a recorded (positive) throughput trade.
+fn check_rematerialization(file_name: &str, remat: &Json, errors: &mut Vec<String>) {
+    for key in [
+        "pixels",
+        "levels",
+        "dim",
+        "resident_heap_bytes",
+        "rematerialized_heap_bytes",
+        "heap_ratio",
+        "resident_images_per_sec",
+        "rematerialized_images_per_sec",
+        "throughput_ratio",
+    ] {
+        if remat.get(key).and_then(Json::as_f64).is_none() {
+            errors.push(format!(
+                "{file_name}: rematerialization must carry numeric \"{key}\""
+            ));
+        }
+    }
+    let resident = remat.get("resident_heap_bytes").and_then(Json::as_f64);
+    let remat_heap = remat
+        .get("rematerialized_heap_bytes")
+        .and_then(Json::as_f64);
+    if let (Some(resident), Some(remat_heap)) = (resident, remat_heap) {
+        if !(remat_heap > 0.0 && remat_heap <= resident / 50.0) {
+            errors.push(format!(
+                "{file_name}: rematerialized heap ({remat_heap} B) must be at most 1/50 of \
+                 resident heap ({resident} B)"
+            ));
+        }
+    }
+    match remat.get("throughput_ratio").and_then(Json::as_f64) {
+        Some(ratio) if ratio > 0.0 => {}
+        other => errors.push(format!(
+            "{file_name}: rematerialization.throughput_ratio must be positive (got {other:?})"
+        )),
     }
 }
 

@@ -143,12 +143,20 @@ pub fn accuracy_on<E: Encoder + ?Sized>(
 
 /// Build the paper-default uHD encoder for a dataset geometry.
 ///
+/// Set `UHD_REMAT=1` to host the threshold planes on the rematerialized
+/// item-memory backend (bit-identical answers, O(seed) resident state)
+/// instead of the materialized default.
+///
 /// # Panics
 ///
 /// Panics if the encoder cannot be constructed (fatal in a bench).
 #[must_use]
 pub fn uhd_encoder(d: u32, pixels: usize) -> UhdEncoder {
-    UhdEncoder::new(UhdConfig::new(d, pixels)).expect("uhd encoder construction failed")
+    let mut config = UhdConfig::new(d, pixels);
+    if env_flag("UHD_REMAT") {
+        config = config.rematerialized();
+    }
+    UhdEncoder::new(config).expect("uhd encoder construction failed")
 }
 
 /// Build the paper-literal baseline encoder from an iteration seed.

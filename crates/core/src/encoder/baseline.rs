@@ -7,6 +7,13 @@
 //! Table IV re-rolls the tables up to i = 100 times and reports the
 //! accuracy spread — so [`BaselineEncoder::regenerate`] supports exactly
 //! that iteration loop.
+//!
+//! Both tables live in [`ItemMemory`]: [`BaselineEncoder::new`] keeps
+//! the historical behaviour (tables drawn from a caller stream, always
+//! resident, bit-identical to every previous release), while
+//! [`BaselineEncoder::from_seed`] derives them from one `u64` seed and
+//! can therefore run on the rematerialized backend with O(seed)
+//! persistent state.
 
 use std::borrow::Cow;
 
@@ -15,8 +22,14 @@ use super::{check_acc, check_feature_len, Encoder, EncoderProfile};
 use crate::accumulator::BitSliceAccumulator;
 use crate::error::HdcError;
 use crate::hypervector::{words_for_dim, Hypervector};
+use crate::item_memory::{derive_seed, ItemMemory, MemoryBackend, RowRecipe};
 use uhd_lowdisc::quantize::Quantizer;
 use uhd_lowdisc::rng::UniformSource;
+
+/// Role tag of the position table under a master seed.
+const POSITION_TAG: u64 = 1;
+/// Role tag of the level table under a master seed.
+const LEVEL_TAG: u64 = 2;
 
 /// Configuration for [`BaselineEncoder`].
 #[derive(Debug, Clone, PartialEq)]
@@ -78,17 +91,18 @@ impl BaselineConfig {
     }
 }
 
-/// The baseline encoder with materialized P and L tables.
+/// The baseline encoder over P and L item memories.
 #[derive(Debug, Clone)]
 pub struct BaselineEncoder {
     config: BaselineConfig,
-    positions: Vec<Hypervector>,
-    levels: Vec<Hypervector>,
+    positions: ItemMemory,
+    levels: ItemMemory,
     quantizer: Quantizer,
 }
 
 impl BaselineEncoder {
-    /// Generate P and L tables from the given randomness source.
+    /// Generate P and L tables from the given randomness source
+    /// (always resident; bit-identical to all previous releases).
     ///
     /// # Errors
     ///
@@ -98,10 +112,56 @@ impl BaselineEncoder {
         source: &mut S,
     ) -> Result<Self, HdcError> {
         config.validate()?;
-        let positions = (0..config.pixels)
+        let positions: Vec<Hypervector> = (0..config.pixels)
             .map(|_| Hypervector::random(config.dim, source))
             .collect();
         let levels = generate_level_hypervectors(config.dim, config.levels, config.scheme, source);
+        let quantizer = Quantizer::new(config.levels)?;
+        Ok(BaselineEncoder {
+            config,
+            positions: ItemMemory::from_rows("position", positions)?,
+            levels: ItemMemory::from_rows("level", levels)?,
+            quantizer,
+        })
+    }
+
+    /// Build the encoder from one master seed, on the chosen backend.
+    /// The position table derives as i.i.d. rows and the level table as
+    /// a level chain, each under its own sub-seed — so the same
+    /// `(config, seed)` pair produces bit-identical encoders on either
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// [`HdcError::InvalidConfig`] for degenerate configurations.
+    pub fn from_seed(
+        config: BaselineConfig,
+        seed: u64,
+        backend: MemoryBackend,
+    ) -> Result<Self, HdcError> {
+        config.validate()?;
+        let pixels = u32::try_from(config.pixels).map_err(|_| HdcError::InvalidConfig {
+            reason: "pixel count exceeds the item-memory row limit".into(),
+        })?;
+        let positions = ItemMemory::new(
+            "position",
+            config.dim,
+            pixels,
+            RowRecipe::Iid {
+                seed: derive_seed(seed, POSITION_TAG),
+            },
+            backend,
+        )?;
+        let levels = ItemMemory::new(
+            "level",
+            config.dim,
+            config.levels,
+            RowRecipe::LevelChain {
+                seed: derive_seed(seed, LEVEL_TAG),
+                scheme: config.scheme,
+            },
+            backend,
+        )?;
         let quantizer = Quantizer::new(config.levels)?;
         Ok(BaselineEncoder {
             config,
@@ -113,28 +173,57 @@ impl BaselineEncoder {
 
     /// Re-roll the P and L tables in place — one iteration of the
     /// "generate vectors, hope they are orthogonal" loop the paper's
-    /// Table IV and Fig. 6(a) sweep over.
+    /// Table IV and Fig. 6(a) sweep over. The fresh tables are drawn
+    /// from `source` and are therefore resident, whatever backend the
+    /// encoder was built on.
     pub fn regenerate<S: UniformSource + ?Sized>(&mut self, source: &mut S) {
-        for p in &mut self.positions {
-            *p = Hypervector::random(self.config.dim, source);
-        }
-        self.levels = generate_level_hypervectors(
+        let positions: Vec<Hypervector> = (0..self.config.pixels)
+            .map(|_| Hypervector::random(self.config.dim, source))
+            .collect();
+        let levels = generate_level_hypervectors(
             self.config.dim,
             self.config.levels,
             self.config.scheme,
             source,
         );
+        self.positions =
+            ItemMemory::from_rows("position", positions).expect("validated shape cannot fail");
+        self.levels = ItemMemory::from_rows("level", levels).expect("validated shape cannot fail");
     }
 
-    /// The position hypervectors (one per pixel).
+    /// The position hypervectors (one per pixel), when resident.
+    ///
+    /// # Errors
+    ///
+    /// [`HdcError::TableNotResident`] on the rematerialized backend —
+    /// use [`BaselineEncoder::position_memory`] to derive rows instead.
+    pub fn position_hypervectors(&self) -> Result<&[Hypervector], HdcError> {
+        self.positions
+            .resident_rows()
+            .ok_or(HdcError::TableNotResident { what: "position" })
+    }
+
+    /// The level hypervectors (one per intensity level), when resident.
+    ///
+    /// # Errors
+    ///
+    /// [`HdcError::TableNotResident`] on the rematerialized backend —
+    /// use [`BaselineEncoder::level_memory`] to derive rows instead.
+    pub fn level_hypervectors(&self) -> Result<&[Hypervector], HdcError> {
+        self.levels
+            .resident_rows()
+            .ok_or(HdcError::TableNotResident { what: "level" })
+    }
+
+    /// The position item memory (any backend).
     #[must_use]
-    pub fn position_hypervectors(&self) -> &[Hypervector] {
+    pub fn position_memory(&self) -> &ItemMemory {
         &self.positions
     }
 
-    /// The level hypervectors (one per intensity level).
+    /// The level item memory (any backend).
     #[must_use]
-    pub fn level_hypervectors(&self) -> &[Hypervector] {
+    pub fn level_memory(&self) -> &ItemMemory {
         &self.levels
     }
 
@@ -173,10 +262,12 @@ impl Encoder for BaselineEncoder {
                 (1u64 << rem) - 1
             }
         };
+        let mut p_buf = Vec::new();
+        let mut l_buf = Vec::new();
         for (pixel, &intensity) in image.iter().enumerate() {
-            let level = self.level_of(intensity) as usize;
-            let p = self.positions[pixel].words();
-            let l = self.levels[level].words();
+            let level = self.level_of(intensity);
+            let p = self.positions.row(pixel as u32, &mut p_buf)?;
+            let l = self.levels.row(level, &mut l_buf)?;
             // Binding: element-wise multiply = XNOR in the bit domain.
             for w in 0..wc {
                 scratch[w] = !(p[w] ^ l[w]);
@@ -205,6 +296,8 @@ impl Encoder for BaselineEncoder {
             // element), the convention used for Table I's footprints.
             table_bytes: (h + levels) * d * 4,
             working_bytes: d * 4,
+            backend: self.positions.backend(),
+            resident_bytes: self.positions.resident_bytes() + self.levels.resident_bytes(),
         }
     }
 }
@@ -231,8 +324,8 @@ mod tests {
     #[test]
     fn tables_have_expected_shapes() {
         let enc = small_encoder(1);
-        assert_eq!(enc.position_hypervectors().len(), 16);
-        assert_eq!(enc.level_hypervectors().len(), 4);
+        assert_eq!(enc.position_hypervectors().unwrap().len(), 16);
+        assert_eq!(enc.level_hypervectors().unwrap().len(), 4);
         assert_eq!(enc.dim(), 256);
     }
 
@@ -245,8 +338,8 @@ mod tests {
 
         let mut reference = DenseAccumulator::new(256);
         for (pixel, &v) in image.iter().enumerate() {
-            let bound = enc.position_hypervectors()[pixel]
-                .bind(&enc.level_hypervectors()[enc.level_of(v) as usize])
+            let bound = enc.position_hypervectors().unwrap()[pixel]
+                .bind(&enc.level_hypervectors().unwrap()[enc.level_of(v) as usize])
                 .unwrap();
             reference.add_hypervector(&bound).unwrap();
         }
@@ -288,10 +381,10 @@ mod tests {
     #[test]
     fn regenerate_changes_tables() {
         let mut enc = small_encoder(6);
-        let before = enc.position_hypervectors()[0].clone();
+        let before = enc.position_hypervectors().unwrap()[0].clone();
         let mut rng = Xoshiro256StarStar::seeded(777);
         enc.regenerate(&mut rng);
-        assert_ne!(enc.position_hypervectors()[0], before);
+        assert_ne!(enc.position_hypervectors().unwrap()[0], before);
     }
 
     #[test]
@@ -308,5 +401,43 @@ mod tests {
         assert_eq!(p.name, "baseline");
         assert_eq!(p.bind_bitops_per_sample, 16 * 256);
         assert_eq!(p.rng_draws_per_iteration, (16 + 4) * 256);
+        assert_eq!(p.backend, MemoryBackend::Resident);
+        assert_eq!(p.resident_bytes, (16 + 4) * (256 / 64) * 8);
+    }
+
+    #[test]
+    fn from_seed_is_bit_identical_across_backends() {
+        let config = BaselineConfig::new(300, 12, 8);
+        let res = BaselineEncoder::from_seed(config.clone(), 99, MemoryBackend::Resident).unwrap();
+        let rem = BaselineEncoder::from_seed(
+            config,
+            99,
+            MemoryBackend::Rematerialized { cached_rows: 4 },
+        )
+        .unwrap();
+        let image: Vec<u8> = (0..12).map(|i| (i * 21) as u8).collect();
+        assert_eq!(res.encode(&image).unwrap(), rem.encode(&image).unwrap());
+        assert!(res.profile().resident_bytes > rem.profile().resident_bytes);
+    }
+
+    #[test]
+    fn rematerialized_accessors_error_not_panic() {
+        let enc = BaselineEncoder::from_seed(
+            BaselineConfig::new(128, 4, 4),
+            1,
+            MemoryBackend::Rematerialized { cached_rows: 0 },
+        )
+        .unwrap();
+        assert!(matches!(
+            enc.position_hypervectors(),
+            Err(HdcError::TableNotResident { what: "position" })
+        ));
+        assert!(matches!(
+            enc.level_hypervectors(),
+            Err(HdcError::TableNotResident { what: "level" })
+        ));
+        // The item-memory view still serves every row.
+        assert_eq!(enc.position_memory().rows(), 4);
+        assert!(enc.position_memory().row_hypervector(3).is_ok());
     }
 }

@@ -37,6 +37,7 @@ use std::borrow::Cow;
 use crate::accumulator::BitSliceAccumulator;
 use crate::error::HdcError;
 use crate::hypervector::Hypervector;
+use crate::item_memory::MemoryBackend;
 
 /// Per-sample operation and memory profile of an encoder.
 ///
@@ -68,6 +69,15 @@ pub struct EncoderProfile {
     pub table_bytes: u64,
     /// Per-sample working memory in bytes (accumulators, scratch).
     pub working_bytes: u64,
+    /// Memory backend the encoder's item memories run on.
+    pub backend: MemoryBackend,
+    /// Table state actually resident on this instance's heap, in bytes:
+    /// materialized rows plus rematerialization caches. Unlike
+    /// [`EncoderProfile::table_bytes`] — the cost model's *nominal*
+    /// storage for the design — this figure reflects the backend, so a
+    /// rematerialized encoder reports O(cache) here while still quoting
+    /// the hardware table size above.
+    pub resident_bytes: u64,
 }
 
 impl EncoderProfile {
@@ -255,6 +265,8 @@ mod tests {
                 rng_draws_per_iteration: 0,
                 table_bytes: 0,
                 working_bytes: 0,
+                backend: MemoryBackend::Resident,
+                resident_bytes: 0,
             }
         }
     }
@@ -332,6 +344,8 @@ mod tests {
             rng_draws_per_iteration: 0,
             table_bytes: 0,
             working_bytes: 0,
+            backend: MemoryBackend::Resident,
+            resident_bytes: 0,
         };
         assert_eq!(owned.name, "ngram-text(n=3)");
     }

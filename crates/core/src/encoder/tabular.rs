@@ -12,21 +12,28 @@
 //!
 //! Like the text encoder (and per Schmuck et al.'s rematerialization
 //! argument), both tables regenerate deterministically from one `u64`
-//! seed: the encoder's persistent state is O(seed), and the resident
-//! key/level tables are a materialized view.
+//! seed: the encoder's persistent state is O(seed). Each table is an
+//! [`ItemMemory`] — keys i.i.d., levels a flip chain, under distinct
+//! sub-seeds of the published master — resident by default or derived
+//! row-by-row on the rematerialized backend.
 //!
 //! Rows are fixed-shape — the trait's default exact-length
 //! [`Encoder::check_features`] applies as-is.
 
 use std::borrow::Cow;
 
-use super::level::{generate_level_hypervectors, LevelScheme};
+use super::level::LevelScheme;
 use super::{check_acc, check_feature_len, Encoder, EncoderProfile};
 use crate::accumulator::BitSliceAccumulator;
 use crate::error::HdcError;
 use crate::hypervector::{words_for_dim, Hypervector};
+use crate::item_memory::{derive_seed, ItemMemory, MemoryBackend, RowRecipe};
 use uhd_lowdisc::quantize::Quantizer;
-use uhd_lowdisc::rng::Xoshiro256StarStar;
+
+/// Role tag of the key table under the master seed.
+const KEY_TAG: u64 = 1;
+/// Role tag of the level table under the master seed.
+const LEVEL_TAG: u64 = 2;
 
 /// Configuration for [`TabularEncoder`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,11 +46,13 @@ pub struct TabularConfig {
     pub bins: u32,
     /// Seed the key/level tables rematerialize from.
     pub seed: u64,
+    /// Memory backend for the key and level tables.
+    pub backend: MemoryBackend,
 }
 
 impl TabularConfig {
     /// Convenience constructor: 16 bins (matching the uHD image
-    /// pipeline's ξ) and a fixed published seed.
+    /// pipeline's ξ), a fixed published seed, resident tables.
     #[must_use]
     pub fn new(dim: u32, columns: usize) -> Self {
         TabularConfig {
@@ -51,7 +60,15 @@ impl TabularConfig {
             columns,
             bins: 16,
             seed: 0x7AB_1E_u64,
+            backend: MemoryBackend::Resident,
         }
+    }
+
+    /// The same configuration on the rematerialized backend.
+    #[must_use]
+    pub fn rematerialized(mut self) -> Self {
+        self.backend = MemoryBackend::rematerialized();
+        self
     }
 
     fn validate(&self) -> Result<(), HdcError> {
@@ -78,30 +95,43 @@ impl TabularConfig {
 #[derive(Debug, Clone)]
 pub struct TabularEncoder {
     config: TabularConfig,
-    keys: Vec<Hypervector>,
-    levels: Vec<Hypervector>,
+    keys: ItemMemory,
+    levels: ItemMemory,
     quantizer: Quantizer,
     words: usize,
 }
 
 impl TabularEncoder {
-    /// Rematerialize the key and level tables from the configured seed.
+    /// Build the key and level tables from the configured seed, on the
+    /// configured backend.
     ///
     /// # Errors
     ///
     /// [`HdcError::InvalidConfig`] for degenerate configurations.
     pub fn new(config: TabularConfig) -> Result<Self, HdcError> {
         config.validate()?;
-        let mut rng = Xoshiro256StarStar::seeded(config.seed);
-        let keys: Vec<Hypervector> = (0..config.columns)
-            .map(|_| Hypervector::random(config.dim, &mut rng))
-            .collect();
-        let levels = generate_level_hypervectors(
+        let columns = u32::try_from(config.columns).map_err(|_| HdcError::InvalidConfig {
+            reason: "column count exceeds the item-memory row limit".into(),
+        })?;
+        let keys = ItemMemory::new(
+            "key",
+            config.dim,
+            columns,
+            RowRecipe::Iid {
+                seed: derive_seed(config.seed, KEY_TAG),
+            },
+            config.backend,
+        )?;
+        let levels = ItemMemory::new(
+            "level",
             config.dim,
             config.bins,
-            LevelScheme::CumulativeFlip,
-            &mut rng,
-        );
+            RowRecipe::LevelChain {
+                seed: derive_seed(config.seed, LEVEL_TAG),
+                scheme: LevelScheme::CumulativeFlip,
+            },
+            config.backend,
+        )?;
         let quantizer = Quantizer::new(config.bins)?;
         Ok(TabularEncoder {
             words: words_for_dim(config.dim),
@@ -124,15 +154,39 @@ impl TabularEncoder {
         self.quantizer.quantize_u8(value)
     }
 
-    /// The per-column key hypervectors.
+    /// The per-column key hypervectors, when resident.
+    ///
+    /// # Errors
+    ///
+    /// [`HdcError::TableNotResident`] on the rematerialized backend —
+    /// use [`TabularEncoder::key_memory`] to derive rows instead.
+    pub fn key_hypervectors(&self) -> Result<&[Hypervector], HdcError> {
+        self.keys
+            .resident_rows()
+            .ok_or(HdcError::TableNotResident { what: "key" })
+    }
+
+    /// The correlated bin-level hypervectors, when resident.
+    ///
+    /// # Errors
+    ///
+    /// [`HdcError::TableNotResident`] on the rematerialized backend —
+    /// use [`TabularEncoder::level_memory`] to derive rows instead.
+    pub fn level_hypervectors(&self) -> Result<&[Hypervector], HdcError> {
+        self.levels
+            .resident_rows()
+            .ok_or(HdcError::TableNotResident { what: "level" })
+    }
+
+    /// The key item memory (any backend).
     #[must_use]
-    pub fn key_hypervectors(&self) -> &[Hypervector] {
+    pub fn key_memory(&self) -> &ItemMemory {
         &self.keys
     }
 
-    /// The correlated bin-level hypervectors.
+    /// The level item memory (any backend).
     #[must_use]
-    pub fn level_hypervectors(&self) -> &[Hypervector] {
+    pub fn level_memory(&self) -> &ItemMemory {
         &self.levels
     }
 }
@@ -151,10 +205,12 @@ impl Encoder for TabularEncoder {
         check_acc(self.config.dim, acc)?;
         let wc = self.words;
         let mut scratch = vec![0u64; wc];
+        let mut k_buf = Vec::new();
+        let mut l_buf = Vec::new();
         for (column, &value) in input.iter().enumerate() {
-            let bin = self.bin_of(value) as usize;
-            let k = self.keys[column].words();
-            let l = self.levels[bin].words();
+            let bin = self.bin_of(value);
+            let k = self.keys.row(column as u32, &mut k_buf)?;
+            let l = self.levels.row(bin, &mut l_buf)?;
             for w in 0..wc {
                 scratch[w] = k[w] ^ l[w];
             }
@@ -183,6 +239,8 @@ impl Encoder for TabularEncoder {
             // Resident key + level view, packed bits.
             table_bytes: (c + bins) * d / 8,
             working_bytes: d * 4,
+            backend: self.keys.backend(),
+            resident_bytes: self.keys.resident_bytes() + self.levels.resident_bytes(),
         }
     }
 }
@@ -194,12 +252,24 @@ mod tests {
 
     fn tiny() -> TabularEncoder {
         TabularEncoder::new(TabularConfig {
-            dim: 1024,
-            columns: 8,
             bins: 8,
             seed: 11,
+            ..TabularConfig::new(1024, 8)
         })
         .unwrap()
+    }
+
+    #[test]
+    fn rematerialized_backend_is_bit_identical() {
+        let res = tiny();
+        let rem = TabularEncoder::new(res.config().clone().rematerialized()).unwrap();
+        let row = [10u8, 40, 90, 160, 250, 0, 128, 200];
+        assert_eq!(res.encode(&row).unwrap(), rem.encode(&row).unwrap());
+        assert!(matches!(
+            rem.key_hypervectors(),
+            Err(HdcError::TableNotResident { what: "key" })
+        ));
+        assert_eq!(rem.key_memory().rows(), 8);
     }
 
     #[test]
@@ -224,8 +294,8 @@ mod tests {
     #[test]
     fn tables_have_expected_shapes() {
         let enc = tiny();
-        assert_eq!(enc.key_hypervectors().len(), 8);
-        assert_eq!(enc.level_hypervectors().len(), 8);
+        assert_eq!(enc.key_hypervectors().unwrap().len(), 8);
+        assert_eq!(enc.level_hypervectors().unwrap().len(), 8);
         assert_eq!(enc.features(), 8);
     }
 
@@ -281,8 +351,8 @@ mod tests {
 
         let mut reference = BitSliceAccumulator::new(1024);
         for (c, &v) in row.iter().enumerate() {
-            let k = &enc.key_hypervectors()[c];
-            let l = &enc.level_hypervectors()[enc.bin_of(v) as usize];
+            let k = &enc.key_hypervectors().unwrap()[c];
+            let l = &enc.level_hypervectors().unwrap()[enc.bin_of(v) as usize];
             let mask: Vec<u64> = k
                 .words()
                 .iter()

@@ -14,9 +14,11 @@
 //! memory is *derived*, not stored: the 27 symbol hypervectors (a–z
 //! plus a catch-all space) regenerate deterministically from one `u64`
 //! seed, so the persistent state of a text model is O(seed). The
-//! rotated per-position tables this encoder holds at runtime are a
-//! materialized view over that seed, rebuilt bit-identically by any
-//! constructor call with the same configuration.
+//! rotated per-position table is an [`ItemMemory`] over the
+//! [`RowRecipe::RotatedIid`] recipe — resident by default (a
+//! materialized view over the seed, rebuilt bit-identically by any
+//! constructor call with the same configuration), or rematerialized
+//! row-by-row when the config selects that backend.
 //!
 //! Unlike images, texts vary in length: [`NgramTextEncoder`] overrides
 //! [`Encoder::check_features`] to accept any sample from `order` to
@@ -28,8 +30,8 @@ use std::borrow::Cow;
 use super::{check_acc, Encoder, EncoderProfile};
 use crate::accumulator::BitSliceAccumulator;
 use crate::error::HdcError;
-use crate::hypervector::{words_for_dim, Hypervector};
-use uhd_lowdisc::rng::Xoshiro256StarStar;
+use crate::hypervector::words_for_dim;
+use crate::item_memory::{ItemMemory, MemoryBackend, RowRecipe};
 
 /// Symbols in the item memory: `a`–`z` case-folded, plus one catch-all
 /// index for space/digits/punctuation.
@@ -58,11 +60,13 @@ pub struct NgramTextConfig {
     pub max_len: usize,
     /// Seed the symbol item memory rematerializes from.
     pub seed: u64,
+    /// Memory backend for the rotated symbol table.
+    pub backend: MemoryBackend,
 }
 
 impl NgramTextConfig {
     /// Reference configuration: the given dimension, 3-grams, texts up
-    /// to 256 bytes, a fixed published seed.
+    /// to 256 bytes, a fixed published seed, resident tables.
     #[must_use]
     pub fn new(dim: u32) -> Self {
         NgramTextConfig {
@@ -70,7 +74,15 @@ impl NgramTextConfig {
             order: 3,
             max_len: 256,
             seed: 0x7E_C5_1D_u64,
+            backend: MemoryBackend::Resident,
         }
+    }
+
+    /// The same configuration on the rematerialized backend.
+    #[must_use]
+    pub fn rematerialized(mut self) -> Self {
+        self.backend = MemoryBackend::rematerialized();
+        self
     }
 
     fn validate(&self) -> Result<(), HdcError> {
@@ -97,33 +109,36 @@ impl NgramTextConfig {
 #[derive(Debug, Clone)]
 pub struct NgramTextEncoder {
     config: NgramTextConfig,
-    /// Rotated symbol masks, flattened `[position-in-gram][symbol]`:
-    /// entry `(k, s)` is `ρ^{order-1-k}(S_s)` so an n-gram is the XOR
-    /// of `order` table rows. A materialized view over `config.seed`.
-    rotated: Vec<Hypervector>,
+    /// Rotated symbol table, row `k·27 + s = ρ^{order-1-k}(S_s)`, so an
+    /// n-gram is the XOR of `order` rows. An [`ItemMemory`] over
+    /// [`RowRecipe::RotatedIid`] on the configured backend.
+    rotated: ItemMemory,
     words: usize,
 }
 
 impl NgramTextEncoder {
-    /// Rematerialize the symbol memory from the configured seed and
-    /// compile the per-position rotated tables.
+    /// Build the per-position rotated symbol table from the configured
+    /// seed, on the configured backend.
     ///
     /// # Errors
     ///
     /// [`HdcError::InvalidConfig`] for degenerate configurations.
     pub fn new(config: NgramTextConfig) -> Result<Self, HdcError> {
         config.validate()?;
-        let mut rng = Xoshiro256StarStar::seeded(config.seed);
-        let symbols: Vec<Hypervector> = (0..TEXT_ALPHABET)
-            .map(|_| Hypervector::random(config.dim, &mut rng))
-            .collect();
-        let mut rotated = Vec::with_capacity(config.order * TEXT_ALPHABET);
-        for k in 0..config.order {
-            let shift = (config.order - 1 - k) as u32 % config.dim;
-            for s in &symbols {
-                rotated.push(s.rotate(shift));
-            }
-        }
+        let rows =
+            u32::try_from(config.order * TEXT_ALPHABET).map_err(|_| HdcError::InvalidConfig {
+                reason: "n-gram order exceeds the item-memory row limit".into(),
+            })?;
+        let rotated = ItemMemory::new(
+            "rotated-symbol",
+            config.dim,
+            rows,
+            RowRecipe::RotatedIid {
+                seed: config.seed,
+                symbols: TEXT_ALPHABET as u32,
+            },
+            config.backend,
+        )?;
         Ok(NgramTextEncoder {
             words: words_for_dim(config.dim),
             config,
@@ -135,6 +150,12 @@ impl NgramTextEncoder {
     #[must_use]
     pub fn config(&self) -> &NgramTextConfig {
         &self.config
+    }
+
+    /// The rotated symbol item memory (row `position·27 + symbol`).
+    #[must_use]
+    pub fn symbol_memory(&self) -> &ItemMemory {
+        &self.rotated
     }
 
     /// The n-gram order.
@@ -176,11 +197,14 @@ impl Encoder for NgramTextEncoder {
         let n = self.config.order;
         let wc = self.words;
         let mut scratch = vec![0u64; wc];
+        let mut row_buf = Vec::new();
         let symbols: Vec<usize> = input.iter().map(|&b| symbol_index(b)).collect();
         for gram in symbols.windows(n) {
             scratch.fill(0);
             for (k, &s) in gram.iter().enumerate() {
-                let row = self.rotated[k * TEXT_ALPHABET + s].words();
+                let row = self
+                    .rotated
+                    .row((k * TEXT_ALPHABET + s) as u32, &mut row_buf)?;
                 for w in 0..wc {
                     scratch[w] ^= row[w];
                 }
@@ -213,6 +237,8 @@ impl Encoder for NgramTextEncoder {
             // persistent state).
             table_bytes: order * TEXT_ALPHABET as u64 * d / 8,
             working_bytes: d * 4,
+            backend: self.rotated.backend(),
+            resident_bytes: self.rotated.resident_bytes(),
         }
     }
 }
@@ -223,12 +249,22 @@ mod tests {
 
     fn tiny() -> NgramTextEncoder {
         NgramTextEncoder::new(NgramTextConfig {
-            dim: 512,
             order: 3,
             max_len: 64,
             seed: 42,
+            ..NgramTextConfig::new(512)
         })
         .unwrap()
+    }
+
+    #[test]
+    fn rematerialized_backend_is_bit_identical() {
+        let res = tiny();
+        let rem = NgramTextEncoder::new(res.config().clone().rematerialized()).unwrap();
+        for text in [&b"hello world"[..], b"the quick brown fox", b"abc"] {
+            assert_eq!(res.encode(text).unwrap(), rem.encode(text).unwrap());
+        }
+        assert!(rem.profile().resident_bytes < res.profile().resident_bytes);
     }
 
     #[test]
@@ -320,19 +356,24 @@ mod tests {
 
     #[test]
     fn accumulate_matches_manual_rotate_bind_bundle() {
+        use crate::hypervector::Hypervector;
+        use uhd_lowdisc::rng::SplitMix64;
+
         let enc = NgramTextEncoder::new(NgramTextConfig {
-            dim: 128,
             order: 2,
             max_len: 16,
             seed: 7,
+            ..NgramTextConfig::new(128)
         })
         .unwrap();
         let text = b"abca";
         let mut acc = BitSliceAccumulator::new(128);
         enc.accumulate(text, &mut acc).unwrap();
 
-        // Rebuild the symbol memory independently and bundle by hand.
-        let mut rng = Xoshiro256StarStar::seeded(7);
+        // Rebuild the symbol memory independently — the i.i.d. recipe
+        // draws symbols sequentially from one SplitMix64 stream — and
+        // bundle by hand.
+        let mut rng = SplitMix64::new(7);
         let symbols: Vec<Hypervector> = (0..TEXT_ALPHABET)
             .map(|_| Hypervector::random(128, &mut rng))
             .collect();

@@ -26,6 +26,7 @@ use super::{check_acc, check_feature_len, Encoder, EncoderProfile};
 use crate::accumulator::BitSliceAccumulator;
 use crate::error::HdcError;
 use crate::hypervector::{words_for_dim, Hypervector};
+use crate::item_memory::{ItemMemory, MemoryBackend, RowRecipe};
 use uhd_bitstream::comparator::unary_geq;
 use uhd_bitstream::ust::UnaryStreamTable;
 use uhd_lowdisc::halton::HaltonDimension;
@@ -88,7 +89,7 @@ impl LdFamily {
     }
 
     /// Materialize the first `len` sequence values for `pixel`.
-    fn values(&self, pixel: usize, len: usize) -> Result<Vec<f64>, HdcError> {
+    pub(crate) fn values(&self, pixel: usize, len: usize) -> Result<Vec<f64>, HdcError> {
         match *self {
             LdFamily::Sobol {
                 skip_base,
@@ -124,10 +125,13 @@ pub struct UhdConfig {
     pub levels: u32,
     /// Low-discrepancy family (paper: Sobol).
     pub family: LdFamily,
+    /// Memory backend for the threshold-plane item memory.
+    pub backend: MemoryBackend,
 }
 
 impl UhdConfig {
-    /// Paper-default configuration: Sobol sequences, ξ = 16.
+    /// Paper-default configuration: Sobol sequences, ξ = 16, resident
+    /// plane tables.
     #[must_use]
     pub fn new(dim: u32, pixels: usize) -> Self {
         UhdConfig {
@@ -135,7 +139,17 @@ impl UhdConfig {
             pixels,
             levels: 16,
             family: LdFamily::sobol(),
+            backend: MemoryBackend::Resident,
         }
+    }
+
+    /// The same configuration on the rematerialized backend: planes
+    /// regenerate from the LD family on demand, so a fleet of encoders
+    /// costs O(cache) heap each instead of O(H·ξ·D) bits.
+    #[must_use]
+    pub fn rematerialized(mut self) -> Self {
+        self.backend = MemoryBackend::rematerialized();
+        self
     }
 
     fn validate(&self) -> Result<(), HdcError> {
@@ -163,18 +177,23 @@ impl UhdConfig {
 pub struct UhdEncoder {
     config: UhdConfig,
     quantizer: Quantizer,
-    /// Threshold bit-planes, flattened `[pixel][level][word]`:
-    /// bit `j` of plane `(p, q)` is 1 iff `q ≥ Q(S_p[j])`.
-    planes: Vec<u64>,
+    /// Threshold bit-planes as an item memory, row `p·ξ + q`: bit `j`
+    /// of row `(p, q)` is 1 iff `q ≥ Q(S_p[j])`. Resident tables
+    /// materialize via scatter + prefix-OR; rematerialized tables
+    /// derive rows from the LD family on demand.
+    planes: ItemMemory,
     /// Quantized Sobol scalars `Q(S_p[j])`, flattened `[pixel][dim]` —
     /// exactly the M-bit values the hardware keeps in BRAM (Fig. 3(a)).
+    /// Materialized only on the resident backend; rematerialized
+    /// encoders recompute a pixel's column on demand.
     sobol_q: Vec<u8>,
     words: usize,
 }
 
 impl UhdEncoder {
     /// Build the encoder (generates and quantizes all per-pixel
-    /// sequences, then compiles the threshold planes).
+    /// sequences, then compiles the threshold planes — or, on the
+    /// rematerialized backend, validates the recipe and stores only it).
     ///
     /// # Errors
     ///
@@ -185,28 +204,35 @@ impl UhdEncoder {
         config.validate()?;
         let quantizer = Quantizer::new(config.levels)?;
         let wc = words_for_dim(config.dim);
-        let levels = config.levels as usize;
-        let dim = config.dim as usize;
-        let mut planes = vec![0u64; config.pixels * levels * wc];
-        let mut sobol_q = vec![0u8; config.pixels * dim];
-        for pixel in 0..config.pixels {
-            let values = config.family.values(pixel, dim)?;
-            let q_base = pixel * dim;
-            let p_base = pixel * levels * wc;
-            // Scatter: mark each dimension in the plane of its own level.
-            for (j, &s) in values.iter().enumerate() {
-                let qs = quantizer.quantize_unit(s);
-                sobol_q[q_base + j] = qs as u8;
-                planes[p_base + (qs as usize) * wc + j / 64] |= 1u64 << (j % 64);
-            }
-            // Prefix-OR across levels: plane q covers all levels ≤ q.
-            for q in 1..levels {
-                for w in 0..wc {
-                    let prev = planes[p_base + (q - 1) * wc + w];
-                    planes[p_base + q * wc + w] |= prev;
+        let rows = u32::try_from(config.pixels)
+            .ok()
+            .and_then(|p| p.checked_mul(config.levels))
+            .ok_or_else(|| HdcError::InvalidConfig {
+                reason: "pixels × levels exceeds the item-memory row limit".into(),
+            })?;
+        let planes = ItemMemory::new(
+            "plane",
+            config.dim,
+            rows,
+            RowRecipe::ThresholdPlanes {
+                family: config.family,
+                levels: config.levels,
+            },
+            config.backend,
+        )?;
+        let sobol_q = if planes.is_resident() {
+            let dim = config.dim as usize;
+            let mut q = vec![0u8; config.pixels * dim];
+            for pixel in 0..config.pixels {
+                let values = config.family.values(pixel, dim)?;
+                for (j, &s) in values.iter().enumerate() {
+                    q[pixel * dim + j] = quantizer.quantize_unit(s) as u8;
                 }
             }
-        }
+            q
+        } else {
+            Vec::new()
+        };
         Ok(UhdEncoder {
             config,
             quantizer,
@@ -222,6 +248,12 @@ impl UhdEncoder {
         &self.config
     }
 
+    /// The threshold-plane item memory (row `pixel·ξ + level`).
+    #[must_use]
+    pub fn plane_memory(&self) -> &ItemMemory {
+        &self.planes
+    }
+
     /// Quantize an 8-bit intensity to its ξ-level index.
     #[must_use]
     pub fn level_of(&self, intensity: u8) -> u32 {
@@ -230,28 +262,108 @@ impl UhdEncoder {
 
     /// The quantized Sobol scalar `Q(S_pixel[dim])`.
     ///
+    /// O(1) on the resident backend; on the rematerialized backend this
+    /// regenerates the pixel's sequence, costing O(D) per call — batch
+    /// callers should use [`UhdEncoder::quantized_pixel_levels`].
+    ///
     /// # Panics
     ///
     /// Panics if `pixel` or `dim` are out of range.
     #[must_use]
     pub fn sobol_level(&self, pixel: usize, dim: usize) -> u32 {
         assert!(pixel < self.config.pixels && dim < self.config.dim as usize);
-        u32::from(self.sobol_q[pixel * self.config.dim as usize + dim])
+        if self.sobol_q.is_empty() {
+            let mut column = Vec::new();
+            self.quantized_pixel_levels(pixel, &mut column)
+                .expect("family validated at construction");
+            u32::from(column[dim])
+        } else {
+            u32::from(self.sobol_q[pixel * self.config.dim as usize + dim])
+        }
     }
 
-    /// The packed level-hypervector mask for (`pixel`, quantized level).
+    /// Fill `out` with the quantized scalars `Q(S_pixel[0..D])` of one
+    /// pixel. Works on both backends (copies on the resident one).
+    ///
+    /// # Errors
+    ///
+    /// [`HdcError::IndexOutOfRange`] for a bad pixel.
+    pub fn quantized_pixel_levels(&self, pixel: usize, out: &mut Vec<u8>) -> Result<(), HdcError> {
+        if pixel >= self.config.pixels {
+            return Err(HdcError::IndexOutOfRange {
+                what: "pixel",
+                index: pixel,
+                len: self.config.pixels,
+            });
+        }
+        let dim = self.config.dim as usize;
+        out.clear();
+        if self.sobol_q.is_empty() {
+            let values = self.config.family.values(pixel, dim)?;
+            out.extend(
+                values
+                    .iter()
+                    .map(|&s| self.quantizer.quantize_unit(s) as u8),
+            );
+        } else {
+            out.extend_from_slice(&self.sobol_q[pixel * dim..(pixel + 1) * dim]);
+        }
+        Ok(())
+    }
+
+    /// The packed level-hypervector mask for (`pixel`, quantized level),
+    /// borrowed from the resident plane table.
     ///
     /// Bit `j` is 1 iff the hypervector element is +1.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if arguments are out of range.
-    #[must_use]
-    pub fn pixel_mask(&self, pixel: usize, level: u32) -> &[u64] {
-        assert!(pixel < self.config.pixels, "pixel out of range");
-        assert!(level < self.config.levels, "level out of range");
-        let base = pixel * self.config.levels as usize * self.words + level as usize * self.words;
-        &self.planes[base..base + self.words]
+    /// * [`HdcError::IndexOutOfRange`] for a bad pixel or level.
+    /// * [`HdcError::TableNotResident`] on the rematerialized backend —
+    ///   use [`UhdEncoder::pixel_mask_into`] there.
+    pub fn pixel_mask(&self, pixel: usize, level: u32) -> Result<&[u64], HdcError> {
+        self.check_mask_args(pixel, level)?;
+        let rows = self
+            .planes
+            .resident_rows()
+            .ok_or(HdcError::TableNotResident { what: "plane" })?;
+        Ok(rows[pixel * self.config.levels as usize + level as usize].words())
+    }
+
+    /// [`UhdEncoder::pixel_mask`] for any backend: resident rows are
+    /// borrowed from the table, rematerialized rows are derived into
+    /// `scratch` and borrowed from there.
+    ///
+    /// # Errors
+    ///
+    /// [`HdcError::IndexOutOfRange`] for a bad pixel or level.
+    pub fn pixel_mask_into<'a>(
+        &'a self,
+        pixel: usize,
+        level: u32,
+        scratch: &'a mut Vec<u64>,
+    ) -> Result<&'a [u64], HdcError> {
+        self.check_mask_args(pixel, level)?;
+        self.planes
+            .row(pixel as u32 * self.config.levels + level, scratch)
+    }
+
+    fn check_mask_args(&self, pixel: usize, level: u32) -> Result<(), HdcError> {
+        if pixel >= self.config.pixels {
+            return Err(HdcError::IndexOutOfRange {
+                what: "pixel",
+                index: pixel,
+                len: self.config.pixels,
+            });
+        }
+        if level >= self.config.levels {
+            return Err(HdcError::IndexOutOfRange {
+                what: "level",
+                index: level as usize,
+                len: self.config.levels as usize,
+            });
+        }
+        Ok(())
     }
 
     /// Gate-faithful encoding: every hypervector bit is produced by the
@@ -273,11 +385,13 @@ impl UhdEncoder {
         let mut acc = BitSliceAccumulator::new(self.config.dim);
         let wc = self.words;
         let mut mask = vec![0u64; wc];
+        let mut column = Vec::new();
         for (pixel, &v) in image.iter().enumerate() {
             let data = ust.fetch(self.level_of(v))?;
+            self.quantized_pixel_levels(pixel, &mut column)?;
             mask.fill(0);
-            for j in 0..self.config.dim as usize {
-                let sobol = ust.fetch(self.sobol_level(pixel, j))?;
+            for (j, &q) in column.iter().enumerate() {
+                let sobol = ust.fetch(u32::from(q))?;
                 if unary_geq(data, sobol)? {
                     mask[j / 64] |= 1u64 << (j % 64);
                 }
@@ -300,9 +414,24 @@ impl Encoder for UhdEncoder {
     fn accumulate(&self, image: &[u8], acc: &mut BitSliceAccumulator) -> Result<(), HdcError> {
         check_feature_len(self.config.pixels, image)?;
         check_acc(self.config.dim, acc)?;
-        for (pixel, &v) in image.iter().enumerate() {
-            let level = self.level_of(v);
-            acc.add_mask(self.pixel_mask(pixel, level));
+        let levels = self.config.levels;
+        if let Some(rows) = self.planes.resident_rows() {
+            for (pixel, &v) in image.iter().enumerate() {
+                let level = self.level_of(v);
+                // Arguments are in range by the checks above plus the
+                // quantizer's contract.
+                debug_assert!(pixel < self.config.pixels && level < levels);
+                acc.add_mask(rows[pixel * levels as usize + level as usize].words());
+            }
+        } else {
+            let mut scratch = Vec::with_capacity(self.words);
+            for (pixel, &v) in image.iter().enumerate() {
+                let level = self.level_of(v);
+                let mask = self
+                    .planes
+                    .row(pixel as u32 * levels + level, &mut scratch)?;
+                acc.add_mask(mask);
+            }
         }
         Ok(())
     }
@@ -322,6 +451,8 @@ impl Encoder for UhdEncoder {
             // M-bit quantized Sobol scalars in BRAM (Fig. 3(a)).
             table_bytes: h * d * m_bits / 8,
             working_bytes: d * 4,
+            backend: self.config.backend,
+            resident_bytes: self.planes.resident_bytes() + self.sobol_q.len() as u64,
         }
     }
 }
@@ -415,6 +546,8 @@ impl Encoder for UhdExactEncoder {
             rng_draws_per_iteration: 0,
             table_bytes: h * d * 4,
             working_bytes: d * 4,
+            backend: MemoryBackend::Resident,
+            resident_bytes: self.fractions.len() as u64 * 4,
         }
     }
 }
@@ -429,6 +562,7 @@ mod tests {
             pixels: 9,
             levels: 16,
             family: LdFamily::sobol(),
+            backend: MemoryBackend::Resident,
         }
     }
 
@@ -460,7 +594,7 @@ mod tests {
             sobol.seek(1000 + pixel as u64 * 63); // the LdFamily::sobol() phase
             let values = sobol.take_values(128);
             for level in 0..16u32 {
-                let mask = enc.pixel_mask(pixel, level);
+                let mask = enc.pixel_mask(pixel, level).unwrap();
                 for (j, &s) in values.iter().enumerate() {
                     let expect = level >= quantizer.quantize_unit(s);
                     let got = (mask[j / 64] >> (j % 64)) & 1 == 1;
@@ -475,8 +609,8 @@ mod tests {
         let enc = UhdEncoder::new(tiny_config()).unwrap();
         for pixel in 0..9 {
             for level in 1..16u32 {
-                let lo = enc.pixel_mask(pixel, level - 1);
-                let hi = enc.pixel_mask(pixel, level);
+                let lo = enc.pixel_mask(pixel, level - 1).unwrap();
+                let hi = enc.pixel_mask(pixel, level).unwrap();
                 for (a, b) in lo.iter().zip(hi.iter()) {
                     assert_eq!(a & !b, 0, "mask must be monotone in level");
                 }
@@ -489,9 +623,70 @@ mod tests {
         // Intensity 255 quantizes to xi-1 which is >= every quantized
         // Sobol value, so the mask is full.
         let enc = UhdEncoder::new(tiny_config()).unwrap();
-        let mask = enc.pixel_mask(0, 15);
+        let mask = enc.pixel_mask(0, 15).unwrap();
         let ones: u32 = mask.iter().map(|w| w.count_ones()).sum();
         assert_eq!(ones, 128);
+    }
+
+    #[test]
+    fn pixel_mask_misuse_errors_instead_of_panicking() {
+        let enc = UhdEncoder::new(tiny_config()).unwrap();
+        assert!(matches!(
+            enc.pixel_mask(9, 0),
+            Err(HdcError::IndexOutOfRange {
+                what: "pixel",
+                index: 9,
+                len: 9
+            })
+        ));
+        assert!(matches!(
+            enc.pixel_mask(0, 16),
+            Err(HdcError::IndexOutOfRange {
+                what: "level",
+                index: 16,
+                len: 16
+            })
+        ));
+        let remat = UhdEncoder::new(tiny_config().rematerialized()).unwrap();
+        assert!(matches!(
+            remat.pixel_mask(0, 0),
+            Err(HdcError::TableNotResident { what: "plane" })
+        ));
+        let mut scratch = Vec::new();
+        assert_eq!(
+            remat.pixel_mask_into(3, 7, &mut scratch).unwrap(),
+            enc.pixel_mask(3, 7).unwrap()
+        );
+    }
+
+    #[test]
+    fn rematerialized_encoder_is_bit_identical() {
+        let res = UhdEncoder::new(tiny_config()).unwrap();
+        let rem = UhdEncoder::new(tiny_config().rematerialized()).unwrap();
+        for seed in 0u8..8 {
+            let image: Vec<u8> = (0..9u8)
+                .map(|i| i.wrapping_mul(13).wrapping_add(seed.wrapping_mul(31)))
+                .collect();
+            assert_eq!(res.encode(&image).unwrap(), rem.encode(&image).unwrap());
+        }
+        assert_eq!(rem.sobol_level(4, 100), res.sobol_level(4, 100));
+        // The rematerialized instance pins far less heap while quoting
+        // the same nominal hardware table size.
+        let (pr, pm) = (res.profile(), rem.profile());
+        assert_eq!(pr.table_bytes, pm.table_bytes);
+        assert!(pm.resident_bytes < pr.resident_bytes);
+        assert_eq!(pm.backend, MemoryBackend::rematerialized());
+    }
+
+    #[test]
+    fn rematerialized_unary_gate_path_still_agrees() {
+        let enc = UhdEncoder::new(tiny_config().rematerialized()).unwrap();
+        let ust = UnaryStreamTable::new(16, 16).unwrap();
+        let image: Vec<u8> = (0..9).map(|i| (i * 28) as u8).collect();
+        assert_eq!(
+            enc.encode(&image).unwrap(),
+            enc.encode_via_unary(&image, &ust).unwrap()
+        );
     }
 
     #[test]
@@ -553,6 +748,7 @@ mod tests {
             pixels,
             levels: 16,
             family: LdFamily::sobol(),
+            backend: MemoryBackend::Resident,
         })
         .unwrap();
         let e = UhdExactEncoder::new(dim, pixels, LdFamily::sobol()).unwrap();

@@ -50,6 +50,22 @@ pub enum HdcError {
     },
     /// A model was asked to classify before any training happened.
     ModelUntrained,
+    /// A row/level/pixel index outside the table's bounds was requested.
+    IndexOutOfRange {
+        /// What was being indexed (e.g. `"pixel"`, `"level"`).
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// Number of valid entries.
+        len: usize,
+    },
+    /// A borrowed view into a materialized table was requested from an
+    /// encoder running on the rematerialized backend, where no such table
+    /// exists. Use the `_into`/scratch variants instead.
+    TableNotResident {
+        /// Which table was requested.
+        what: &'static str,
+    },
     /// Configuration rejected (e.g. zero classes, zero dimension).
     InvalidConfig {
         /// Human-readable reason.
@@ -84,6 +100,15 @@ impl fmt::Display for HdcError {
                 write!(f, "invalid training data: {reason}")
             }
             HdcError::ModelUntrained => write!(f, "model has no trained class hypervectors"),
+            HdcError::IndexOutOfRange { what, index, len } => {
+                write!(f, "{what} index {index} out of range (len {len})")
+            }
+            HdcError::TableNotResident { what } => {
+                write!(
+                    f,
+                    "{what} table is not resident under the rematerialized backend"
+                )
+            }
             HdcError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             HdcError::LowDisc(e) => write!(f, "low-discrepancy substrate: {e}"),
             HdcError::Bitstream(e) => write!(f, "bit-stream substrate: {e}"),

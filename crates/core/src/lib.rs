@@ -38,6 +38,7 @@ pub mod assoc;
 pub mod encoder;
 pub mod error;
 pub mod hypervector;
+pub mod item_memory;
 pub mod kernels;
 pub mod model;
 pub mod online;
@@ -57,6 +58,7 @@ pub use encoder::ImageEncoder;
 pub use encoder::{Encoder, EncoderProfile};
 pub use error::HdcError;
 pub use hypervector::Hypervector;
+pub use item_memory::{derive_seed, ItemMemory, MemoryBackend, RowRecipe};
 pub use kernels::Kernel;
 #[allow(deprecated)]
 pub use model::LabelledImages;

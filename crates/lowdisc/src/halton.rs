@@ -91,6 +91,13 @@ impl UniformSource for HaltonDimension {
     }
 }
 
+impl crate::rng::SeekableSource for HaltonDimension {
+    /// O(1): Halton points are the radical inverse of the index.
+    fn seek_to(&mut self, n: u64) {
+        self.index = n;
+    }
+}
+
 /// Multi-dimensional Halton point set.
 #[derive(Debug, Clone)]
 pub struct HaltonSequence {

@@ -15,7 +15,7 @@
 
 use crate::error::LowDiscError;
 use crate::gf2;
-use crate::rng::UniformSource;
+use crate::rng::{SeekableSource, UniformSource};
 
 /// A Fibonacci (many-to-one) maximal-length LFSR of width 2..=32 bits.
 ///
@@ -44,6 +44,9 @@ pub struct Lfsr {
     /// x^(i+1); the implicit constant term is the output tap).
     taps: u32,
     state: u32,
+    /// The construction seed, kept so [`SeekableSource::seek_to`] can
+    /// re-derive the state at an absolute stream position.
+    seed: u32,
 }
 
 impl Lfsr {
@@ -71,6 +74,7 @@ impl Lfsr {
             width,
             taps,
             state: seed & mask,
+            seed: seed & mask,
         })
     }
 
@@ -124,6 +128,60 @@ impl Lfsr {
         }
         v
     }
+
+    /// The one-step state-transition matrix over GF(2), column `i` being
+    /// the successor of basis state `e_i`. [`Lfsr::step`] is linear in
+    /// the state (shift + tap parity), so `steps` clock cycles compose
+    /// to the matrix power `M^steps`.
+    fn step_matrix(&self) -> [u32; 32] {
+        let mut m = [0u32; 32];
+        for (i, col) in m.iter_mut().take(self.width as usize).enumerate() {
+            let mut v = 0u32;
+            if i > 0 {
+                v |= 1 << (i - 1);
+            }
+            if (self.taps >> i) & 1 == 1 {
+                v |= 1 << (self.width - 1);
+            }
+            *col = v;
+        }
+        m
+    }
+
+    fn apply(m: &[u32; 32], mut state: u32) -> u32 {
+        let mut out = 0u32;
+        while state != 0 {
+            let i = state.trailing_zeros() as usize;
+            out ^= m[i];
+            state &= state - 1;
+        }
+        out
+    }
+
+    fn compose(a: &[u32; 32], b: &[u32; 32]) -> [u32; 32] {
+        let mut c = [0u32; 32];
+        for (ci, &bi) in c.iter_mut().zip(b.iter()) {
+            *ci = Self::apply(a, bi);
+        }
+        c
+    }
+
+    /// Advance the register by `steps` clock cycles in O(w² log steps)
+    /// via square-and-multiply on the GF(2) transition matrix —
+    /// equivalent to, but exponentially faster than, calling
+    /// [`Lfsr::step`] `steps` times.
+    pub fn jump(&mut self, mut steps: u64) {
+        let mut base = self.step_matrix();
+        while steps > 0 {
+            if steps & 1 == 1 {
+                self.state = Self::apply(&base, self.state);
+            }
+            steps >>= 1;
+            if steps > 0 {
+                base = Self::compose(&base, &base);
+            }
+        }
+    }
 }
 
 impl UniformSource for Lfsr {
@@ -134,6 +192,20 @@ impl UniformSource for Lfsr {
     fn next_unit(&mut self) -> f64 {
         let bits = self.next_bits(self.width);
         f64::from(bits) / (1u64 << self.width) as f64
+    }
+}
+
+impl SeekableSource for Lfsr {
+    /// O(w² log n): draw `n` starts `n·width` clock cycles after the
+    /// seed state, reached by a GF(2) matrix-power jump ([`Lfsr::jump`])
+    /// from the seed. The cycle count is reduced modulo the maximal
+    /// period `2^w − 1` first, so arbitrarily large indices stay cheap
+    /// and the `n·width` product cannot overflow.
+    fn seek_to(&mut self, n: u64) {
+        let period = (1u128 << self.width) - 1;
+        let steps = (u128::from(n) * u128::from(self.width)) % period;
+        self.state = self.seed;
+        self.jump(steps as u64);
     }
 }
 
@@ -248,5 +320,56 @@ mod tests {
             lfsr.step();
             assert_ne!(lfsr.state(), 0);
         }
+    }
+
+    #[test]
+    fn jump_matches_sequential_steps() {
+        for width in [2u32, 8, 16, 32] {
+            for steps in [0u64, 1, 2, 7, 100, 255, 256, 4097] {
+                let mut jumped = Lfsr::new(width, 0x5A5A_5A5A).unwrap();
+                let mut stepped = jumped.clone();
+                jumped.jump(steps);
+                for _ in 0..steps {
+                    stepped.step();
+                }
+                assert_eq!(
+                    jumped.state(),
+                    stepped.state(),
+                    "width {width}, {steps} steps"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seek_matches_sequential_draws() {
+        for n in [0u64, 1, 3, 17, 100, 1000] {
+            let mut sequential = Lfsr::new(12, 0xACE).unwrap();
+            for _ in 0..n {
+                let _ = sequential.next_unit();
+            }
+            let mut seeked = Lfsr::new(12, 0xACE).unwrap();
+            seeked.seek_to(n);
+            assert_eq!(seeked.next_unit(), sequential.next_unit(), "draw {n}");
+        }
+    }
+
+    #[test]
+    fn seek_is_absolute_and_wraps_the_period() {
+        let mut lfsr = Lfsr::new(8, 0x33).unwrap();
+        let first = lfsr.next_unit();
+        // Burn draws, then seek back to the stream origin.
+        for _ in 0..50 {
+            let _ = lfsr.next_unit();
+        }
+        lfsr.seek_to(0);
+        assert_eq!(lfsr.next_unit(), first);
+        // An 8-bit register emits 8 steps per draw over a 255-step
+        // period, so 255 draws return to the seed state exactly.
+        lfsr.seek_to(255);
+        assert_eq!(lfsr.next_unit(), first);
+        // Far beyond the period must still be cheap and consistent.
+        lfsr.seek_to(255 * 1_000_000);
+        assert_eq!(lfsr.next_unit(), first);
     }
 }

@@ -50,5 +50,5 @@ pub mod sobol;
 pub mod vdc;
 
 pub use error::LowDiscError;
-pub use rng::UniformSource;
+pub use rng::{SeekableSource, UniformSource};
 pub use sobol::{SobolDimension, SobolSequence};

@@ -107,6 +107,13 @@ impl UniformSource for R2Dimension {
     }
 }
 
+impl crate::rng::SeekableSource for R2Dimension {
+    /// O(1): the additive recurrence is closed-form in the index.
+    fn seek_to(&mut self, n: u64) {
+        self.index = n;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,6 +19,28 @@ pub trait UniformSource {
     fn next_unit(&mut self) -> f64;
 }
 
+/// A [`UniformSource`] whose stream supports random access: the cursor
+/// can jump to any draw index without generating the intermediate
+/// draws, and the values emitted afterwards are bit-identical to the
+/// sequential stream.
+///
+/// This is the seekability contract behind rematerialized item
+/// memories (Schmuck, Benini & Rahimi): a table row generated from
+/// draws `[r·D, (r+1)·D)` of a master stream can be regenerated on
+/// demand by seeking instead of being stored. Every low-discrepancy
+/// family in this crate is seekable — Sobol via its Gray-code jump,
+/// Halton/R2/van der Corput because their points are closed-form in
+/// the index, the LFSR via a GF(2) matrix power — and so is
+/// [`SplitMix64`], whose state after `n` draws is an affine function
+/// of `n`.
+pub trait SeekableSource: UniformSource {
+    /// Reposition the stream so the next [`UniformSource::next_unit`]
+    /// call returns draw `n` (0-based) of the stream as emitted from
+    /// construction, in O(1) or O(log n) — never by replaying the
+    /// `n` predecessors.
+    fn seek_to(&mut self, n: u64);
+}
+
 /// SplitMix64: tiny, fast, full-period 2^64 generator.
 ///
 /// Used to seed [`Xoshiro256StarStar`] and to derive the deterministic
@@ -36,18 +58,26 @@ pub trait UniformSource {
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SplitMix64 {
     state: u64,
+    /// The construction seed, kept so [`SeekableSource::seek_to`] can
+    /// jump in O(1): the state before draw `n` is `seed + n·γ` (the
+    /// Weyl increment), with no dependence on the path taken there.
+    seed: u64,
 }
 
 impl SplitMix64 {
+    /// The Weyl-sequence increment (golden-ratio constant) stepping the
+    /// state; also the repo-wide mixing constant for keyed derivation.
+    pub const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
     /// Create a generator from a seed. All seeds (including 0) are valid.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        SplitMix64 { state: seed }
+        SplitMix64 { state: seed, seed }
     }
 
     /// Next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.state = self.state.wrapping_add(Self::GAMMA);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -58,6 +88,13 @@ impl SplitMix64 {
 impl UniformSource for SplitMix64 {
     fn next_unit(&mut self) -> f64 {
         u64_to_unit(self.next_u64())
+    }
+}
+
+impl SeekableSource for SplitMix64 {
+    /// O(1): the state is an affine function of the draw index.
+    fn seek_to(&mut self, n: u64) {
+        self.state = self.seed.wrapping_add(n.wrapping_mul(Self::GAMMA));
     }
 }
 
@@ -224,5 +261,34 @@ mod tests {
     fn next_below_zero_panics() {
         let mut rng = Xoshiro256StarStar::seeded(0);
         let _ = rng.next_below(0);
+    }
+
+    #[test]
+    fn splitmix_seek_matches_sequential_advances() {
+        for n in [0u64, 1, 2, 7, 63, 64, 65, 1000, 123_456] {
+            let mut sequential = SplitMix64::new(0xFEED);
+            for _ in 0..n {
+                let _ = sequential.next_unit();
+            }
+            let mut seeked = SplitMix64::new(0xFEED);
+            seeked.seek_to(n);
+            assert_eq!(seeked.next_u64(), sequential.next_u64(), "draw {n}");
+        }
+    }
+
+    #[test]
+    fn splitmix_seek_is_absolute_not_relative() {
+        let mut rng = SplitMix64::new(9);
+        let draw3 = {
+            let mut r = SplitMix64::new(9);
+            r.seek_to(3);
+            r.next_u64()
+        };
+        // Burn draws, then seek back: position is from construction.
+        for _ in 0..100 {
+            let _ = rng.next_u64();
+        }
+        rng.seek_to(3);
+        assert_eq!(rng.next_u64(), draw3);
     }
 }

@@ -261,6 +261,15 @@ impl crate::rng::UniformSource for SobolDimension {
     }
 }
 
+impl crate::rng::SeekableSource for SobolDimension {
+    /// O(1): the Gray-code construction gives the state at index `n`
+    /// as the XOR of the direction numbers selected by `n ^ (n >> 1)`
+    /// (see [`SobolDimension::seek`]).
+    fn seek_to(&mut self, n: u64) {
+        self.seek(n);
+    }
+}
+
 /// A multi-dimensional Sobol point set (all dimensions advanced together).
 ///
 /// # Example

@@ -84,6 +84,13 @@ impl UniformSource for VanDerCorput {
     }
 }
 
+impl crate::rng::SeekableSource for VanDerCorput {
+    /// O(1): van der Corput points are the radical inverse of the index.
+    fn seek_to(&mut self, n: u64) {
+        self.index = n;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

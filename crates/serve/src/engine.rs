@@ -1209,16 +1209,29 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_image_encoder_trait_objects_still_serve() {
-        // Pre-refactor callers held `&dyn ImageEncoder`; the alias
-        // trait's supertrait keeps those objects servable unchanged.
+    fn rematerialized_encoders_serve_identically() {
+        // A fleet host can swap the resident threshold planes for the
+        // O(seed) rematerialized backend without changing a single
+        // answer: both encoders derive the same rows, so the served
+        // responses agree bit for bit.
         let (encoder, model, images, _) = fixture();
-        let legacy: &dyn uhd_core::ImageEncoder = &encoder;
-        let response = ServeEngine::serve(ServeConfig::new(1, 1), legacy, model, |engine| {
-            engine.classify(&images[0]).unwrap()
+        let remat = UhdEncoder::new(encoder.config().clone().rematerialized()).unwrap();
+        assert!(
+            remat.profile().resident_bytes < encoder.profile().resident_bytes,
+            "rematerialized serving must hold less heap than resident serving"
+        );
+        let resident_answers =
+            ServeEngine::serve(ServeConfig::new(1, 2), &encoder, model.clone(), |engine| {
+                engine.classify_many(&images).unwrap()
+            })
+            .unwrap();
+        let remat_answers = ServeEngine::serve(ServeConfig::new(1, 2), &remat, model, |engine| {
+            engine.classify_many(&images).unwrap()
         })
         .unwrap();
-        assert_eq!(response.generation, 0);
+        for (a, b) in resident_answers.iter().zip(remat_answers.iter()) {
+            assert_eq!(a.class, b.class);
+            assert!((a.score - b.score).abs() < 1e-12);
+        }
     }
 }

@@ -13,6 +13,7 @@ use uhd::core::accumulator::BitSliceAccumulator;
 use uhd::core::encoder::uhd::{LdFamily, UhdConfig, UhdEncoder};
 use uhd::core::encoder::{Encoder, EncoderProfile};
 use uhd::core::hypervector::{words_for_dim, Hypervector};
+use uhd::core::item_memory::MemoryBackend;
 use uhd::core::model::{HdcModel, LabelledSamples};
 use uhd::core::HdcError;
 use uhd::datasets::synth::{generate, SynthSpec, SyntheticKind};
@@ -84,6 +85,8 @@ impl Encoder for RandomProjectionEncoder {
                 * u64::from(self.dim),
             table_bytes: self.table.len() as u64 * u64::from(words_for_dim(self.dim) as u32) * 8,
             working_bytes: u64::from(self.dim) * 4,
+            backend: MemoryBackend::Resident,
+            resident_bytes: self.table.len() as u64 * u64::from(words_for_dim(self.dim) as u32) * 8,
         }
     }
 }
@@ -97,10 +100,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // uHD with a different LD family — one config field away.
     let halton = UhdEncoder::new(UhdConfig {
-        dim: d,
-        pixels: train.pixels(),
-        levels: 16,
         family: LdFamily::Halton,
+        ..UhdConfig::new(d, train.pixels())
     })?;
     // The fully custom trait implementation.
     let custom = RandomProjectionEncoder::new(d, train.pixels(), 16, 11);

@@ -40,7 +40,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let test_data = LabelledSamples::new(test.images(), test.labels())?;
 
     // --- uHD: deterministic Sobol encoding, single iteration ---
-    let uhd_encoder = UhdEncoder::new(UhdConfig::new(dim, train.pixels()))?;
+    // UHD_REMAT=1 swaps the materialized threshold planes for the
+    // rematerialized item-memory backend: O(seed) resident state, rows
+    // derived on demand, bit-identical answers.
+    let mut uhd_config = UhdConfig::new(dim, train.pixels());
+    if std::env::var("UHD_REMAT").is_ok_and(|v| !v.is_empty() && v != "0") {
+        uhd_config = uhd_config.rematerialized();
+        println!("item memory: rematerialized backend (UHD_REMAT=1)");
+    }
+    let uhd_encoder = UhdEncoder::new(uhd_config)?;
     let t0 = std::time::Instant::now();
     let uhd_model = HdcModel::train_parallel(&uhd_encoder, train_data, train.classes(), threads)?;
     let uhd_train_time = t0.elapsed();

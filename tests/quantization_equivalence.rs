@@ -76,10 +76,9 @@ fn quantization_preserves_accuracy_relevant_structure() {
     let dim = 2048u32;
     let coarse = UhdEncoder::new(UhdConfig::new(dim, pixels)).unwrap();
     let fine = UhdEncoder::new(UhdConfig {
-        dim,
-        pixels,
         levels: 64,
         family: LdFamily::sobol(),
+        ..UhdConfig::new(dim, pixels)
     })
     .unwrap();
     let image: Vec<u8> = (0..pixels).map(|i| ((i * 13) % 256) as u8).collect();
