@@ -44,7 +44,7 @@ if [ "$smoke" -eq 1 ]; then
     UHD_KERNEL=scalar cargo run --release -q -p uhd-bench --bin throughput > /dev/null
     UHD_KERNEL=scalar cargo run --release -q -p uhd-bench --bin online > /dev/null
     for bin in table1 table2 table3 table4 table5 fig6 checkpoints ablation \
-               throughput online; do
+               throughput online capacity; do
         step "smoke: $bin"
         cargo run --release -q -p uhd-bench --bin "$bin" > /dev/null
     done
@@ -54,7 +54,8 @@ if [ "$smoke" -eq 1 ]; then
     step "smoke: validate BENCH_*.json perf trajectory"
     cargo run --release -q -p uhd-bench --bin validate_bench
     for ex in quickstart custom_encoder orthogonality_study hardware_report \
-              signal_classification serving dynamic_learning language_id tabular; do
+              signal_classification serving dynamic_learning language_id tabular \
+              http_serving; do
         step "smoke: example $ex"
         cargo run --release -q --example "$ex" > /dev/null
     done
@@ -74,6 +75,14 @@ if [ "$smoke" -eq 1 ]; then
     UHD_METRICS_SNAPSHOT="$metrics_dir/serving" UHD_LOG=1 \
         cargo run --release -q --example serving > /dev/null
     cargo run --release -q -p uhd-bench --bin validate_metrics -- "$metrics_dir/serving"
+    # Same exposition contract through the multi-tenant HTTP front end:
+    # the example starts the std::net server on an ephemeral port,
+    # round-trips classify/learn/scrape over real sockets, and writes
+    # the same snapshot trio from the registry's recorder.
+    step "smoke: metrics exposition (http_serving example + validate_metrics)"
+    UHD_METRICS_SNAPSHOT="$metrics_dir/http" \
+        cargo run --release -q --example http_serving > /dev/null
+    cargo run --release -q -p uhd-bench --bin validate_metrics -- "$metrics_dir/http"
     step "smoke: criterion benches (quick mode)"
     cargo bench -q -p uhd-bench > /dev/null
 fi

@@ -45,6 +45,7 @@ pub mod online;
 pub mod orthogonality;
 pub mod retrain;
 pub mod similarity;
+pub mod snapshot;
 pub mod telemetry;
 
 pub use accumulator::{BitSliceAccumulator, DenseAccumulator};
@@ -64,3 +65,4 @@ pub use kernels::Kernel;
 pub use model::LabelledImages;
 pub use model::{HdcModel, InferenceMode, LabelledSamples};
 pub use online::OnlineLearner;
+pub use snapshot::{AlignedBytes, SnapshotError};

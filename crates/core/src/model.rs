@@ -579,27 +579,31 @@ impl HdcModel {
         if bytes.len() != expected {
             return Err(bad("truncated model payload"));
         }
+        // Bulk word decode: the payload is a homogeneous stream of
+        // 8-byte little-endian values, so each class decodes as one
+        // `chunks_exact` pass (vectorized to a copy on little-endian
+        // targets). The 16-byte header keeps every payload word
+        // naturally aligned in an aligned buffer — see
+        // `crate::snapshot` for the alignment-checked load path.
         let mut offset = 16;
         let mut class_hvs = Vec::with_capacity(classes);
         for _ in 0..classes {
-            let mut words = Vec::with_capacity(wc);
-            for _ in 0..wc {
-                words.push(u64::from_le_bytes(
-                    bytes[offset..offset + 8].try_into().expect("sliced"),
-                ));
-                offset += 8;
-            }
+            let end = offset + wc * 8;
+            let words: Vec<u64> = bytes[offset..end]
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("chunked")))
+                .collect();
+            offset = end;
             class_hvs.push(Hypervector::from_words(words, dim)?);
         }
         let mut class_sums = Vec::with_capacity(classes);
         for _ in 0..classes {
-            let mut sums = Vec::with_capacity(dim as usize);
-            for _ in 0..dim as usize {
-                sums.push(i64::from_le_bytes(
-                    bytes[offset..offset + 8].try_into().expect("sliced"),
-                ));
-                offset += 8;
-            }
+            let end = offset + dim as usize * 8;
+            let sums: Vec<i64> = bytes[offset..end]
+                .chunks_exact(8)
+                .map(|c| i64::from_le_bytes(c.try_into().expect("chunked")))
+                .collect();
+            offset = end;
             class_sums.push(sums);
         }
         Self::from_parts(class_hvs, class_sums, dim)

@@ -1,0 +1,360 @@
+//! Disk persistence for trained models.
+//!
+//! The on-disk format is exactly [`HdcModel::to_bytes`]: a 16-byte
+//! header (`b"UHDM"`, format version, dimension, class count, all
+//! little-endian `u32`s) followed by the packed class hypervector words
+//! and the integer class sums as little-endian `u64`/`i64`. Because the
+//! header is 16 bytes and every payload element is 8 bytes wide, a
+//! snapshot loaded into an 8-byte-aligned buffer has *every* word of
+//! its payload naturally aligned — the format is mmap/zero-copy
+//! friendly by construction, and [`load`] goes through such a buffer
+//! ([`AlignedBytes`]) so the bulk word decode in
+//! [`HdcModel::from_bytes`] never straddles alignment boundaries.
+//!
+//! Writes are **atomic at the filesystem level**: [`save_atomic`]
+//! writes to a temporary sibling file, syncs it, and renames it over
+//! the destination. A reader (or a crash) can observe the old snapshot
+//! or the new one, never a torn mixture — the property the serving
+//! registry relies on when it persists tenants while traffic is live.
+
+use crate::error::HdcError;
+use crate::model::HdcModel;
+use std::fmt;
+use std::fs;
+use std::io::{self, Read as _, Write as _};
+use std::path::Path;
+
+/// Alignment (bytes) guaranteed by [`AlignedBytes`] and required by
+/// [`from_aligned_bytes`]: the payload is a stream of 8-byte words.
+pub const SNAPSHOT_ALIGN: usize = 8;
+
+/// Errors from the disk snapshot layer: either the filesystem failed
+/// or the bytes on disk do not decode as a model.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// An I/O error from the filesystem.
+    Io(io::Error),
+    /// The file's contents failed [`HdcModel::from_bytes`] validation
+    /// (truncated payload, corrupt header, misaligned buffer, …).
+    Malformed(HdcError),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O failed: {e}"),
+            SnapshotError::Malformed(e) => write!(f, "snapshot is not a valid model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Malformed(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<HdcError> for SnapshotError {
+    fn from(e: HdcError) -> Self {
+        SnapshotError::Malformed(e)
+    }
+}
+
+/// An owned byte buffer whose contents start at an 8-byte-aligned
+/// address (the backing allocation is padded and the view begins at
+/// the first aligned offset — no `unsafe`, and the padding is never
+/// exposed). Reading a snapshot into one of these makes the whole
+/// payload naturally aligned for the bulk word decode (and for future
+/// true zero-copy views).
+#[derive(Debug)]
+pub struct AlignedBytes {
+    /// Backing storage, over-allocated by up to `SNAPSHOT_ALIGN - 1`
+    /// bytes. Never reallocated after construction, so `start` stays
+    /// valid.
+    buf: Vec<u8>,
+    /// Offset of the first 8-byte-aligned byte in `buf`.
+    start: usize,
+    len: usize,
+}
+
+impl Clone for AlignedBytes {
+    fn clone(&self) -> Self {
+        // A byte-wise clone of `buf` would land at a different address
+        // with a stale `start`; re-align against the new allocation.
+        AlignedBytes::from_slice(self.as_bytes())
+    }
+}
+
+impl AlignedBytes {
+    /// Copy `bytes` into a fresh aligned buffer.
+    #[must_use]
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        let mut buf = AlignedBytes::zeroed(bytes.len());
+        buf.as_bytes_mut()[..bytes.len()].copy_from_slice(bytes);
+        buf
+    }
+
+    /// An aligned buffer of `len` zero bytes.
+    fn zeroed(len: usize) -> Self {
+        let buf = vec![0u8; len + SNAPSHOT_ALIGN - 1];
+        let start = (SNAPSHOT_ALIGN - buf.as_ptr().addr() % SNAPSHOT_ALIGN) % SNAPSHOT_ALIGN;
+        AlignedBytes { buf, start, len }
+    }
+
+    /// Read the entire file at `path` into an aligned buffer.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from opening or reading the file.
+    pub fn read_from(path: &Path) -> io::Result<Self> {
+        let mut file = fs::File::open(path)?;
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "snapshot exceeds usize"))?;
+        let mut buf = AlignedBytes::zeroed(len);
+        let mut filled = 0usize;
+        // `read_to_end` would reallocate (losing alignment); fill the
+        // pre-sized buffer directly, tolerating a file that grew or
+        // shrank between stat and read by erroring out.
+        while filled < len {
+            let n = file.read(&mut buf.as_bytes_mut()[filled..])?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "snapshot shrank while being read",
+                ));
+            }
+            filled += n;
+        }
+        if file.read(&mut [0u8; 1])? != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "snapshot grew while being read",
+            ));
+        }
+        Ok(buf)
+    }
+
+    /// The buffer's contents. The returned slice's address is always
+    /// 8-byte aligned.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf[self.start..self.start + self.len]
+    }
+
+    fn as_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.buf[self.start..self.start + self.len]
+    }
+}
+
+/// Decode a model from a buffer whose address is 8-byte aligned,
+/// rejecting misaligned input instead of silently taking the slow
+/// path. This is the load path for buffers that may later become true
+/// zero-copy views (mmap pages, [`AlignedBytes`]): the alignment check
+/// is the contract that every payload word sits on its natural
+/// boundary.
+///
+/// # Errors
+///
+/// * [`HdcError::InvalidConfig`] when `bytes` is not 8-byte aligned.
+/// * Everything [`HdcModel::from_bytes`] rejects.
+pub fn from_aligned_bytes(bytes: &[u8]) -> Result<HdcModel, HdcError> {
+    if !bytes.as_ptr().addr().is_multiple_of(SNAPSHOT_ALIGN) {
+        return Err(HdcError::InvalidConfig {
+            reason: format!(
+                "snapshot buffer must be {SNAPSHOT_ALIGN}-byte aligned for the zero-copy \
+                 load path (use AlignedBytes or HdcModel::from_bytes)"
+            ),
+        });
+    }
+    HdcModel::from_bytes(bytes)
+}
+
+/// Serialize `model` to `path` atomically: write `path` with a
+/// `.tmp-<suffix>` extension, sync the file, then rename it into
+/// place. Concurrent readers observe either the previous snapshot or
+/// the complete new one — never a partial write.
+///
+/// # Errors
+///
+/// Any I/O error from writing, syncing, or renaming. The temporary
+/// file is removed on a failed write.
+pub fn save_atomic(model: &HdcModel, path: &Path) -> io::Result<()> {
+    let bytes = model.to_bytes();
+    let tmp = tmp_sibling(path);
+    let write = (|| {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+        Ok(())
+    })();
+    if let Err(e) = write {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    // Best-effort directory sync so the rename itself is durable; a
+    // filesystem that cannot fsync a directory still got the atomic
+    // visibility guarantee from the rename.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// `<path>.tmp-<pid>`: unique enough that two processes snapshotting
+/// the same tenant never clobber each other's partial writes, and the
+/// rename stays within one directory (same filesystem, so it is atomic).
+fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().map_or_else(
+        || std::ffi::OsString::from("snapshot"),
+        std::ffi::OsStr::to_os_string,
+    );
+    name.push(format!(".tmp-{}", std::process::id()));
+    path.with_file_name(name)
+}
+
+/// Load a model from `path` through an aligned buffer — the inverse of
+/// [`save_atomic`], bit-identical under `to_bytes` round-trips.
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] for filesystem failures,
+/// [`SnapshotError::Malformed`] for bytes that do not decode.
+pub fn load(path: &Path) -> Result<HdcModel, SnapshotError> {
+    let buf = AlignedBytes::read_from(path)?;
+    Ok(from_aligned_bytes(buf.as_bytes())?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::uhd::{UhdConfig, UhdEncoder};
+    use crate::model::LabelledSamples;
+
+    fn trained() -> HdcModel {
+        let encoder = UhdEncoder::new(UhdConfig::new(192, 6)).unwrap();
+        let images = vec![vec![10u8; 6], vec![240u8; 6], vec![20u8; 6], vec![250u8; 6]];
+        let labels = vec![0, 1, 0, 1];
+        HdcModel::train(&encoder, LabelledSamples::new(&images, &labels).unwrap(), 2).unwrap()
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("uhd-snap-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn disk_round_trip_is_bit_identical() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("model.uhdm");
+        let model = trained();
+        save_atomic(&model, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(model.to_bytes(), back.to_bytes());
+        // Overwrite in place: the rename replaces the old snapshot.
+        save_atomic(&back, &path).unwrap();
+        assert_eq!(load(&path).unwrap().to_bytes(), model.to_bytes());
+        // No temporary litter left behind.
+        let stray: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(std::result::Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(stray.is_empty(), "temp files must not survive: {stray:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn aligned_bytes_are_aligned() {
+        for len in [0usize, 1, 7, 8, 9, 16, 4097] {
+            let src: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let buf = AlignedBytes::from_slice(&src);
+            assert_eq!(buf.as_bytes(), &src[..]);
+            assert_eq!(buf.as_bytes().as_ptr().addr() % SNAPSHOT_ALIGN, 0);
+        }
+    }
+
+    #[test]
+    fn misaligned_buffers_are_rejected_by_the_aligned_path() {
+        let bytes = trained().to_bytes();
+        // Offset the payload by one byte inside a larger buffer: the
+        // contents are valid, the address is not.
+        let mut shifted = vec![0u8; bytes.len() + SNAPSHOT_ALIGN];
+        let start = (SNAPSHOT_ALIGN - shifted.as_ptr().addr() % SNAPSHOT_ALIGN) % SNAPSHOT_ALIGN;
+        let start = start + 1; // guaranteed misaligned
+        shifted[start..start + bytes.len()].copy_from_slice(&bytes);
+        let misaligned = &shifted[start..start + bytes.len()];
+        assert!(matches!(
+            from_aligned_bytes(misaligned),
+            Err(HdcError::InvalidConfig { .. })
+        ));
+        // The same bytes through an aligned buffer decode fine.
+        let aligned = AlignedBytes::from_slice(misaligned);
+        assert!(from_aligned_bytes(aligned.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn adversarial_files_are_rejected() {
+        let dir = tmp_dir("adversarial");
+        let model = trained();
+        let good = model.to_bytes();
+
+        // Truncated payload.
+        let path = dir.join("truncated.uhdm");
+        fs::write(&path, &good[..good.len() - 5]).unwrap();
+        assert!(matches!(load(&path), Err(SnapshotError::Malformed(_))));
+
+        // Trailing garbage.
+        let path = dir.join("trailing.uhdm");
+        let mut bytes = good.clone();
+        bytes.extend_from_slice(b"junk!");
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load(&path), Err(SnapshotError::Malformed(_))));
+
+        // Bit-flipped header magic.
+        let path = dir.join("bitflip.uhdm");
+        let mut bytes = good.clone();
+        bytes[0] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load(&path), Err(SnapshotError::Malformed(_))));
+
+        // Header claiming a huge class count over an honest payload.
+        let path = dir.join("classbomb.uhdm");
+        let mut bytes = good;
+        bytes[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load(&path), Err(SnapshotError::Malformed(_))));
+
+        // Missing file.
+        assert!(matches!(
+            load(&dir.join("absent.uhdm")),
+            Err(SnapshotError::Io(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_error_displays_and_sources() {
+        let io = SnapshotError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(io.to_string().contains("I/O"));
+        let bad = SnapshotError::from(HdcError::ModelUntrained);
+        assert!(bad.to_string().contains("not a valid model"));
+        use std::error::Error as _;
+        assert!(io.source().is_some() && bad.source().is_some());
+    }
+}

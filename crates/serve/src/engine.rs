@@ -5,7 +5,7 @@
 
 use crate::error::ServeError;
 use crate::obs::ServeObs;
-use crate::queue::{LearnQueue, RequestQueue};
+use crate::queue::{LearnQueue, Rejected, RequestQueue};
 use crate::request::{LearnSample, Request, Response, Slot, Ticket};
 use crate::stats::StatsSnapshot;
 use std::sync::{Arc, Mutex, RwLock};
@@ -43,6 +43,12 @@ pub struct ServeConfig {
     /// [`ServeEngine::feedback`] *block* until it catches up —
     /// backpressure instead of unbounded memory growth.
     pub learn_queue_cap: usize,
+    /// Load-shedding admission threshold: a submit arriving while the
+    /// request queue already holds this many pending requests is
+    /// rejected with [`ServeError::Overloaded`] instead of queueing
+    /// unboundedly. The default `usize::MAX` disables shedding (must
+    /// be nonzero — a zero threshold would reject everything).
+    pub shed_above: usize,
     /// Whether the engine records latency histograms, queue gauges,
     /// and trace events (on by default). With telemetry off the engine
     /// keeps its counters (they are plain relaxed atomics either way)
@@ -69,6 +75,7 @@ impl ServeConfig {
             snapshot_every: 64,
             max_classes: uhd_core::online::DEFAULT_MAX_CLASSES,
             learn_queue_cap: 4096,
+            shed_above: usize::MAX,
             telemetry: true,
             trace_level: None,
         }
@@ -105,6 +112,14 @@ impl ServeConfig {
         self
     }
 
+    /// Shed classify submits once the request queue holds `shed_above`
+    /// pending requests (must be nonzero; `usize::MAX` disables).
+    #[must_use]
+    pub fn with_shed_above(mut self, shed_above: usize) -> Self {
+        self.shed_above = shed_above;
+        self
+    }
+
     /// Enable or disable latency histograms, queue gauges, and trace
     /// events (see [`ServeConfig::telemetry`]).
     #[must_use]
@@ -127,7 +142,7 @@ impl ServeConfig {
         ServeConfig::new(shards, 32)
     }
 
-    fn validate(self) -> Result<(), ServeError> {
+    pub(crate) fn validate(self) -> Result<(), ServeError> {
         if self.shards == 0 || self.max_batch == 0 {
             return Err(ServeError::InvalidConfig {
                 reason: format!(
@@ -143,6 +158,11 @@ impl ServeConfig {
                      must be nonzero",
                     self.snapshot_every, self.max_classes, self.learn_queue_cap
                 ),
+            });
+        }
+        if self.shed_above == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "shed_above must be nonzero (0 would shed every request)".to_string(),
             });
         }
         Ok(())
@@ -177,8 +197,20 @@ struct Shared<'e, E: ?Sized> {
 impl<E: ?Sized> Shared<'_, E> {
     /// Swap in a new model generation (shape already validated by the
     /// caller) and return its generation number.
+    ///
+    /// Lock poisoning is *recovered*, here and at every other
+    /// model/learner lock in the engine: the guarded value is only
+    /// ever replaced wholesale (`*slot = Arc::new(..)` /
+    /// `*learner = OnlineLearner::..`), never mutated in place, so a
+    /// writer that panicked between acquire and release left either
+    /// the old value or the new one — both coherent. Propagating the
+    /// poison instead would brick every subsequent classify on an
+    /// otherwise healthy pool.
     fn publish_model(&self, model: HdcModel) -> u64 {
-        let mut slot = self.model.write().expect("model lock poisoned");
+        let mut slot = self
+            .model
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let generation = slot.generation + 1;
         *slot = Arc::new(ModelGeneration { generation, model });
         generation
@@ -300,6 +332,10 @@ impl<E: Encoder + ?Sized> ServeEngine<'_, E> {
     /// * [`ServeError::Core`] for a sample failing the encoder's
     ///   [`Encoder::check_features`] (rejected eagerly, before it
     ///   reaches the queue).
+    /// * [`ServeError::Overloaded`] when the queue already holds
+    ///   [`ServeConfig::shed_above`] pending requests (load shedding;
+    ///   the depth check and the insert are one lock acquisition, so
+    ///   admission is exact).
     /// * [`ServeError::Closed`] after shutdown.
     pub fn submit(&self, input: Vec<u8>) -> Result<Ticket, ServeError> {
         self.shared
@@ -312,12 +348,23 @@ impl<E: Encoder + ?Sized> ServeEngine<'_, E> {
             slot: Arc::clone(&slot),
             submitted_at: Instant::now(),
         };
-        match self.shared.queue.push(request) {
+        match self
+            .shared
+            .queue
+            .push_admitted(request, self.config.shed_above)
+        {
             Ok(()) => {
                 self.shared.obs.stats.record_submit();
                 Ok(Ticket { slot })
             }
-            Err(_) => Err(ServeError::Closed),
+            Err(Rejected::Closed) => Err(ServeError::Closed),
+            Err(Rejected::Shed { depth }) => {
+                self.shared.obs.stats.record_shed();
+                Err(ServeError::Overloaded {
+                    depth,
+                    shed_above: self.config.shed_above,
+                })
+            }
         }
     }
 
@@ -338,8 +385,22 @@ impl<E: Encoder + ?Sized> ServeEngine<'_, E> {
     ///
     /// # Errors
     ///
-    /// Same conditions as [`ServeEngine::submit`].
+    /// Same conditions as [`ServeEngine::submit`]. Admission is
+    /// all-or-nothing like validation: a wave that would carry the
+    /// queue past [`ServeConfig::shed_above`] is shed whole (the check
+    /// is advisory — it races against concurrent submitters by at most
+    /// a wave, which load shedding tolerates by design).
     pub fn submit_many(&self, inputs: &[Vec<u8>]) -> Result<Vec<Ticket>, ServeError> {
+        if self.config.shed_above != usize::MAX {
+            let depth = self.shared.queue.depth();
+            if depth >= self.config.shed_above || depth + inputs.len() > self.config.shed_above {
+                self.shared.obs.stats.record_shed();
+                return Err(ServeError::Overloaded {
+                    depth,
+                    shed_above: self.config.shed_above,
+                });
+            }
+        }
         let mut tickets = Vec::with_capacity(inputs.len());
         let mut requests = Vec::with_capacity(inputs.len());
         for input in inputs {
@@ -417,7 +478,13 @@ impl<E: Encoder + ?Sized> ServeEngine<'_, E> {
         // swap against the trainer's apply+publish cycle (which takes
         // the same locks in the same learner → model order).
         let classes = model.classes() as u64;
-        let mut learner = self.shared.learner.lock().expect("learner lock poisoned");
+        // Poison recovery is sound: see `Shared::publish_model`. The
+        // learner is about to be replaced wholesale anyway.
+        let mut learner = self
+            .shared
+            .learner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         *learner = OnlineLearner::from_model(&model).with_max_classes(self.config.max_classes);
         let generation = self.shared.publish_model(model);
         drop(learner);
@@ -525,7 +592,7 @@ impl<E: Encoder + ?Sized> ServeEngine<'_, E> {
         self.shared
             .model
             .read()
-            .expect("model lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .generation
     }
 
@@ -547,25 +614,7 @@ impl<E: Encoder + ?Sized> ServeEngine<'_, E> {
     /// empty string when telemetry is disabled.
     #[must_use]
     pub fn render_metrics(&self) -> String {
-        let recorder = &self.shared.obs.recorder;
-        if !recorder.enabled() {
-            return String::new();
-        }
-        use std::fmt::Write as _;
-        let mut out = recorder.render_text();
-        out.push_str("# TYPE uhd_kernel_info gauge\n");
-        let _ = writeln!(
-            out,
-            "uhd_kernel_info{{kernel=\"{}\"}} 1",
-            uhd_core::Kernel::active().name()
-        );
-        if uhd_core::telemetry::enabled() {
-            out.push_str("# TYPE uhd_kernel_ops_total counter\n");
-            for (op, count) in uhd_core::telemetry::op_counts().entries() {
-                let _ = writeln!(out, "uhd_kernel_ops_total{{op=\"{op}\"}} {count}");
-            }
-        }
-        out
+        crate::obs::render_prometheus(&self.shared.obs.recorder)
     }
 
     /// Render the engine metrics as JSON (see
@@ -700,7 +749,11 @@ fn trainer_loop<E: Encoder + ?Sized>(shared: &Shared<'_, E>, config: ServeConfig
             });
         }
         {
-            let mut learner = shared.learner.lock().expect("learner lock poisoned");
+            // Poison recovery is sound: see `Shared::publish_model`.
+            let mut learner = shared
+                .learner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             for Prepared {
                 sums,
                 label,
@@ -803,7 +856,15 @@ fn worker_loop<E: Encoder + ?Sized>(
     let mut scratch = uhd_core::BitSliceAccumulator::new(shared.encoder.dim());
     let mut dists: Vec<u32> = Vec::new();
     while shared.queue.pop_batch(max_batch, &mut batch) {
-        let snapshot = Arc::clone(&shared.model.read().expect("model lock poisoned"));
+        // Poison recovery is sound: see `Shared::publish_model` —
+        // model swaps are torn-free `Arc` replacements, so whatever
+        // generation is in the slot is coherent.
+        let snapshot = Arc::clone(
+            &shared
+                .model
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
         shared.obs.stats.record_batch(batch.len());
         shared
             .obs
@@ -876,6 +937,7 @@ fn answer<E: Encoder + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Condvar;
     use uhd_core::encoder::uhd::{UhdConfig, UhdEncoder};
     use uhd_core::model::{InferenceMode, LabelledSamples};
 
@@ -1037,6 +1099,16 @@ mod tests {
             ServeEngine::serve(
                 ServeConfig::new(1, 1).with_max_classes(1),
                 &encoder,
+                model.clone(),
+                |_| ()
+            ),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        // A zero shed threshold would reject every request.
+        assert!(matches!(
+            ServeEngine::serve(
+                ServeConfig::new(1, 1).with_shed_above(0),
+                &encoder,
                 model,
                 |_| ()
             ),
@@ -1195,6 +1267,130 @@ mod tests {
             result.is_err(),
             "the worker's panic must propagate out of the serve scope"
         );
+    }
+
+    #[test]
+    fn poisoned_locks_recover_instead_of_bricking_the_engine() {
+        // Regression: the engine used to `expect("… lock poisoned")`
+        // on every model/learner lock, so one writer panicking while
+        // holding a guard turned every subsequent classify into a
+        // panic. Swaps are torn-free Arc replacements, so recovery is
+        // sound — verify the pool keeps serving.
+        let (encoder, model, images, labels) = fixture();
+        ServeEngine::serve(ServeConfig::new(1, 4), &encoder, model.clone(), |engine| {
+            // A writer dies while holding the model lock.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = engine.shared.model.write().unwrap();
+                panic!("writer dies mid-swap");
+            }));
+            assert!(engine.shared.model.is_poisoned());
+            // Classifies, generation reads and hot swaps still work.
+            assert_eq!(engine.classify(&images[0]).unwrap().class, labels[0]);
+            assert_eq!(engine.generation(), 0);
+            assert_eq!(engine.update_model(model.clone()).unwrap(), 1);
+            assert_eq!(engine.classify(&images[1]).unwrap().generation, 1);
+            // Same for the learner lock: online learning continues.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = engine.shared.learner.lock().unwrap();
+                panic!("learner writer dies");
+            }));
+            assert!(engine.shared.learner.is_poisoned());
+            engine.learn(images[0].clone(), labels[0]).unwrap();
+            engine.sync_learner();
+            assert_eq!(engine.stats().learn_consumed, 1);
+            assert_eq!(engine.classify(&images[0]).unwrap().class, labels[0]);
+        })
+        .unwrap();
+    }
+
+    /// Delegates to a real encoder but parks every `accumulate` until
+    /// the gate opens — freezes the worker pool so tests can build a
+    /// queue backlog deterministically.
+    struct GateEncoder {
+        inner: UhdEncoder,
+        gate: Arc<(Mutex<bool>, Condvar)>,
+    }
+
+    impl GateEncoder {
+        fn release(gate: &Arc<(Mutex<bool>, Condvar)>) {
+            *gate.0.lock().unwrap() = true;
+            gate.1.notify_all();
+        }
+    }
+
+    impl Encoder for GateEncoder {
+        fn dim(&self) -> u32 {
+            self.inner.dim()
+        }
+        fn features(&self) -> usize {
+            self.inner.features()
+        }
+        fn accumulate(
+            &self,
+            image: &[u8],
+            acc: &mut uhd_core::BitSliceAccumulator,
+        ) -> Result<(), HdcError> {
+            let (open, released) = &*self.gate;
+            let mut open = open.lock().unwrap();
+            while !*open {
+                open = released.wait(open).unwrap();
+            }
+            drop(open);
+            self.inner.accumulate(image, acc)
+        }
+        fn profile(&self) -> uhd_core::EncoderProfile {
+            self.inner.profile()
+        }
+    }
+
+    #[test]
+    fn admission_control_sheds_past_the_threshold() {
+        let (encoder, model, images, _) = fixture();
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let encoder = GateEncoder {
+            inner: encoder,
+            gate: Arc::clone(&gate),
+        };
+        ServeEngine::serve(
+            ServeConfig::new(1, 1).with_shed_above(2),
+            &encoder,
+            model,
+            |engine| {
+                // The lone worker claims the first request and parks in
+                // the gated encoder, leaving the queue empty.
+                let parked = engine.submit(images[0].clone()).unwrap();
+                while engine.shared.queue.depth() != 0 {
+                    std::thread::yield_now();
+                }
+                // Fill the queue to the threshold…
+                let queued = [
+                    engine.submit(images[0].clone()).unwrap(),
+                    engine.submit(images[1].clone()).unwrap(),
+                ];
+                // …past it, the single-lock depth check says no.
+                match engine.submit(images[2].clone()) {
+                    Err(ServeError::Overloaded { depth, shed_above }) => {
+                        assert_eq!(depth, 2);
+                        assert_eq!(shed_above, 2);
+                    }
+                    other => panic!("expected Overloaded, got {other:?}"),
+                }
+                // Waves are shed whole against the same threshold.
+                assert!(matches!(
+                    engine.submit_many(&images[..1]),
+                    Err(ServeError::Overloaded { .. })
+                ));
+                assert_eq!(engine.stats().requests_shed, 2);
+                assert_eq!(engine.stats().submitted, 3);
+                // Open the gate: everything admitted still completes.
+                GateEncoder::release(&gate);
+                assert!(parked.wait().is_ok());
+                for ticket in queued {
+                    assert!(ticket.wait().is_ok());
+                }
+            },
+        )
+        .unwrap();
     }
 
     #[test]

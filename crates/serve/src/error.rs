@@ -40,6 +40,35 @@ pub enum ServeError {
         /// The engine's class admission cap.
         limit: usize,
     },
+    /// Load shedding: the request queue already held the admission
+    /// threshold ([`crate::ServeConfig::shed_above`] /
+    /// [`crate::RegistryConfig::shed_above`]) when this submit
+    /// arrived, so it was rejected immediately instead of queueing
+    /// unboundedly. Back off and retry.
+    Overloaded {
+        /// Queue depth observed at rejection time.
+        depth: usize,
+        /// The configured admission threshold.
+        shed_above: usize,
+    },
+    /// A registry operation named a tenant that is not registered.
+    UnknownTenant {
+        /// The tenant name the caller asked for.
+        name: String,
+    },
+    /// A tenant with this name is already registered.
+    DuplicateTenant {
+        /// The contested tenant name.
+        name: String,
+    },
+    /// Persisting or loading a tenant snapshot failed (filesystem
+    /// error or a file that does not decode as a model). The reason is
+    /// carried as text so the error stays `Clone`/`PartialEq` like the
+    /// rest of the enum.
+    Persist {
+        /// Human-readable failure description.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -64,6 +93,15 @@ impl fmt::Display for ServeError {
                 f,
                 "label {label} at or beyond the engine's class admission cap {limit}"
             ),
+            ServeError::Overloaded { depth, shed_above } => write!(
+                f,
+                "overloaded: queue depth {depth} at or above admission threshold {shed_above}"
+            ),
+            ServeError::UnknownTenant { name } => write!(f, "unknown tenant {name:?}"),
+            ServeError::DuplicateTenant { name } => {
+                write!(f, "tenant {name:?} is already registered")
+            }
+            ServeError::Persist { reason } => write!(f, "snapshot persistence failed: {reason}"),
         }
     }
 }

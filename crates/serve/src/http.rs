@@ -1,0 +1,468 @@
+//! A minimal, dependency-free HTTP/1.1 front end over
+//! [`ModelRegistry`], on [`std::net::TcpListener`].
+//!
+//! This is deliberately *not* a general web server: it parses exactly
+//! the subset of HTTP/1.1 the serving API needs (request line, headers,
+//! `Content-Length` bodies, keep-alive) and nothing else — no chunked
+//! transfer, no TLS, no compression. The wire protocol:
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /v1/{tenant}/classify` | body = raw feature bytes → `{"class":…,"score":…,"generation":…}` |
+//! | `POST /v1/{tenant}/learn?label=N` | body = raw feature bytes → `{"generation":…}` |
+//! | `GET /metrics` | Prometheus text exposition |
+//! | `GET /metrics.json` | the same metrics as JSON |
+//! | `GET /tenants` | JSON array of tenant names |
+//! | `GET /healthz` | `ok` |
+//!
+//! Serving errors map onto status codes the obvious way:
+//! [`ServeError::UnknownTenant`] → 404, malformed inputs
+//! ([`ServeError::Core`] / [`ServeError::InvalidLabel`]) → 400,
+//! [`ServeError::Overloaded`] → 503 with a `Retry-After` header (the
+//! admission-control contract made visible to HTTP clients), shutdown
+//! → 503, everything else → 500.
+
+use crate::error::ServeError;
+use crate::registry::ModelRegistry;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Sizing and socket knobs for [`HttpServer::start`].
+#[derive(Debug, Clone)]
+pub struct HttpServerConfig {
+    /// Bind address; use port 0 for an ephemeral port (the bound
+    /// address is reported by [`HttpServer::local_addr`]).
+    pub addr: String,
+    /// Largest accepted request body; longer bodies get `413`.
+    pub max_body: usize,
+    /// Per-connection read timeout: an idle keep-alive connection is
+    /// dropped after this long, bounding handler-thread lifetime.
+    pub read_timeout: Duration,
+}
+
+impl Default for HttpServerConfig {
+    fn default() -> Self {
+        HttpServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_body: 1 << 20,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A running HTTP front end: one accept thread, one detached handler
+/// thread per connection, all serving a shared [`ModelRegistry`].
+#[derive(Debug)]
+pub struct HttpServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `config.addr` and start accepting connections against
+    /// `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level failure to bind or inspect the listener.
+    pub fn start(registry: Arc<ModelRegistry>, config: HttpServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("uhd-http-accept".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let registry = Arc::clone(&registry);
+                    let config = config.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("uhd-http-conn".to_string())
+                        .spawn(move || handle_connection(stream, &registry, &config));
+                }
+            })?;
+        Ok(HttpServer {
+            local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address actually bound (resolves port 0 to the ephemeral
+    /// port picked by the OS).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting new connections and join the accept thread.
+    /// In-flight handler threads finish their current request and die
+    /// with their connections (bounded by the read timeout).
+    /// Idempotent; also run by `Drop`. Does **not** shut down the
+    /// registry — callers own that lifecycle.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // The accept loop is parked in `accept()`; poke it awake.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One parsed request: line, the headers we care about, body.
+struct HttpRequest {
+    method: String,
+    /// Path with the query string split off.
+    path: String,
+    /// Raw query string (no leading `?`), empty when absent.
+    query: String,
+    keep_alive: bool,
+    body: Vec<u8>,
+}
+
+/// Why a request could not be parsed (distinct from a serving error:
+/// these end the connection after a `4xx`).
+enum ParseError {
+    /// Clean EOF between requests — the peer closed a keep-alive
+    /// connection; not an error at all.
+    Eof,
+    /// Malformed request line/headers, or an I/O error mid-request.
+    Malformed(&'static str),
+    /// A `Content-Length` past the configured cap.
+    TooLarge,
+}
+
+fn handle_connection(stream: TcpStream, registry: &ModelRegistry, config: &HttpServerConfig) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader, config.max_body) {
+            Ok(request) => {
+                let keep_alive = request.keep_alive;
+                let response = route(&request, registry);
+                if write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(ParseError::Eof) => return,
+            Err(ParseError::TooLarge) => {
+                let response = HttpResponse::json(413, "{\"error\":\"body too large\"}");
+                let _ = write_response(&mut writer, &response, false);
+                return;
+            }
+            Err(ParseError::Malformed(reason)) => {
+                let response =
+                    HttpResponse::json(400, &format!("{{\"error\":{}}}", json_string(reason)));
+                let _ = write_response(&mut writer, &response, false);
+                return;
+            }
+        }
+    }
+}
+
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> Result<HttpRequest, ParseError> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        // A closed socket, a read timeout, or a reset all end the
+        // connection the same way: no request to serve.
+        Ok(0) | Err(_) => return Err(ParseError::Eof),
+        Ok(_) => {}
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(ParseError::Malformed("empty request line"))?;
+    let target = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed("unsupported HTTP version"));
+    }
+    // HTTP/1.1 defaults to keep-alive; 1.0 to close.
+    let mut keep_alive = version == "HTTP/1.1";
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => return Err(ParseError::Malformed("eof inside headers")),
+            Ok(_) => {}
+            Err(_) => return Err(ParseError::Malformed("read error inside headers")),
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(ParseError::Malformed("header without colon"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| ParseError::Malformed("unparseable content-length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(ParseError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|_| ParseError::Malformed("body shorter than content-length"))?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    Ok(HttpRequest {
+        method: method.to_string(),
+        path,
+        query,
+        keep_alive,
+        body,
+    })
+}
+
+/// A response ready to serialize: status, content type, body.
+struct HttpResponse {
+    status: u16,
+    content_type: &'static str,
+    body: Vec<u8>,
+    retry_after: bool,
+}
+
+impl HttpResponse {
+    fn json(status: u16, body: &str) -> Self {
+        HttpResponse {
+            status,
+            content_type: "application/json",
+            body: body.as_bytes().to_vec(),
+            retry_after: false,
+        }
+    }
+
+    fn text(status: u16, body: String) -> Self {
+        HttpResponse {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into_bytes(),
+            retry_after: false,
+        }
+    }
+}
+
+fn route(request: &HttpRequest, registry: &ModelRegistry) -> HttpResponse {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => HttpResponse::json(200, "{\"status\":\"ok\"}"),
+        ("GET", "/metrics") => HttpResponse::text(200, registry.render_metrics()),
+        ("GET", "/metrics.json") => HttpResponse::json(200, &registry.metrics_json()),
+        ("GET", "/tenants") => {
+            let names: Vec<String> = registry
+                .tenants()
+                .into_iter()
+                .map(|n| json_string(&n))
+                .collect();
+            HttpResponse::json(200, &format!("[{}]", names.join(",")))
+        }
+        ("POST", path) => route_tenant_post(path, request, registry),
+        _ => HttpResponse::json(404, "{\"error\":\"no such route\"}"),
+    }
+}
+
+/// `POST /v1/{tenant}/classify` and `POST /v1/{tenant}/learn`.
+fn route_tenant_post(path: &str, request: &HttpRequest, registry: &ModelRegistry) -> HttpResponse {
+    let Some(rest) = path.strip_prefix("/v1/") else {
+        return HttpResponse::json(404, "{\"error\":\"no such route\"}");
+    };
+    let Some((tenant, action)) = rest.split_once('/') else {
+        return HttpResponse::json(404, "{\"error\":\"no such route\"}");
+    };
+    match action {
+        "classify" => match registry.classify(tenant, &request.body) {
+            Ok(response) => HttpResponse::json(
+                200,
+                &format!(
+                    "{{\"class\":{},\"score\":{},\"generation\":{}}}",
+                    response.class, response.score, response.generation
+                ),
+            ),
+            Err(e) => error_response(&e),
+        },
+        "learn" => {
+            let Some(label) = query_param(&request.query, "label").and_then(|v| v.parse().ok())
+            else {
+                return HttpResponse::json(
+                    400,
+                    "{\"error\":\"learn requires an integer ?label= parameter\"}",
+                );
+            };
+            match registry.learn(tenant, &request.body, label) {
+                Ok(generation) => {
+                    HttpResponse::json(200, &format!("{{\"generation\":{generation}}}"))
+                }
+                Err(e) => error_response(&e),
+            }
+        }
+        _ => HttpResponse::json(404, "{\"error\":\"no such route\"}"),
+    }
+}
+
+/// Map a serving error onto a status code (see the module docs table).
+fn error_response(error: &ServeError) -> HttpResponse {
+    let status = match error {
+        ServeError::UnknownTenant { .. } => 404,
+        ServeError::Core(_) | ServeError::InvalidLabel { .. } => 400,
+        ServeError::Overloaded { .. } | ServeError::Closed => 503,
+        _ => 500,
+    };
+    let mut response = HttpResponse::json(
+        status,
+        &format!("{{\"error\":{}}}", json_string(&error.to_string())),
+    );
+    // The load-shedding contract on the wire: overloaded means "come
+    // back, soon" — not "give up".
+    response.retry_after = matches!(error, ServeError::Overloaded { .. });
+    response
+}
+
+fn write_response(
+    writer: &mut TcpStream,
+    response: &HttpResponse,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let reason = match response.status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let retry = if response.retry_after {
+        "Retry-After: 1\r\n"
+    } else {
+        ""
+    };
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n{}\r\n",
+        response.status,
+        reason,
+        response.content_type,
+        response.body.len(),
+        connection,
+        retry,
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(&response.body)?;
+    writer.flush()
+}
+
+/// Extract `name` from an `a=1&b=2` query string.
+fn query_param<'q>(query: &'q str, name: &str) -> Option<&'q str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == name)
+        .map(|(_, v)| v)
+}
+
+/// Serialize a string as a JSON string literal (quotes, backslashes
+/// and control characters escaped — tenant names are already
+/// restricted, but error messages are free-form).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_strings_escape_the_dangerous_characters() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("line\nbreak"), "\"line\\nbreak\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn query_params_parse() {
+        assert_eq!(query_param("label=3&x=1", "label"), Some("3"));
+        assert_eq!(query_param("x=1", "label"), None);
+        assert_eq!(query_param("", "label"), None);
+    }
+
+    #[test]
+    fn error_statuses_follow_the_table() {
+        assert_eq!(
+            error_response(&ServeError::UnknownTenant {
+                name: "t".to_string()
+            })
+            .status,
+            404
+        );
+        assert_eq!(
+            error_response(&ServeError::InvalidLabel { label: 9, limit: 4 }).status,
+            400
+        );
+        let overloaded = error_response(&ServeError::Overloaded {
+            depth: 8,
+            shed_above: 8,
+        });
+        assert_eq!(overloaded.status, 503);
+        assert!(overloaded.retry_after);
+        assert_eq!(error_response(&ServeError::Closed).status, 503);
+        assert_eq!(error_response(&ServeError::WorkerPanicked).status, 500);
+    }
+}

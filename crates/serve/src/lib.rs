@@ -68,13 +68,17 @@
 
 pub mod engine;
 pub mod error;
+pub mod http;
 pub(crate) mod obs;
 pub mod queue;
+pub mod registry;
 pub mod request;
 pub mod stats;
 
 pub use engine::{ServeConfig, ServeEngine};
 pub use error::ServeError;
+pub use http::{HttpServer, HttpServerConfig};
+pub use registry::ModelRegistry;
 pub use request::{Response, Ticket};
 pub use stats::StatsSnapshot;
 // Re-exported so clients can configure tracing and decode events

@@ -44,6 +44,32 @@ pub(crate) struct ServeObs {
     pub(crate) learn_depth_hw: Gauge,
 }
 
+/// Render `recorder`'s full metric set in the Prometheus text format,
+/// appending the process-global kernel identity (`uhd_kernel_info`) and
+/// the kernel op counters (`uhd_kernel_ops_total{op=…}`) — the block
+/// shared verbatim by the engine's and the registry's `/metrics`
+/// surfaces. Empty when telemetry is disabled.
+pub(crate) fn render_prometheus(recorder: &Recorder) -> String {
+    if !recorder.enabled() {
+        return String::new();
+    }
+    use std::fmt::Write as _;
+    let mut out = recorder.render_text();
+    out.push_str("# TYPE uhd_kernel_info gauge\n");
+    let _ = writeln!(
+        out,
+        "uhd_kernel_info{{kernel=\"{}\"}} 1",
+        uhd_core::Kernel::active().name()
+    );
+    if uhd_core::telemetry::enabled() {
+        out.push_str("# TYPE uhd_kernel_ops_total counter\n");
+        for (op, count) in uhd_core::telemetry::op_counts().entries() {
+            let _ = writeln!(out, "uhd_kernel_ops_total{{op=\"{op}\"}} {count}");
+        }
+    }
+    out
+}
+
 impl ServeObs {
     /// Register the engine's full metric set for `shards` worker
     /// shards on `recorder`.

@@ -52,9 +52,25 @@ impl<T> Default for QueueState<T> {
     }
 }
 
+/// Why [`BatchQueue::push_admitted`] rejected an item. Rejection is
+/// terminal for the item (it is dropped, before any ticket for it has
+/// been handed out), so the variants carry diagnostics, not the item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Rejected {
+    /// The queue is closed; no further work is accepted.
+    Closed,
+    /// The queue already held at least the admission threshold; the
+    /// item was shed without blocking. `depth` is the depth observed
+    /// under the lock (for the caller's error report).
+    Shed {
+        /// Queue depth at the moment of rejection.
+        depth: usize,
+    },
+}
+
 /// Lock-protected, condvar-signalled multi-producer multi-consumer
-/// queue with batch pops, an optional capacity bound, and a drain
-/// barrier.
+/// queue with batch pops, an optional capacity bound, load-shedding
+/// admission, and a drain barrier.
 #[derive(Debug)]
 pub(crate) struct BatchQueue<T> {
     state: Mutex<QueueState<T>>,
@@ -125,25 +141,80 @@ impl<T> BatchQueue<T> {
         Ok(())
     }
 
+    /// Enqueue one item **without blocking**, shedding it when the
+    /// queue already holds `shed_above` or more items — the admission
+    /// control half of load shedding: past the threshold a producer
+    /// gets an immediate rejection instead of growing the queue (or
+    /// blocking on it) unboundedly. The depth check and the insert
+    /// happen under one lock acquisition, so concurrent producers
+    /// cannot race past the threshold together.
+    pub(crate) fn push_admitted(&self, item: T, shed_above: usize) -> Result<(), Rejected> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        if state.closed {
+            return Err(Rejected::Closed);
+        }
+        let depth = state.items.len();
+        if depth >= shed_above || depth >= self.capacity {
+            return Err(Rejected::Shed { depth });
+        }
+        state.items.push_back(item);
+        state.accepted += 1;
+        let len = state.items.len();
+        drop(state);
+        self.update_gauges(len);
+        self.available.notify_one();
+        Ok(())
+    }
+
     /// Enqueue a whole wave of items under one lock acquisition and
     /// one broadcast — the client half of micro-batching. Hands the
-    /// wave back untouched if the queue is closed. Ignores the
-    /// capacity bound (only the unbounded request queue pushes waves).
+    /// wave back untouched if the queue is already closed.
+    ///
+    /// The capacity bound **is enforced**: a wave larger than the free
+    /// space blocks, feeding chunks in as the consumer frees room —
+    /// the same producer backpressure as [`BatchQueue::push`], one
+    /// wave-sized lock acquisition per burst of freed space.
+    /// (Historically waves bypassed the bound entirely; with admission
+    /// control shedding single pushes, an unbounded wave path would be
+    /// a capacity-overrun hole.) If the queue closes mid-wave the
+    /// items not yet enqueued are handed back; items already enqueued
+    /// stay and are drained by the consumer like any other pending
+    /// work.
     pub(crate) fn push_all(&self, items: Vec<T>) -> Result<(), Vec<T>> {
         if items.is_empty() {
             return Ok(());
         }
+        let mut remaining = items.into_iter();
         let mut state = self.state.lock().expect("queue lock poisoned");
-        if state.closed {
-            return Err(items);
+        loop {
+            if state.closed {
+                return Err(remaining.collect());
+            }
+            let space = self.capacity - state.items.len().min(self.capacity);
+            if space == 0 {
+                state = self.space.wait(state).expect("queue lock poisoned");
+                continue;
+            }
+            let mut pushed = 0usize;
+            for item in remaining.by_ref().take(space) {
+                state.items.push_back(item);
+                pushed += 1;
+            }
+            state.accepted += pushed as u64;
+            let len = state.items.len();
+            let done = remaining.len() == 0;
+            if done {
+                drop(state);
+                self.update_gauges(len);
+                self.available.notify_all();
+                return Ok(());
+            }
+            // Publish progress and wake consumers before blocking for
+            // more space, or the consumer that frees it never starts.
+            self.update_gauges(len);
+            self.available.notify_all();
+            state = self.space.wait(state).expect("queue lock poisoned");
         }
-        state.accepted += items.len() as u64;
-        state.items.extend(items);
-        let len = state.items.len();
-        drop(state);
-        self.update_gauges(len);
-        self.available.notify_all();
-        Ok(())
     }
 
     /// Block until items are available, then drain up to `max` of them
@@ -154,6 +225,14 @@ impl<T> BatchQueue<T> {
         let mut state = self.state.lock().expect("queue lock poisoned");
         while state.items.is_empty() {
             if state.closed {
+                // Publish the terminal depth before the consumer exits.
+                // Gauge writes race outside the lock on the hot path (a
+                // stale depth is refreshed by the next push/pop), but
+                // there *is* no next update after shutdown — without
+                // this, a final scrape could freeze the depth gauge at
+                // whatever stale value lost the last race.
+                drop(state);
+                self.update_gauges(0);
                 return false;
             }
             state = self.available.wait(state).expect("queue lock poisoned");
@@ -354,6 +433,94 @@ mod tests {
         assert!(q.pop_batch(3, &mut batch));
         assert_eq!(depth.get(), 0);
         assert_eq!(hw.get(), 5);
+    }
+
+    #[test]
+    fn push_all_enforces_the_capacity_bound() {
+        // Regression: waves used to bypass the bound entirely, so a
+        // bounded queue could be driven arbitrarily deep by push_all.
+        let q: BatchQueue<LearnSample> = BatchQueue::bounded(3);
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(|| q.push_all((0..8).map(sample).collect()).is_ok());
+            // The wave must stall at the bound until a consumer drains.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            assert!(q.depth() <= 3, "wave overran the bound: {}", q.depth());
+            let mut drained = Vec::new();
+            while drained.len() < 8 {
+                assert!(q.depth() <= 3, "wave overran the bound mid-drain");
+                let mut batch = Vec::new();
+                assert!(q.pop_batch(2, &mut batch));
+                drained.append(&mut batch);
+            }
+            assert!(producer.join().unwrap(), "the whole wave lands eventually");
+        });
+        assert_eq!(q.depth(), 0);
+        // Order is preserved across the chunked insertion.
+    }
+
+    #[test]
+    fn push_all_midway_close_hands_back_the_tail() {
+        let q: BatchQueue<LearnSample> = BatchQueue::bounded(2);
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(|| q.push_all((0..6).map(sample).collect()));
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            q.close();
+            let rejected = producer.join().unwrap().unwrap_err();
+            // The first chunk fit; the remainder came back.
+            assert_eq!(rejected.len(), 4);
+        });
+        // Pending items from the accepted chunk still drain.
+        let mut batch = Vec::new();
+        assert!(q.pop_batch(8, &mut batch));
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn push_admitted_sheds_past_the_threshold() {
+        let q = RequestQueue::unbounded();
+        q.push(request()).unwrap();
+        q.push(request()).unwrap();
+        assert!(q.push_admitted(request(), 3).is_ok(), "below the threshold");
+        assert_eq!(
+            q.push_admitted(request(), 3),
+            Err(Rejected::Shed { depth: 3 })
+        );
+        // Draining reopens admission.
+        let mut batch = Vec::new();
+        assert!(q.pop_batch(2, &mut batch));
+        assert!(q.push_admitted(request(), 3).is_ok());
+        q.close();
+        assert_eq!(q.push_admitted(request(), 3), Err(Rejected::Closed));
+    }
+
+    #[test]
+    fn terminal_pop_republishes_the_depth_gauge() {
+        // Regression: the closed-and-empty early return used to skip
+        // update_gauges, so a stale racing write (gauge updates happen
+        // outside the queue lock) could freeze the depth gauge at a
+        // nonzero value forever — exactly what a final post-shutdown
+        // metric scrape reads.
+        let rec = uhd_obs::Recorder::new(uhd_obs::TraceLevel::Off);
+        let depth = rec.gauge("uhd_test_depth");
+        let hw = rec.gauge("uhd_test_depth_hw");
+        let q = RequestQueue::unbounded().with_gauges(depth.clone(), hw.clone());
+        q.push(request()).unwrap();
+        let mut batch = Vec::new();
+        assert!(q.pop_batch(8, &mut batch));
+        // Simulate the lost race: a delayed stale write lands last.
+        depth.set(7);
+        q.close();
+        assert!(!q.pop_batch(8, &mut batch), "queue is closed and empty");
+        assert_eq!(
+            depth.get(),
+            0,
+            "consumer exit must publish the terminal depth"
+        );
+        assert_eq!(
+            hw.get(),
+            1,
+            "high-water is untouched by the terminal publish"
+        );
     }
 
     #[test]

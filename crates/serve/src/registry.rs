@@ -1,0 +1,872 @@
+//! Multi-tenant model registry: many named models served through
+//! **one** shared shard pool.
+//!
+//! Where [`crate::ServeEngine`] dedicates its scoped worker threads to
+//! a single model, the registry multiplexes: every request carries an
+//! `Arc` to its tenant's state, so a micro-batch drained by a worker
+//! may mix tenants freely and the pool's capacity is shared by all of
+//! them. Each tenant owns
+//!
+//! * a named, generation-tagged `Arc<HdcModel>` hot-swap slot (exactly
+//!   the engine's "dynamic HDC" discipline, per tenant),
+//! * an [`OnlineLearner`] fed *synchronously* by
+//!   [`ModelRegistry::learn`] (no background trainer: tenant counts
+//!   are unbounded, threads are not), publishing a rebinarized
+//!   snapshot every `snapshot_every` applied updates,
+//! * per-tenant labelled series on the registry's [`Recorder`]
+//!   (`uhd_tenant_*{tenant="…"}`), so one `/metrics` scrape
+//!   attributes traffic per model,
+//! * disk persistence: [`ModelRegistry::save_snapshot`] writes the
+//!   model through [`uhd_core::snapshot::save_atomic`]
+//!   (write-then-rename, crash-safe) and
+//!   [`ModelRegistry::register_from_snapshot`] boots a tenant from
+//!   such a file.
+//!
+//! Unlike the engine's scoped threads, the registry's workers are
+//! **detached** threads holding an `Arc` of the shared state: the
+//! registry outlives its pool, so metrics remain scrapeable after
+//! [`ModelRegistry::shutdown`] — which is also what lets the terminal
+//! queue-depth gauge publish (see `BatchQueue::pop_batch`) be observed
+//! at all.
+//!
+//! Admission control is the same single-lock depth check the engine
+//! uses: past `shed_above` pending requests a submit returns
+//! [`ServeError::Overloaded`] immediately — shedding at the door
+//! instead of timing out every tenant once the queue grows unbounded.
+
+use crate::error::ServeError;
+use crate::obs::render_prometheus;
+use crate::queue::{BatchQueue, Rejected};
+use crate::request::{Response, Slot, Ticket};
+use crate::ServeConfig;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+use uhd_core::{BitSliceAccumulator, Encoder, HdcModel, InferenceMode, OnlineLearner};
+use uhd_obs::{Counter, Gauge, Histogram, Recorder, TraceKind, TraceLevel};
+
+/// Longest accepted tenant name. Names are also restricted to
+/// `[A-Za-z0-9_-]` so they embed verbatim in metric labels, URL paths
+/// and snapshot file names without escaping.
+pub const MAX_TENANT_NAME: usize = 64;
+
+/// One generation of a tenant's served model.
+#[derive(Debug)]
+struct TenantModel {
+    generation: u64,
+    model: Arc<HdcModel>,
+}
+
+/// A tenant's online-learning state: the accumulators plus the count
+/// of applied updates not yet published as a model generation.
+#[derive(Debug)]
+struct TenantLearner {
+    learner: OnlineLearner,
+    unpublished: usize,
+}
+
+/// Everything the registry holds for one named model.
+struct TenantState {
+    name: String,
+    encoder: Arc<dyn Encoder>,
+    model: RwLock<TenantModel>,
+    learner: Mutex<TenantLearner>,
+    /// `uhd_tenant_requests_total{tenant=…}` — admitted classifies.
+    requests: Counter,
+    /// `uhd_tenant_completed_total{tenant=…}` — answered classifies.
+    completed: Counter,
+    /// `uhd_tenant_shed_total{tenant=…}` — admission rejections.
+    shed: Counter,
+    /// `uhd_tenant_learn_updates_total{tenant=…}` — applied samples.
+    learn_updates: Counter,
+    /// `uhd_tenant_generation{tenant=…}` — current model generation.
+    generation_gauge: Gauge,
+}
+
+impl std::fmt::Debug for TenantState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantState")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TenantState {
+    /// Snapshot the tenant's current generation-tagged model.
+    fn model(&self) -> (u64, Arc<HdcModel>) {
+        // Poison recovery is sound for the same reason as the engine's
+        // (`Shared::publish_model`): the slot is only ever replaced
+        // wholesale, never mutated in place.
+        let slot = self.model.read().unwrap_or_else(PoisonError::into_inner);
+        (slot.generation, Arc::clone(&slot.model))
+    }
+
+    /// Swap in a new model generation and return its number.
+    fn publish(&self, model: HdcModel) -> u64 {
+        let mut slot = self.model.write().unwrap_or_else(PoisonError::into_inner);
+        slot.generation += 1;
+        slot.model = Arc::new(model);
+        let generation = slot.generation;
+        drop(slot);
+        self.generation_gauge.set(generation);
+        generation
+    }
+}
+
+/// One enqueued request: the tenant travels with it, so a worker batch
+/// may mix tenants freely.
+#[derive(Debug)]
+struct TenantRequest {
+    tenant: Arc<TenantState>,
+    input: Vec<u8>,
+    slot: Arc<Slot>,
+    submitted_at: Instant,
+}
+
+/// State shared between the registry handle and its detached workers.
+struct RegistryInner {
+    config: ServeConfig,
+    queue: BatchQueue<TenantRequest>,
+    /// Ordered so [`ModelRegistry::tenants`] and the exposition are
+    /// deterministic.
+    tenants: RwLock<BTreeMap<String, Arc<TenantState>>>,
+    recorder: Recorder,
+    /// Registry-wide counterparts of the engine's counters.
+    submitted: Counter,
+    shed: Counter,
+    worker_panics: Counter,
+    latency: Arc<Histogram>,
+}
+
+impl std::fmt::Debug for RegistryInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegistryInner")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A multi-tenant serving pool: named, hot-swappable, disk-persistable
+/// models behind one shared shard pool. See the [module docs](self).
+///
+/// All methods take `&self`; wrap the registry in an [`Arc`] to share
+/// it across client threads (the HTTP front end does exactly that).
+#[derive(Debug)]
+pub struct ModelRegistry {
+    inner: Arc<RegistryInner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ModelRegistry {
+    /// Start a registry: spawn `config.shards` detached workers over a
+    /// shared micro-batching queue and return the handle that owns
+    /// them. `config.learn_queue_cap` and `config.snapshot_every`
+    /// retain their engine meanings where applicable ([`ModelRegistry::learn`]
+    /// is synchronous, so only `snapshot_every` is read).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] under the same rules as
+    /// [`crate::ServeEngine::serve`].
+    pub fn start(config: ServeConfig) -> Result<Self, ServeError> {
+        config.validate()?;
+        let recorder = if config.telemetry {
+            Recorder::new(config.trace_level.unwrap_or_else(TraceLevel::from_env))
+        } else {
+            Recorder::noop()
+        };
+        let inner = Arc::new(RegistryInner {
+            queue: BatchQueue::unbounded().with_gauges(
+                recorder.gauge("uhd_queue_depth"),
+                recorder.gauge("uhd_queue_depth_hw"),
+            ),
+            tenants: RwLock::new(BTreeMap::new()),
+            submitted: recorder.counter("uhd_requests_submitted_total"),
+            shed: recorder.counter("uhd_requests_shed_total"),
+            worker_panics: recorder.counter("uhd_worker_panics_total"),
+            latency: recorder.histogram("uhd_request_total_ns"),
+            recorder,
+            config,
+        });
+        inner.recorder.event(
+            TraceKind::KernelDispatched,
+            kernel_ordinal(uhd_core::Kernel::active().name()),
+            config.shards as u64,
+        );
+        let mut workers = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let inner = Arc::clone(&inner);
+            let handle = std::thread::Builder::new()
+                .name(format!("uhd-registry-{shard}"))
+                .spawn(move || worker_loop(&inner))
+                .map_err(|e| ServeError::InvalidConfig {
+                    reason: format!("failed to spawn worker thread: {e}"),
+                })?;
+            workers.push(handle);
+        }
+        Ok(ModelRegistry {
+            inner,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// Register a named tenant serving `model` through `encoder`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::InvalidConfig`] for a name outside
+    ///   `[A-Za-z0-9_-]{1,64}`, or a model with more classes than the
+    ///   registry's `max_classes`.
+    /// * [`ServeError::ModelShapeMismatch`] when `model.dim()` differs
+    ///   from `encoder.dim()`.
+    /// * [`ServeError::DuplicateTenant`] when the name is taken.
+    pub fn register(
+        &self,
+        name: &str,
+        encoder: Arc<dyn Encoder>,
+        model: HdcModel,
+    ) -> Result<(), ServeError> {
+        validate_tenant_name(name)?;
+        if model.dim() != encoder.dim() {
+            return Err(ServeError::ModelShapeMismatch {
+                expected_dim: encoder.dim(),
+                got_dim: model.dim(),
+            });
+        }
+        if model.classes() > self.inner.config.max_classes {
+            return Err(ServeError::InvalidConfig {
+                reason: format!(
+                    "tenant {name:?} model has {} classes but max_classes is {}",
+                    model.classes(),
+                    self.inner.config.max_classes
+                ),
+            });
+        }
+        let learner =
+            OnlineLearner::from_model(&model).with_max_classes(self.inner.config.max_classes);
+        let labels: [(&str, &str); 1] = [("tenant", name)];
+        let recorder = &self.inner.recorder;
+        let state = Arc::new(TenantState {
+            name: name.to_string(),
+            encoder,
+            model: RwLock::new(TenantModel {
+                generation: 0,
+                model: Arc::new(model),
+            }),
+            learner: Mutex::new(TenantLearner {
+                learner,
+                unpublished: 0,
+            }),
+            requests: recorder.counter_with("uhd_tenant_requests_total", &labels),
+            completed: recorder.counter_with("uhd_tenant_completed_total", &labels),
+            shed: recorder.counter_with("uhd_tenant_shed_total", &labels),
+            learn_updates: recorder.counter_with("uhd_tenant_learn_updates_total", &labels),
+            generation_gauge: recorder.gauge_with("uhd_tenant_generation", &labels),
+        });
+        let mut tenants = self
+            .inner
+            .tenants
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        if tenants.contains_key(name) {
+            return Err(ServeError::DuplicateTenant {
+                name: name.to_string(),
+            });
+        }
+        tenants.insert(name.to_string(), state);
+        Ok(())
+    }
+
+    /// Register a tenant whose initial model is loaded from a disk
+    /// snapshot previously written by [`ModelRegistry::save_snapshot`]
+    /// (or [`uhd_core::snapshot::save_atomic`] directly).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Persist`] when the file is unreadable or does not
+    /// decode as a model, plus every [`ModelRegistry::register`]
+    /// condition.
+    pub fn register_from_snapshot(
+        &self,
+        name: &str,
+        encoder: Arc<dyn Encoder>,
+        path: &Path,
+    ) -> Result<(), ServeError> {
+        let model = uhd_core::snapshot::load(path).map_err(|e| ServeError::Persist {
+            reason: format!("loading {}: {e}", path.display()),
+        })?;
+        self.register(name, encoder, model)
+    }
+
+    /// Remove a tenant. In-flight requests still answer (they carry
+    /// their own `Arc` to the tenant's state); new submits see
+    /// [`ServeError::UnknownTenant`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] when no such tenant exists.
+    pub fn deregister(&self, name: &str) -> Result<(), ServeError> {
+        self.inner
+            .tenants
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(name)
+            .map(drop)
+            .ok_or_else(|| ServeError::UnknownTenant {
+                name: name.to_string(),
+            })
+    }
+
+    /// Registered tenant names, sorted.
+    #[must_use]
+    pub fn tenants(&self) -> Vec<String> {
+        self.inner
+            .tenants
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    fn tenant(&self, name: &str) -> Result<Arc<TenantState>, ServeError> {
+        self.inner
+            .tenants
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownTenant {
+                name: name.to_string(),
+            })
+    }
+
+    /// Enqueue one sample for `tenant`; redeem with [`Ticket::wait`].
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::UnknownTenant`] for an unregistered name.
+    /// * [`ServeError::Core`] for a sample failing the tenant
+    ///   encoder's [`Encoder::check_features`].
+    /// * [`ServeError::Overloaded`] when the shared queue already
+    ///   holds `shed_above` pending requests (admission is one lock
+    ///   acquisition: exact, not advisory).
+    /// * [`ServeError::Closed`] after shutdown.
+    pub fn submit(&self, tenant: &str, input: Vec<u8>) -> Result<Ticket, ServeError> {
+        let tenant = self.tenant(tenant)?;
+        tenant
+            .encoder
+            .check_features(&input)
+            .map_err(ServeError::Core)?;
+        let slot = Arc::new(Slot::default());
+        let request = TenantRequest {
+            tenant: Arc::clone(&tenant),
+            input,
+            slot: Arc::clone(&slot),
+            submitted_at: Instant::now(),
+        };
+        match self
+            .inner
+            .queue
+            .push_admitted(request, self.inner.config.shed_above)
+        {
+            Ok(()) => {
+                self.inner.submitted.inc();
+                tenant.requests.inc();
+                Ok(Ticket { slot })
+            }
+            Err(Rejected::Closed) => Err(ServeError::Closed),
+            Err(Rejected::Shed { depth }) => {
+                self.inner.shed.inc();
+                tenant.shed.inc();
+                Err(ServeError::Overloaded {
+                    depth,
+                    shed_above: self.inner.config.shed_above,
+                })
+            }
+        }
+    }
+
+    /// Submit one sample for `tenant` and block for its answer.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ModelRegistry::submit`] plus any
+    /// per-request classification error.
+    pub fn classify(&self, tenant: &str, input: &[u8]) -> Result<Response, ServeError> {
+        self.submit(tenant, input.to_vec())?.wait()
+    }
+
+    /// Apply one labelled sample to `tenant`'s online learner
+    /// **synchronously** (bundle into the class accumulator; a new
+    /// label admits a new class) and return the tenant's current
+    /// generation — bumped when this update crossed the
+    /// `snapshot_every` publish threshold.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::UnknownTenant`] for an unregistered name.
+    /// * [`ServeError::Core`] for a sample failing
+    ///   [`Encoder::check_features`] (or an encode failure).
+    /// * [`ServeError::InvalidLabel`] for a label at or beyond
+    ///   `max_classes`.
+    pub fn learn(&self, tenant: &str, input: &[u8], label: usize) -> Result<u64, ServeError> {
+        let tenant = self.tenant(tenant)?;
+        tenant
+            .encoder
+            .check_features(input)
+            .map_err(ServeError::Core)?;
+        let limit = self.inner.config.max_classes;
+        if label >= limit {
+            return Err(ServeError::InvalidLabel { label, limit });
+        }
+        // Encode outside the learner lock (same discipline as the
+        // engine's trainer): bundling is linear in the integer domain,
+        // so synchronous streaming observations reproduce single-pass
+        // batch training exactly.
+        let mut scratch = BitSliceAccumulator::new(tenant.encoder.dim());
+        tenant
+            .encoder
+            .accumulate(input, &mut scratch)
+            .map_err(ServeError::Core)?;
+        let sums = scratch.bipolar_sums();
+        let mut guard = tenant
+            .learner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        guard
+            .learner
+            .observe_sums(&sums, label)
+            .map_err(ServeError::Core)?;
+        tenant.learn_updates.inc();
+        guard.unpublished += 1;
+        if guard.unpublished >= self.inner.config.snapshot_every {
+            let model = guard.learner.snapshot().map_err(ServeError::Core)?;
+            guard.unpublished = 0;
+            // Publishing while holding the learner lock serializes
+            // learns against update_model re-seeds (same lock order:
+            // learner → model).
+            let generation = tenant.publish(model);
+            self.inner
+                .recorder
+                .event(TraceKind::SnapshotPublished, generation, 1);
+            return Ok(generation);
+        }
+        drop(guard);
+        Ok(tenant.model().0)
+    }
+
+    /// Publish `tenant`'s current learner state as a new model
+    /// generation regardless of the `snapshot_every` cadence.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`]; [`ServeError::Core`] if the
+    /// learner holds no trained class yet.
+    pub fn publish(&self, tenant: &str) -> Result<u64, ServeError> {
+        let tenant = self.tenant(tenant)?;
+        let mut guard = tenant
+            .learner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let model = guard.learner.snapshot().map_err(ServeError::Core)?;
+        guard.unpublished = 0;
+        Ok(tenant.publish(model))
+    }
+
+    /// Hot-swap `tenant`'s served model, re-seeding its online learner
+    /// from the new model (exactly
+    /// [`crate::ServeEngine::update_model`]'s semantics, per tenant).
+    /// Returns the new generation.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`],
+    /// [`ServeError::ModelShapeMismatch`], or
+    /// [`ServeError::InvalidConfig`] past the class cap.
+    pub fn update_model(&self, tenant: &str, model: HdcModel) -> Result<u64, ServeError> {
+        let tenant = self.tenant(tenant)?;
+        if model.dim() != tenant.encoder.dim() {
+            return Err(ServeError::ModelShapeMismatch {
+                expected_dim: tenant.encoder.dim(),
+                got_dim: model.dim(),
+            });
+        }
+        if model.classes() > self.inner.config.max_classes {
+            return Err(ServeError::InvalidConfig {
+                reason: format!(
+                    "swapped-in model has {} classes but max_classes is {}",
+                    model.classes(),
+                    self.inner.config.max_classes
+                ),
+            });
+        }
+        let mut guard = tenant
+            .learner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.learner =
+            OnlineLearner::from_model(&model).with_max_classes(self.inner.config.max_classes);
+        guard.unpublished = 0;
+        let generation = tenant.publish(model);
+        drop(guard);
+        self.inner
+            .recorder
+            .event(TraceKind::ModelSwapped, generation, 0);
+        Ok(generation)
+    }
+
+    /// Current model generation of `tenant` (0 for the registered
+    /// one).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`].
+    pub fn generation(&self, tenant: &str) -> Result<u64, ServeError> {
+        Ok(self.tenant(tenant)?.model().0)
+    }
+
+    /// Persist `tenant`'s currently served model to `path` via the
+    /// crash-safe write-then-rename path
+    /// ([`uhd_core::snapshot::save_atomic`]). The snapshot is
+    /// bit-exact: [`ModelRegistry::register_from_snapshot`] (or
+    /// [`uhd_core::snapshot::load`]) restores a model that classifies
+    /// identically.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`]; [`ServeError::Persist`] on any
+    /// filesystem failure.
+    pub fn save_snapshot(&self, tenant: &str, path: &Path) -> Result<(), ServeError> {
+        let (_, model) = self.tenant(tenant)?.model();
+        uhd_core::snapshot::save_atomic(&model, path).map_err(|e| ServeError::Persist {
+            reason: format!("saving {}: {e}", path.display()),
+        })
+    }
+
+    /// Requests currently queued (not yet claimed by a worker).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.depth()
+    }
+
+    /// Render the registry's full metric set in the Prometheus text
+    /// exposition format: registry-wide counters and queue gauges,
+    /// per-tenant labelled series (`uhd_tenant_*{tenant="…"}`), the
+    /// end-to-end latency summary, and the process-global kernel
+    /// identity/op counters. Usable **after shutdown** too — the
+    /// registry outlives its worker pool. Empty when telemetry is
+    /// disabled.
+    #[must_use]
+    pub fn render_metrics(&self) -> String {
+        render_prometheus(&self.inner.recorder)
+    }
+
+    /// Render the registry metrics as JSON (see
+    /// [`uhd_obs::Recorder::render_json`] for the schema). `{}` when
+    /// telemetry is disabled.
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        self.inner.recorder.render_json()
+    }
+
+    /// Stop accepting requests, drain everything already admitted, and
+    /// join the worker pool. Idempotent; also run by `Drop`. The
+    /// registry remains usable for metric scrapes afterwards.
+    pub fn shutdown(&self) {
+        self.inner.queue.close();
+        let mut workers = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
+        for handle in workers.drain(..) {
+            // A worker that somehow died panicking already errored its
+            // claimed requests; nothing to propagate here.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ModelRegistry {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// `[A-Za-z0-9_-]{1,64}`: embeddable in metric labels, URL paths and
+/// file names without escaping.
+fn validate_tenant_name(name: &str) -> Result<(), ServeError> {
+    let ok = !name.is_empty()
+        && name.len() <= MAX_TENANT_NAME
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-');
+    if ok {
+        Ok(())
+    } else {
+        Err(ServeError::InvalidConfig {
+            reason: format!("tenant name {name:?} must match [A-Za-z0-9_-]{{1,{MAX_TENANT_NAME}}}"),
+        })
+    }
+}
+
+/// Stable ordinal for the dispatched kernel (mirrors the engine's).
+fn kernel_ordinal(name: &str) -> u64 {
+    match name {
+        "avx2" => 1,
+        "avx512" => 2,
+        "neon" => 3,
+        _ => 0, // scalar
+    }
+}
+
+/// Per-worker scratch accumulators, keyed by hypervector dimension —
+/// tenants may differ in `dim`, and a batch may mix them.
+#[derive(Default)]
+struct ScratchPool {
+    pool: Vec<(u32, BitSliceAccumulator)>,
+}
+
+impl ScratchPool {
+    fn get(&mut self, dim: u32) -> &mut BitSliceAccumulator {
+        if let Some(at) = self.pool.iter().position(|(d, _)| *d == dim) {
+            return &mut self.pool[at].1;
+        }
+        self.pool.push((dim, BitSliceAccumulator::new(dim)));
+        &mut self.pool.last_mut().expect("just pushed").1
+    }
+}
+
+/// One detached worker: claim a micro-batch (possibly mixing tenants),
+/// answer each request against its own tenant's current model
+/// generation. A panic inside one request (a buggy tenant encoder)
+/// errors that request with [`ServeError::WorkerPanicked`] and the
+/// worker keeps serving — one tenant's poison input must not take down
+/// the shared pool.
+fn worker_loop(inner: &RegistryInner) {
+    let mut batch: Vec<TenantRequest> = Vec::with_capacity(inner.config.max_batch);
+    let mut scratch = ScratchPool::default();
+    let mut dists: Vec<u32> = Vec::new();
+    // Consecutive requests for the same tenant (the common case under
+    // single-tenant bursts) reuse one model snapshot.
+    let mut snapshot: Option<(Arc<TenantState>, u64, Arc<HdcModel>)> = None;
+    while inner.queue.pop_batch(inner.config.max_batch, &mut batch) {
+        for request in batch.drain(..) {
+            let cached =
+                matches!(&snapshot, Some((tenant, _, _)) if Arc::ptr_eq(tenant, &request.tenant));
+            if !cached {
+                let (generation, model) = request.tenant.model();
+                snapshot = Some((Arc::clone(&request.tenant), generation, model));
+            }
+            let (_, generation, model) = snapshot.as_ref().expect("just set");
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                answer(
+                    request.tenant.encoder.as_ref(),
+                    model,
+                    *generation,
+                    &request.input,
+                    inner.config.mode,
+                    scratch.get(request.tenant.encoder.dim()),
+                    &mut dists,
+                )
+            }));
+            let outcome = match outcome {
+                Ok(outcome) => outcome,
+                Err(_) => {
+                    // The panic may have left the scratch planes (or
+                    // the snapshot cache) mid-write; rebuild both.
+                    scratch = ScratchPool::default();
+                    snapshot = None;
+                    inner.worker_panics.inc();
+                    Err(ServeError::WorkerPanicked)
+                }
+            };
+            let ok = outcome.is_ok();
+            inner
+                .latency
+                .record_duration(request.submitted_at.elapsed());
+            request.slot.complete(outcome);
+            if ok {
+                request.tenant.completed.inc();
+            }
+        }
+    }
+}
+
+/// Answer one request against `model` — the same datapaths as the
+/// engine's `answer`, reproduced here because the registry tags
+/// responses with per-tenant generations.
+fn answer(
+    encoder: &dyn Encoder,
+    model: &HdcModel,
+    generation: u64,
+    input: &[u8],
+    mode: InferenceMode,
+    scratch: &mut BitSliceAccumulator,
+    dists: &mut Vec<u32>,
+) -> Result<Response, ServeError> {
+    let (class, score) = match mode {
+        InferenceMode::BinarizedQuery => {
+            let query = encoder.encode_into(input, scratch)?;
+            model.associative_memory().nearest_with(&query, dists)?
+        }
+        InferenceMode::IntegerQuery | InferenceMode::IntegerBoth => {
+            model.classify_with(encoder, input, mode)?
+        }
+    };
+    Ok(Response {
+        class,
+        score,
+        generation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uhd_core::encoder::uhd::{UhdConfig, UhdEncoder};
+    use uhd_core::model::LabelledSamples;
+
+    const PIXELS: usize = 8;
+
+    fn fixture(dim: u32) -> (Arc<dyn Encoder>, HdcModel, Vec<Vec<u8>>, Vec<usize>) {
+        let encoder = UhdEncoder::new(UhdConfig::new(dim, PIXELS)).unwrap();
+        let images: Vec<Vec<u8>> = (0..20)
+            .map(|i| vec![if i % 2 == 0 { 20u8 } else { 230 }; PIXELS])
+            .collect();
+        let labels: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let data = LabelledSamples::new(&images, &labels).unwrap();
+        let model = HdcModel::train(&encoder, data, 2).unwrap();
+        (Arc::new(encoder), model, images, labels)
+    }
+
+    #[test]
+    fn serves_two_tenants_through_one_pool() {
+        let (enc_a, model_a, images, labels) = fixture(256);
+        let (enc_b, model_b, _, _) = fixture(512);
+        let registry = ModelRegistry::start(ServeConfig::new(2, 4)).unwrap();
+        registry.register("alpha", enc_a, model_a.clone()).unwrap();
+        registry.register("beta", enc_b, model_b).unwrap();
+        assert_eq!(registry.tenants(), vec!["alpha", "beta"]);
+        // Interleave submits across tenants of *different* dimensions;
+        // answers must match each tenant's serial path.
+        for (image, &label) in images.iter().zip(&labels) {
+            let a = registry.classify("alpha", image).unwrap();
+            let b = registry.classify("beta", image).unwrap();
+            assert_eq!(a.class, label);
+            assert_eq!(b.class, label);
+            assert_eq!(a.generation, 0);
+        }
+        let expected = model_a
+            .classify_with(
+                registry.tenant("alpha").unwrap().encoder.as_ref(),
+                &images[0],
+                InferenceMode::BinarizedQuery,
+            )
+            .unwrap();
+        let got = registry.classify("alpha", &images[0]).unwrap();
+        assert_eq!((got.class, got.score), expected);
+        let metrics = registry.render_metrics();
+        assert!(metrics.contains("uhd_tenant_requests_total{tenant=\"alpha\"}"));
+        assert!(metrics.contains("uhd_tenant_requests_total{tenant=\"beta\"}"));
+    }
+
+    #[test]
+    fn unknown_duplicate_and_invalid_tenants_are_rejected() {
+        let (encoder, model, images, _) = fixture(256);
+        let registry = ModelRegistry::start(ServeConfig::new(1, 2)).unwrap();
+        assert!(matches!(
+            registry.classify("ghost", &images[0]),
+            Err(ServeError::UnknownTenant { .. })
+        ));
+        registry
+            .register("alpha", Arc::clone(&encoder), model.clone())
+            .unwrap();
+        assert!(matches!(
+            registry.register("alpha", Arc::clone(&encoder), model.clone()),
+            Err(ServeError::DuplicateTenant { .. })
+        ));
+        for bad in ["", "has space", "sl/ash", &"x".repeat(MAX_TENANT_NAME + 1)] {
+            assert!(
+                matches!(
+                    registry.register(bad, Arc::clone(&encoder), model.clone()),
+                    Err(ServeError::InvalidConfig { .. })
+                ),
+                "name {bad:?} must be rejected"
+            );
+        }
+        registry.deregister("alpha").unwrap();
+        assert!(matches!(
+            registry.deregister("alpha"),
+            Err(ServeError::UnknownTenant { .. })
+        ));
+        assert!(registry.tenants().is_empty());
+    }
+
+    #[test]
+    fn synchronous_learn_publishes_on_the_snapshot_cadence() {
+        let (encoder, model, images, labels) = fixture(256);
+        let registry = ModelRegistry::start(ServeConfig::new(1, 2).with_snapshot_every(2)).unwrap();
+        registry.register("t", encoder, model).unwrap();
+        assert_eq!(registry.learn("t", &images[0], labels[0]).unwrap(), 0);
+        // Second applied update crosses snapshot_every=2: generation
+        // bumps and subsequent answers are attributed to it.
+        assert_eq!(registry.learn("t", &images[1], labels[1]).unwrap(), 1);
+        assert_eq!(registry.generation("t").unwrap(), 1);
+        let response = registry.classify("t", &images[0]).unwrap();
+        assert_eq!(response.generation, 1);
+        assert_eq!(response.class, labels[0]);
+        // Invalid labels are rejected eagerly.
+        assert!(matches!(
+            registry.learn("t", &images[0], usize::MAX),
+            Err(ServeError::InvalidLabel { .. })
+        ));
+        // An explicit publish bumps unconditionally.
+        assert_eq!(registry.publish("t").unwrap(), 2);
+    }
+
+    #[test]
+    fn update_model_swaps_and_reseeds_per_tenant() {
+        let (encoder, model, images, labels) = fixture(256);
+        let swapped_labels: Vec<usize> = labels.iter().map(|&l| 1 - l).collect();
+        let data = LabelledSamples::new(&images, &swapped_labels).unwrap();
+        let swapped = HdcModel::train(encoder.as_ref(), data, 2).unwrap();
+        let registry = ModelRegistry::start(ServeConfig::new(1, 2).with_snapshot_every(1)).unwrap();
+        registry.register("t", Arc::clone(&encoder), model).unwrap();
+        assert_eq!(registry.update_model("t", swapped).unwrap(), 1);
+        assert_eq!(
+            registry.classify("t", &images[0]).unwrap().class,
+            1 - labels[0]
+        );
+        // Learner was re-seeded: one consistent sample keeps the
+        // swapped labelling.
+        registry.learn("t", &images[0], 1 - labels[0]).unwrap();
+        assert_eq!(
+            registry.classify("t", &images[0]).unwrap().class,
+            1 - labels[0]
+        );
+    }
+
+    #[test]
+    fn shutdown_drains_then_rejects_and_metrics_survive() {
+        let (encoder, model, images, _) = fixture(256);
+        let registry = ModelRegistry::start(ServeConfig::new(1, 2)).unwrap();
+        registry.register("t", encoder, model).unwrap();
+        let tickets: Vec<Ticket> = images
+            .iter()
+            .map(|img| registry.submit("t", img.clone()).unwrap())
+            .collect();
+        registry.shutdown();
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok(), "admitted requests drain at shutdown");
+        }
+        assert!(matches!(
+            registry.submit("t", images[0].clone()),
+            Err(ServeError::Closed)
+        ));
+        // The registry outlives its pool: the scrape still renders,
+        // and the terminal queue-depth publish left the gauge at 0.
+        let metrics = registry.render_metrics();
+        assert!(metrics.contains("uhd_queue_depth 0\n"));
+        assert!(metrics.contains("uhd_tenant_completed_total{tenant=\"t\"}"));
+    }
+}

@@ -14,6 +14,7 @@ use uhd_obs::{Counter, Gauge, Recorder};
 #[derive(Debug)]
 pub(crate) struct EngineStats {
     submitted: Counter,
+    shed: Counter,
     completed: Counter,
     batches: Counter,
     largest_batch: Gauge,
@@ -30,6 +31,7 @@ impl EngineStats {
     pub(crate) fn new(recorder: &Recorder) -> Self {
         EngineStats {
             submitted: recorder.counter("uhd_requests_submitted_total"),
+            shed: recorder.counter("uhd_requests_shed_total"),
             completed: recorder.counter("uhd_requests_completed_total"),
             batches: recorder.counter("uhd_batches_total"),
             largest_batch: recorder.gauge("uhd_largest_batch"),
@@ -48,6 +50,10 @@ impl EngineStats {
 
     pub(crate) fn record_submit_many(&self, n: usize) {
         self.submitted.add(n as u64);
+    }
+
+    pub(crate) fn record_shed(&self) {
+        self.shed.inc();
     }
 
     pub(crate) fn record_batch(&self, size: usize) {
@@ -87,6 +93,7 @@ impl EngineStats {
         StatsSnapshot {
             kernel: uhd_core::kernels::Kernel::active().name(),
             submitted: self.submitted.get(),
+            requests_shed: self.shed.get(),
             completed: self.completed.get(),
             batches: self.batches.get(),
             largest_batch: self.largest_batch.get(),
@@ -126,6 +133,10 @@ pub struct StatsSnapshot {
     pub kernel: &'static str,
     /// Requests accepted by [`crate::ServeEngine::submit`].
     pub submitted: u64,
+    /// Requests rejected by load-shedding admission control (queue
+    /// depth at or above the configured `shed_above` threshold); each
+    /// returned [`crate::ServeError::Overloaded`] to its caller.
+    pub requests_shed: u64,
     /// Requests answered by a worker shard.
     pub completed: u64,
     /// Micro-batches executed across all shards.
@@ -192,6 +203,7 @@ mod tests {
         let stats = EngineStats::new(&recorder);
         stats.record_submit();
         stats.record_submit();
+        stats.record_shed();
         stats.record_batch(2);
         stats.record_swap();
         stats.record_learn_submit();
@@ -209,6 +221,7 @@ mod tests {
         });
         assert_eq!(snap.kernel, uhd_core::kernels::Kernel::active().name());
         assert_eq!(snap.submitted, 2);
+        assert_eq!(snap.requests_shed, 1);
         assert_eq!(snap.completed, 2);
         assert_eq!(snap.batches, 1);
         assert_eq!(snap.largest_batch, 2);

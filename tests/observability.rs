@@ -188,3 +188,46 @@ fn telemetry_off_serves_identically_but_exposes_nothing() {
     assert_eq!(json, "{}");
     assert!(events.is_empty());
 }
+
+/// Regression for the queue-gauge shutdown freeze: gauge publishes
+/// race outside the queue lock, so the last write before shutdown
+/// could be a stale nonzero depth — and the closed-and-empty exit in
+/// `pop_batch` used to return without republishing. The registry's
+/// detached workers outlive `shutdown()`, letting a post-shutdown
+/// scrape observe the terminal depth: it must be 0, while the
+/// high-water mark keeps its historical value.
+#[test]
+fn queue_depth_gauge_reads_zero_after_shutdown() {
+    use std::sync::Arc;
+    use uhd::core::Encoder;
+    use uhd::serve::registry::ModelRegistry;
+
+    let (encoder, model, test) = fixture(150, 50, 512, 9);
+    let registry =
+        ModelRegistry::start(ServeConfig::new(2, 8).with_trace_level(TraceLevel::Off)).unwrap();
+    registry
+        .register("t", Arc::new(encoder) as Arc<dyn Encoder>, model)
+        .unwrap();
+    // One wave deep enough to move both gauges…
+    let tickets: Vec<_> = test
+        .images()
+        .iter()
+        .map(|img| registry.submit("t", img.clone()).unwrap())
+        .collect();
+    registry.shutdown();
+    for ticket in tickets {
+        ticket.wait().unwrap();
+    }
+    // …then the terminal publish must land before the scrape.
+    let text = registry.render_metrics();
+    assert!(
+        text.contains("uhd_queue_depth 0\n"),
+        "terminal queue depth must republish 0 at shutdown:\n{text}"
+    );
+    let hw = text
+        .lines()
+        .find_map(|l| l.strip_prefix("uhd_queue_depth_hw "))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .expect("high-water gauge renders");
+    assert!(hw >= 1, "the wave must have registered a high-water mark");
+}
