@@ -260,7 +260,7 @@ impl Hypervector {
 
     /// Packed fast path for the Hamming distance: XOR + popcount over
     /// the `u64` words through the runtime-dispatched
-    /// [`Kernel`](crate::kernels::Kernel) (AVX-512/AVX2/NEON when the
+    /// [`Kernel`] (AVX-512/AVX2/NEON when the
     /// CPU has them, a 4-wide unrolled scalar loop otherwise). This is
     /// the kernel behind [`Self::hamming`], [`Self::dot`],
     /// [`crate::similarity::hamming_similarity`] and the bit-sliced

@@ -23,6 +23,7 @@ use std::fmt;
 use std::fs;
 use std::io::{self, Read as _, Write as _};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Alignment (bytes) guaranteed by [`AlignedBytes`] and required by
 /// [`from_aligned_bytes`]: the payload is a stream of 8-byte words.
@@ -215,15 +216,22 @@ pub fn save_atomic(model: &HdcModel, path: &Path) -> io::Result<()> {
     Ok(())
 }
 
-/// `<path>.tmp-<pid>`: unique enough that two processes snapshotting
-/// the same tenant never clobber each other's partial writes, and the
-/// rename stays within one directory (same filesystem, so it is atomic).
+/// `<path>.tmp-<pid>-<seq>`: the pid disambiguates across processes,
+/// the per-process atomic sequence across threads (`save_atomic` takes
+/// `&HdcModel` and may run concurrently for the same destination), so
+/// no two in-flight saves ever share a partial-write file. The rename
+/// stays within one directory (same filesystem, so it is atomic).
 fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
     let mut name = path.file_name().map_or_else(
         || std::ffi::OsString::from("snapshot"),
         std::ffi::OsStr::to_os_string,
     );
-    name.push(format!(".tmp-{}", std::process::id()));
+    name.push(format!(
+        ".tmp-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
     path.with_file_name(name)
 }
 
@@ -244,6 +252,7 @@ mod tests {
     use super::*;
     use crate::encoder::uhd::{UhdConfig, UhdEncoder};
     use crate::model::LabelledSamples;
+    use std::sync::Arc;
 
     fn trained() -> HdcModel {
         let encoder = UhdEncoder::new(UhdConfig::new(192, 6)).unwrap();
@@ -270,6 +279,56 @@ mod tests {
         save_atomic(&back, &path).unwrap();
         assert_eq!(load(&path).unwrap().to_bytes(), model.to_bytes());
         // No temporary litter left behind.
+        let stray: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(std::result::Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(stray.is_empty(), "temp files must not survive: {stray:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_saves_to_one_path_never_tear() {
+        // save_atomic takes &HdcModel and may run from many threads
+        // against the same destination; every racer gets a distinct
+        // temp file, so the survivor on disk is always one complete
+        // snapshot, never an interleaving of two writers.
+        let dir = tmp_dir("concurrent");
+        let path = dir.join("model.uhdm");
+        let a = Arc::new(trained());
+        let b = {
+            let encoder = UhdEncoder::new(UhdConfig::new(192, 6)).unwrap();
+            let images = vec![vec![200u8; 6], vec![5u8; 6], vec![210u8; 6], vec![15u8; 6]];
+            let labels = vec![0, 1, 0, 1];
+            Arc::new(
+                HdcModel::train(&encoder, LabelledSamples::new(&images, &labels).unwrap(), 2)
+                    .unwrap(),
+            )
+        };
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let model = if i % 2 == 0 {
+                    Arc::clone(&a)
+                } else {
+                    Arc::clone(&b)
+                };
+                let path = path.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..16 {
+                        save_atomic(&model, &path).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let survivor = load(&path).unwrap().to_bytes();
+        assert!(
+            survivor == a.to_bytes() || survivor == b.to_bytes(),
+            "on-disk snapshot is a torn mixture"
+        );
         let stray: Vec<_> = fs::read_dir(&dir)
             .unwrap()
             .filter_map(std::result::Result::ok)

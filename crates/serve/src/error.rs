@@ -41,10 +41,10 @@ pub enum ServeError {
         limit: usize,
     },
     /// Load shedding: the request queue already held the admission
-    /// threshold ([`crate::ServeConfig::shed_above`] /
-    /// [`crate::RegistryConfig::shed_above`]) when this submit
-    /// arrived, so it was rejected immediately instead of queueing
-    /// unboundedly. Back off and retry.
+    /// threshold ([`crate::ServeConfig::shed_above`], shared by the
+    /// engine and the registry) when this submit arrived, so it was
+    /// rejected immediately instead of queueing unboundedly. Back off
+    /// and retry.
     Overloaded {
         /// Queue depth observed at rejection time.
         depth: usize,

@@ -20,13 +20,16 @@
 //! ([`ServeError::Core`] / [`ServeError::InvalidLabel`]) → 400,
 //! [`ServeError::Overloaded`] → 503 with a `Retry-After` header (the
 //! admission-control contract made visible to HTTP clients), shutdown
-//! → 503, everything else → 500.
+//! → 503, everything else → 500. Oversized inputs are bounded on both
+//! sides of the body divide: bodies past `max_body` get `413`, and a
+//! request line + header section past 8 KiB (`MAX_HEAD_BYTES`) gets
+//! `431` — the server never buffers an unbounded header stream.
 
 use crate::error::ServeError;
 use crate::registry::ModelRegistry;
 use std::fmt::Write as _;
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -61,6 +64,10 @@ impl Default for HttpServerConfig {
 pub struct HttpServer {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    /// A second handle to the accept thread's listener (same OS
+    /// socket): lets [`HttpServer::shutdown`] flip it nonblocking so
+    /// the accept loop cannot re-park after being woken.
+    listener: TcpListener,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -74,26 +81,40 @@ impl HttpServer {
     pub fn start(registry: Arc<ModelRegistry>, config: HttpServerConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let shutdown_listener = listener.try_clone()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_thread = std::thread::Builder::new()
             .name("uhd-http-accept".to_string())
-            .spawn(move || {
-                for conn in listener.incoming() {
-                    if accept_shutdown.load(Ordering::Acquire) {
-                        break;
+            .spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if accept_shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let registry = Arc::clone(&registry);
+                        let config = config.clone();
+                        let _ = std::thread::Builder::new()
+                            .name("uhd-http-conn".to_string())
+                            .spawn(move || handle_connection(stream, &registry, &config));
                     }
-                    let Ok(stream) = conn else { continue };
-                    let registry = Arc::clone(&registry);
-                    let config = config.clone();
-                    let _ = std::thread::Builder::new()
-                        .name("uhd-http-conn".to_string())
-                        .spawn(move || handle_connection(stream, &registry, &config));
+                    Err(_) => {
+                        // Post-shutdown the listener is nonblocking, so
+                        // `WouldBlock` lands here and the flag breaks
+                        // the loop; otherwise it is a transient accept
+                        // failure (EMFILE, aborted handshake) — back
+                        // off briefly instead of spinning.
+                        if accept_shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
                 }
             })?;
         Ok(HttpServer {
             local_addr,
             shutdown,
+            listener: shutdown_listener,
             accept_thread: Some(accept_thread),
         })
     }
@@ -114,10 +135,34 @@ impl HttpServer {
         if self.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
-        // The accept loop is parked in `accept()`; poke it awake.
-        let _ = TcpStream::connect(self.local_addr);
+        // Future accepts fail fast instead of parking (the cloned
+        // handle shares the OS socket, so this reaches the accept
+        // thread's listener too).
+        let _ = self.listener.set_nonblocking(true);
+        // A thread already parked in `accept()` still needs a poke. A
+        // wildcard bind is not a routable connect target, so aim at
+        // loopback on the bound port instead.
+        let ip = self.local_addr.ip();
+        let wake_ip = if ip.is_unspecified() {
+            if ip.is_ipv4() {
+                IpAddr::V4(Ipv4Addr::LOCALHOST)
+            } else {
+                IpAddr::V6(Ipv6Addr::LOCALHOST)
+            }
+        } else {
+            ip
+        };
+        let wake = SocketAddr::new(wake_ip, self.local_addr.port());
+        let woken = TcpStream::connect_timeout(&wake, Duration::from_millis(250)).is_ok();
         if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
+            if woken {
+                let _ = handle.join();
+            }
+            // If the connect was refused or filtered (firewalled
+            // wildcard bind, unroutable address) the thread may still
+            // be parked; it exits on the next connection attempt, and
+            // dropping the handle detaches it rather than blocking
+            // shutdown forever on `join()`.
         }
     }
 }
@@ -141,6 +186,7 @@ struct HttpRequest {
 
 /// Why a request could not be parsed (distinct from a serving error:
 /// these end the connection after a `4xx`).
+#[derive(Debug)]
 enum ParseError {
     /// Clean EOF between requests — the peer closed a keep-alive
     /// connection; not an error at all.
@@ -149,7 +195,15 @@ enum ParseError {
     Malformed(&'static str),
     /// A `Content-Length` past the configured cap.
     TooLarge,
+    /// Request line + headers past [`MAX_HEAD_BYTES`] cumulatively.
+    HeadTooLarge,
 }
+
+/// Cumulative cap on the request line plus all header lines. Bodies
+/// are bounded by `max_body`; this bounds everything before the body,
+/// so a client streaming an endless header line cannot grow server
+/// memory past this.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
 
 fn handle_connection(stream: TcpStream, registry: &ModelRegistry, config: &HttpServerConfig) {
     let _ = stream.set_read_timeout(Some(config.read_timeout));
@@ -173,6 +227,12 @@ fn handle_connection(stream: TcpStream, registry: &ModelRegistry, config: &HttpS
                 let _ = write_response(&mut writer, &response, false);
                 return;
             }
+            Err(ParseError::HeadTooLarge) => {
+                let response =
+                    HttpResponse::json(431, "{\"error\":\"request header section too large\"}");
+                let _ = write_response(&mut writer, &response, false);
+                return;
+            }
             Err(ParseError::Malformed(reason)) => {
                 let response =
                     HttpResponse::json(400, &format!("{{\"error\":{}}}", json_string(reason)));
@@ -183,15 +243,14 @@ fn handle_connection(stream: TcpStream, registry: &ModelRegistry, config: &HttpS
     }
 }
 
-fn read_request(
-    reader: &mut BufReader<TcpStream>,
-    max_body: usize,
-) -> Result<HttpRequest, ParseError> {
+fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<HttpRequest, ParseError> {
+    let mut head_budget = MAX_HEAD_BYTES;
     let mut line = String::new();
-    match reader.read_line(&mut line) {
+    match read_head_line(reader, &mut line, &mut head_budget) {
         // A closed socket, a read timeout, or a reset all end the
         // connection the same way: no request to serve.
         Ok(0) | Err(_) => return Err(ParseError::Eof),
+        Ok(_) if !line.ends_with('\n') && head_budget == 0 => return Err(ParseError::HeadTooLarge),
         Ok(_) => {}
     }
     let mut parts = line.split_whitespace();
@@ -212,8 +271,12 @@ fn read_request(
     let mut content_length = 0usize;
     loop {
         let mut header = String::new();
-        match reader.read_line(&mut header) {
+        match read_head_line(reader, &mut header, &mut head_budget) {
+            Ok(0) if head_budget == 0 => return Err(ParseError::HeadTooLarge),
             Ok(0) => return Err(ParseError::Malformed("eof inside headers")),
+            Ok(_) if !header.ends_with('\n') && head_budget == 0 => {
+                return Err(ParseError::HeadTooLarge)
+            }
             Ok(_) => {}
             Err(_) => return Err(ParseError::Malformed("read error inside headers")),
         }
@@ -255,6 +318,21 @@ fn read_request(
         keep_alive,
         body,
     })
+}
+
+/// Read one `\n`-terminated line into `out`, charging every byte
+/// against `budget` — the reader never buffers more than `budget`
+/// bytes, however long the peer's line is. Returns the bytes read;
+/// `0` means EOF, a line without a trailing `\n` alongside an
+/// exhausted budget means the cap was hit mid-line.
+fn read_head_line(
+    reader: &mut impl BufRead,
+    out: &mut String,
+    budget: &mut usize,
+) -> io::Result<usize> {
+    let n = reader.take(*budget as u64).read_line(out)?;
+    *budget -= n;
+    Ok(n)
 }
 
 /// A response ready to serialize: status, content type, body.
@@ -369,6 +447,7 @@ fn write_response(
         400 => "Bad Request",
         404 => "Not Found",
         413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
@@ -441,6 +520,49 @@ mod tests {
         assert_eq!(query_param("label=3&x=1", "label"), Some("3"));
         assert_eq!(query_param("x=1", "label"), None);
         assert_eq!(query_param("", "label"), None);
+    }
+
+    #[test]
+    fn request_heads_are_byte_bounded() {
+        // A well-formed request inside the budget parses.
+        let mut ok = io::Cursor::new(
+            b"POST /v1/t/classify HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc".to_vec(),
+        );
+        let request = read_request(&mut ok, 1 << 20).unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.body, b"abc");
+
+        // One endless header line: rejected at the cap, not buffered
+        // until the peer relents.
+        let mut raw = b"GET /metrics HTTP/1.1\r\nX-Flood: ".to_vec();
+        raw.resize(4 * MAX_HEAD_BYTES, b'a');
+        let mut flood = io::Cursor::new(raw);
+        assert!(matches!(
+            read_request(&mut flood, 1 << 20),
+            Err(ParseError::HeadTooLarge)
+        ));
+        // The reader stopped at the budget — the rest of the flood was
+        // never pulled into memory.
+        assert!(flood.position() as usize <= MAX_HEAD_BYTES);
+
+        // Many small headers cumulatively past the cap: same verdict.
+        let mut raw = b"GET /metrics HTTP/1.1\r\n".to_vec();
+        while raw.len() <= MAX_HEAD_BYTES {
+            raw.extend_from_slice(b"X-Padding: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        raw.extend_from_slice(b"\r\n");
+        assert!(matches!(
+            read_request(&mut io::Cursor::new(raw), 1 << 20),
+            Err(ParseError::HeadTooLarge)
+        ));
+
+        // An endless request line (no header ever arrives) is also cut.
+        let mut raw = b"GET /".to_vec();
+        raw.resize(4 * MAX_HEAD_BYTES, b'x');
+        assert!(matches!(
+            read_request(&mut io::Cursor::new(raw), 1 << 20),
+            Err(ParseError::HeadTooLarge)
+        ));
     }
 
     #[test]

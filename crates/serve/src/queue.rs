@@ -12,7 +12,7 @@
 //! The learn side additionally uses the queue's *bound* (blocking
 //! producers when the trainer falls behind — backpressure instead of
 //! unbounded memory growth) and its *drain barrier*
-//! ([`BatchQueue::sync`] / [`BatchQueue::mark_applied`]) so clients
+//! (`BatchQueue::sync` / `BatchQueue::mark_applied`) so clients
 //! can wait for their feedback to take effect.
 
 use crate::request::{LearnSample, Request};

@@ -646,10 +646,14 @@ fn worker_loop(inner: &RegistryInner) {
     let mut batch: Vec<TenantRequest> = Vec::with_capacity(inner.config.max_batch);
     let mut scratch = ScratchPool::default();
     let mut dists: Vec<u32> = Vec::new();
-    // Consecutive requests for the same tenant (the common case under
-    // single-tenant bursts) reuse one model snapshot.
-    let mut snapshot: Option<(Arc<TenantState>, u64, Arc<HdcModel>)> = None;
     while inner.queue.pop_batch(inner.config.max_batch, &mut batch) {
+        // Consecutive requests for the same tenant (the common case
+        // under single-tenant bursts) reuse one model snapshot — but
+        // only within this micro-batch. The cache dies at the batch
+        // boundary so a publish/hot-swap is visible to the very next
+        // batch even under continuous same-tenant traffic (mirrors the
+        // engine worker's per-batch snapshot).
+        let mut snapshot: Option<(Arc<TenantState>, u64, Arc<HdcModel>)> = None;
         for request in batch.drain(..) {
             let cached =
                 matches!(&snapshot, Some((tenant, _, _)) if Arc::ptr_eq(tenant, &request.tenant));
@@ -844,6 +848,32 @@ mod tests {
             registry.classify("t", &images[0]).unwrap().class,
             1 - labels[0]
         );
+    }
+
+    #[test]
+    fn hot_swap_is_visible_to_a_worker_with_a_warm_snapshot_cache() {
+        // One shard: the same worker answers every request, so by the
+        // time of the swap its per-batch model cache has been warmed by
+        // earlier same-tenant traffic. A publish must still reach it —
+        // the cache may only live within a single micro-batch.
+        let (encoder, model, images, labels) = fixture(256);
+        let swapped_labels: Vec<usize> = labels.iter().map(|&l| 1 - l).collect();
+        let data = LabelledSamples::new(&images, &swapped_labels).unwrap();
+        let swapped = HdcModel::train(encoder.as_ref(), data, 2).unwrap();
+        let registry = ModelRegistry::start(ServeConfig::new(1, 4)).unwrap();
+        registry.register("t", Arc::clone(&encoder), model).unwrap();
+        // Warm the worker's cache with continuous same-tenant traffic.
+        for image in &images {
+            assert_eq!(registry.classify("t", image).unwrap().generation, 0);
+        }
+        assert_eq!(registry.update_model("t", swapped).unwrap(), 1);
+        // Still the same tenant, same worker: a stale cache would keep
+        // serving generation 0 with the old labelling.
+        for (image, &label) in images.iter().zip(&labels) {
+            let response = registry.classify("t", image).unwrap();
+            assert_eq!(response.generation, 1, "worker served a stale generation");
+            assert_eq!(response.class, 1 - label);
+        }
     }
 
     #[test]
